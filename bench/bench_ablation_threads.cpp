@@ -1,0 +1,53 @@
+// bench_ablation_threads — thread-scaling ablation.  The paper selects "the
+// optimal number of threads" per OpenMP measurement; this bench shows the
+// real scaling curve of the manual-omp variant on this host, plus the
+// rank-count scaling of manual-mpi.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = 384;
+  cfg.problem().y_cells = 384;
+  cfg.problem().end_step = 2;
+  cfg.problem().eps = 1e-12;
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("== Ablation: host thread/rank scaling (%d hardware threads) ==\n",
+              hw);
+  tl::Table table({"variant", "threads/ranks", "host s", "speedup"});
+
+  double serial_s = 0.0;
+  {
+    const auto run = tea::run_simulation("serial", cfg.problem());
+    serial_s = run.wall_seconds;
+    table.add_row({"serial", "1", tl::Table::num(serial_s, 3), "1.00"});
+  }
+
+  for (int threads = 1; threads <= hw; threads *= 2) {
+    tea::RunOptions o;
+    o.threads = threads;
+    const auto run = tea::run_simulation("manual-omp", cfg.problem(), o);
+    table.add_row({"manual-omp", std::to_string(threads),
+                   tl::Table::num(run.wall_seconds, 3),
+                   tl::Table::num(serial_s / run.wall_seconds, 2)});
+  }
+
+  for (int ranks = 1; ranks <= std::min(hw, 16); ranks *= 2) {
+    tea::RunOptions o;
+    o.ranks = ranks;
+    const auto run = tea::run_simulation("manual-mpi", cfg.problem(), o);
+    table.add_row({"manual-mpi", std::to_string(ranks),
+                   tl::Table::num(run.wall_seconds, 3),
+                   tl::Table::num(serial_s / run.wall_seconds, 2)});
+  }
+
+  std::printf("%s\n", table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// bench_ablation_tiling — ablation of the OPS cache-blocking tiling (the
+// design choice behind the paper's "OPS MPI Tiled" variant, ref. [21]).
+//
+// Two regimes, matching how the mechanism really behaves:
+//  * CG chains flush at every dot product (2 per iteration), so tiling can
+//    only fuse 1-3 loops — little to gain;
+//  * Chebyshev/PPCG smoothing iterates for many steps between global
+//    reductions; with halo reflections queued as skewable loops the chain
+//    spans whole iterations and intermediate fields stay cache-resident.
+// The bench sweeps tile sizes on both solvers and reports real host time,
+// the measured DRAM-traffic ratio (the mechanism), and the projected KNL
+// time.
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+
+namespace {
+
+tl::ProblemConfig problem(tl::SolverKind solver) {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = 256;
+  cfg.problem().y_cells = 256;
+  cfg.problem().end_step = 2;
+  cfg.problem().eps = 1e-11;
+  cfg.problem().solver = solver;
+  return cfg.problem();
+}
+
+double project_knl(const tea::RunResult& r) {
+  return machine::project_time(r.counters, machine::knl_7210(), "ops-tiled",
+                               r.working_set_bytes)
+      .total();
+}
+
+void sweep(tl::SolverKind solver) {
+  std::printf("-- solver: %s --\n", tl::to_string(solver));
+  tl::Table table({"configuration", "host s", "bytes moved (GB)",
+                   "traffic vs untiled", "knl proj s"});
+
+  // Single-rank runs isolate the cache-blocking mechanism (with ranks the
+  // halo exchanges fence the queue and the benefit shrinks — also shown).
+  tea::RunOptions untiled_opts;
+  untiled_opts.ranks = 1;
+  const auto untiled =
+      tea::run_simulation("ops-mpi", problem(solver), untiled_opts);
+  const double base_bytes =
+      static_cast<double>(untiled.counters.total_bytes());
+  table.add_row({"untiled (1 rank)", tl::Table::num(untiled.wall_seconds, 3),
+                 tl::Table::num(base_bytes / 1e9, 2), "1.00",
+                 tl::Table::num(project_knl(untiled), 2)});
+
+  for (const int tile_rows : {0, 16, 64}) {
+    tea::RunOptions o;
+    o.ranks = 1;
+    o.tile.tile_rows = tile_rows;
+    const auto run = tea::run_simulation("ops-tiled", problem(solver), o);
+    const double bytes = static_cast<double>(run.counters.total_bytes());
+    const std::string label =
+        tile_rows == 0 ? "tiled, auto rows"
+                       : "tiled, rows=" + std::to_string(tile_rows);
+    table.add_row({label, tl::Table::num(run.wall_seconds, 3),
+                   tl::Table::num(bytes / 1e9, 2),
+                   tl::Table::num(bytes / base_bytes, 2),
+                   tl::Table::num(project_knl(run), 2)});
+  }
+
+  // The paper's actual configuration: tiling under MPI decomposition.
+  tea::RunOptions mpi_opts;
+  mpi_opts.ranks = 4;
+  const auto mpi_tiled =
+      tea::run_simulation("ops-tiled", problem(solver), mpi_opts);
+  table.add_row(
+      {"tiled, 4 ranks", tl::Table::num(mpi_tiled.wall_seconds, 3),
+       tl::Table::num(static_cast<double>(mpi_tiled.counters.total_bytes()) / 1e9, 2),
+       tl::Table::num(static_cast<double>(mpi_tiled.counters.total_bytes()) / base_bytes, 2),
+       tl::Table::num(project_knl(mpi_tiled), 2)});
+
+  std::printf("%s\n", table.to_ascii().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: OPS cache-blocking tiling ==\n\n");
+  sweep(tl::SolverKind::kCg);
+  sweep(tl::SolverKind::kCheby);
+  std::printf(
+      "Chained Chebyshev smoothing tiles across whole iterations (halo\n"
+      "reflections are queued as skewable loops), cutting DRAM traffic;\n"
+      "CG's two dot products per iteration fence the queue, bounding the\n"
+      "gain — which is why the paper pairs tiling with MPI rather than\n"
+      "relying on it alone.  Correctness of every chain shape is enforced\n"
+      "by tests/test_tiling.cpp.\n");
+  return 0;
+}

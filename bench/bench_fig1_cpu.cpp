@@ -1,0 +1,17 @@
+// bench_fig1_cpu — reproduces Fig. 1a: wall time of 10 time-marching steps of
+// TeaLeaf on the 1000^2 mesh for the ten CPU implementations, on the Xeon
+// E5-2660 v4 and the KNL 7210 (projected from instrumented host execution;
+// see bench/harness.hpp and DESIGN.md §4).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  const auto options = bench::HarnessOptions::from_env(/*paper_mesh=*/1000);
+  const auto rows =
+      bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
+  bench::print_figure("Fig. 1a — 1000^2 dataset (CPU systems)", rows, options);
+  const int failures = bench::check_shapes(rows, {}, 1000);
+  std::printf("fig1_cpu shape failures: %d\n", failures);
+  return 0;
+}

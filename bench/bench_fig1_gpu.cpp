@@ -1,0 +1,28 @@
+// bench_fig1_gpu — reproduces Fig. 1b: the six GPU-targeting implementations
+// on the Tesla P100 at 1000^2, plus the §IV-C observation that the best GPU
+// time is only ~3% ahead of the best CPU time at this size.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  const auto options = bench::HarnessOptions::from_env(/*paper_mesh=*/1000);
+  const auto gpu_rows =
+      bench::run_variants(bench::gpu_variants(), {"p100"}, options);
+  bench::print_figure("Fig. 1b — 1000^2 dataset (GPU system)", gpu_rows,
+                      options);
+  const int failures = bench::check_shapes({}, gpu_rows, 1000);
+
+  // §IV-C: best-GPU vs best-CPU gap at 1000^2 (paper: 3.04%).
+  const auto cpu_rows =
+      bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
+  const double best_cpu = std::min(bench::best_time_on(cpu_rows, "xeon"),
+                                   bench::best_time_on(cpu_rows, "knl"));
+  const double best_gpu = bench::best_time_on(gpu_rows, "p100");
+  const double gap = 100.0 * (best_cpu - best_gpu) / best_cpu;
+  std::printf("best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 3.04%%)\n",
+              best_cpu, best_gpu, gap);
+  std::printf("fig1_gpu shape failures: %d\n", failures);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// bench_fig2_cpu — reproduces Fig. 2a: the CPU implementations at 4000^2,
+// including the paper's manual-OpenMP NUMA outlier on the Xeon and the
+// strong showing of OPS MPI Tiled on the KNL.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  const auto options = bench::HarnessOptions::from_env(/*paper_mesh=*/4000);
+  const auto rows =
+      bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
+  bench::print_figure("Fig. 2a — 4000^2 dataset (CPU systems)", rows, options);
+  const int failures = bench::check_shapes(rows, {}, 4000);
+  std::printf("fig2_cpu shape failures: %d\n", failures);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// bench_fig2_gpu — reproduces Fig. 2b: GPU implementations at 4000^2, where
+// the larger mesh amortises launch overhead and the P100's bandwidth opens a
+// ~50% gap over the best CPU time (paper §IV-C: 50.57%).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  const auto options = bench::HarnessOptions::from_env(/*paper_mesh=*/4000);
+  const auto gpu_rows =
+      bench::run_variants(bench::gpu_variants(), {"p100"}, options);
+  bench::print_figure("Fig. 2b — 4000^2 dataset (GPU system)", gpu_rows,
+                      options);
+  const int failures = bench::check_shapes({}, gpu_rows, 4000);
+
+  const auto cpu_rows =
+      bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
+  const double best_cpu = std::min(bench::best_time_on(cpu_rows, "xeon"),
+                                   bench::best_time_on(cpu_rows, "knl"));
+  const double best_gpu = bench::best_time_on(gpu_rows, "p100");
+  const double gap = 100.0 * (best_cpu - best_gpu) / best_cpu;
+  std::printf(
+      "best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 50.57%%)\n",
+      best_cpu, best_gpu, gap);
+  std::printf("fig2_gpu shape failures: %d\n", failures);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// bench_kernels — google-benchmark microbenchmarks of the individual TeaLeaf
+// kernels across representative substrates (serial rows, tlp pool, simulated
+// GPU, miniops par_loop).  Supports the paper's §IV-C analysis of where the
+// cycles go: the 5-point operator and the dot products dominate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "core/backends/manual_cuda.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/backends/ops_backend.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+tl::ProblemConfig problem(int n) {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = n;
+  cfg.problem().y_cells = n;
+  return cfg.problem();
+}
+
+template <typename B>
+std::unique_ptr<B> prepared(std::unique_ptr<B> backend, int n) {
+  const auto cfg = problem(n);
+  backend->setup(cfg);
+  const double dt = cfg.initial_timestep;
+  backend->set_rx_ry(dt / (cfg.dx() * cfg.dx()), dt / (cfg.dy() * cfg.dy()));
+  backend->compute_coefficients(cfg.coefficient);
+  backend->init_u_u0();
+  backend->update_halo({tea::FieldId::kU}, 1);
+  return backend;
+}
+
+void report_cells(benchmark::State& state, int n) {
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) * n);
+}
+
+// --- 5-point operator (w = A u) ------------------------------------------------
+
+void BM_Operator_Serial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>("serial", nullptr,
+                                                             nullptr),
+                    n);
+  for (auto _ : state) {
+    b->apply_operator(tea::FieldId::kU, tea::FieldId::kW);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Operator_Serial)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Operator_Threads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>(
+                        "manual-omp", &tlp::global_pool(), nullptr),
+                    n);
+  for (auto _ : state) {
+    b->apply_operator(tea::FieldId::kU, tea::FieldId::kW);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Operator_Threads)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Operator_SimGPU(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualCudaBackend>(), n);
+  for (auto _ : state) {
+    b->apply_operator(tea::FieldId::kU, tea::FieldId::kW);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Operator_SimGPU)->Arg(256)->Arg(512);
+
+void BM_Operator_Ops(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ops::ContextOptions o;
+  o.use_pool = true;
+  auto b = prepared(std::make_unique<tea::OpsBackend>("ops-omp", o), n);
+  for (auto _ : state) {
+    b->apply_operator(tea::FieldId::kU, tea::FieldId::kW);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Operator_Ops)->Arg(256)->Arg(512)->Arg(1024);
+
+// --- dot product -----------------------------------------------------------------
+
+void BM_Dot_Serial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>("serial", nullptr,
+                                                             nullptr),
+                    n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b->dot(tea::FieldId::kU, tea::FieldId::kU0));
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Dot_Serial)->Arg(256)->Arg(1024);
+
+void BM_Dot_Threads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>(
+                        "manual-omp", &tlp::global_pool(), nullptr),
+                    n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b->dot(tea::FieldId::kU, tea::FieldId::kU0));
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Dot_Threads)->Arg(256)->Arg(1024);
+
+void BM_Dot_SimGPU(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualCudaBackend>(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b->dot(tea::FieldId::kU, tea::FieldId::kU0));
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Dot_SimGPU)->Arg(256)->Arg(512);
+
+// --- axpy / smoothing ---------------------------------------------------------------
+
+void BM_Axpy_Threads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>(
+                        "manual-omp", &tlp::global_pool(), nullptr),
+                    n);
+  for (auto _ : state) {
+    b->axpy(tea::FieldId::kU, 1e-9, tea::FieldId::kU0);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_Axpy_Threads)->Arg(256)->Arg(1024);
+
+void BM_HaloUpdate_Serial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>("serial", nullptr,
+                                                             nullptr),
+                    n);
+  for (auto _ : state) {
+    b->update_halo({tea::FieldId::kU}, 2);
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_HaloUpdate_Serial)->Arg(256)->Arg(1024);
+
+void BM_FieldSummary_Threads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>(
+                        "manual-omp", &tlp::global_pool(), nullptr),
+                    n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b->field_summary());
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_FieldSummary_Threads)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// bench_table2_systems — reproduces Table II: the single-node systems used
+// for the study, as modeled by the machine layer (plus the measured host the
+// benches actually execute on).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "machine/machine_model.hpp"
+
+int main() {
+  std::printf("== Table II — systems under test (roofline models) ==\n");
+  tl::Table table({"id", "description", "cores", "SMT", "peak BW GB/s",
+                   "peak DP GF/s", "launch us", "capacity GB"});
+  auto machines = machine::paper_machines();
+  machines.push_back(&machine::host_machine());
+  for (const machine::MachineModel* m : machines) {
+    table.add_row({m->id, m->description, std::to_string(m->cores),
+                   std::to_string(m->threads_per_core),
+                   tl::Table::num(m->peak_bw_gbs, 1),
+                   tl::Table::num(m->peak_gflops, 0),
+                   tl::Table::num(m->launch_overhead_us, 1),
+                   tl::Table::num(m->mem_capacity_gb, 0)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  return 0;
+}

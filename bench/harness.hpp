@@ -1,0 +1,79 @@
+// harness.hpp — shared machinery for the figure/table reproduction benches.
+//
+// Each bench (one binary per paper artefact) uses this to:
+//  1. run every relevant backend variant *for real* on this host at a bench
+//     mesh (default 256^2, 5 steps; TEA_BENCH_FULL=1 uses the paper's mesh
+//     and 10 steps outright),
+//  2. scale the instrumented execution counters to the paper's mesh/steps
+//     (traffic ~ cells x iterations, CG iterations ~ mesh width at fixed
+//     relative tolerance),
+//  3. project wall times on the paper's three machines through the roofline
+//     models, and
+//  4. print the paper-layout table plus the §IV shape checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/driver.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+
+namespace bench {
+
+struct HarnessOptions {
+  int paper_mesh = 1000;  // the figure's mesh edge (1000 or 4000)
+  int paper_steps = 10;
+  int bench_mesh = 256;   // host-measured mesh edge
+  int bench_steps = 5;
+  double eps = 1.0e-15;
+  int ranks = 4;
+
+  /// Read TEA_BENCH_FULL / TEA_BENCH_MESH / TEA_BENCH_STEPS overrides.
+  static HarnessOptions from_env(int paper_mesh);
+};
+
+/// One variant's measured run plus its per-machine projections.
+struct VariantTimes {
+  std::string variant;
+  tea::RunResult measured;                 // real host execution
+  double host_seconds = 0.0;
+  long projected_iterations = 0;           // at the paper mesh
+  // Parallel arrays over the machines supplied to run_variants().
+  std::vector<std::string> machines;
+  std::vector<double> seconds;             // projected wall time
+  std::vector<double> achieved_bw_gbs;
+  std::vector<double> achieved_gflops;
+};
+
+/// The paper's Fig. 1/2 variant groupings.
+std::vector<std::string> cpu_variants();
+std::vector<std::string> gpu_variants();
+
+/// Run `variants` and project onto `machines` (ids).  Skips
+/// variant/machine pairs the calibration marks unsupported.
+std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
+                                       const std::vector<std::string>& machines,
+                                       const HarnessOptions& options);
+
+/// Print the figure-style table: one row per variant, one projected-time
+/// column per machine, plus measured host time and iteration counts.
+void print_figure(const std::string& title,
+                  const std::vector<VariantTimes>& rows,
+                  const HarnessOptions& options);
+
+/// Evaluate the §IV shape claims relevant to `mesh` against the projections;
+/// prints pass/fail per claim and returns the number of failures.
+int check_shapes(const std::vector<VariantTimes>& cpu_rows,
+                 const std::vector<VariantTimes>& gpu_rows, int mesh);
+
+/// Best projected time across rows on machine `machine` (0 if absent).
+double best_time_on(const std::vector<VariantTimes>& rows,
+                    const std::string& machine);
+
+/// Look up one variant's projected time on one machine (<0 if absent).
+double time_of(const std::vector<VariantTimes>& rows,
+               const std::string& variant, const std::string& machine);
+
+}  // namespace bench

@@ -1,0 +1,70 @@
+// portability_report — runs every registered backend on the same problem,
+// measures real host times plus instrumented counters, projects each variant
+// onto the paper's three machines, and prints a live Pennycook
+// performance-portability report (the programmatic version of what
+// bench_table3_portability does for the paper's exact configuration).
+//
+//   $ ./examples/portability_report [--cells 192] [--steps 3]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+#include "machine/efficiency.hpp"
+#include "machine/roofline.hpp"
+#include "ppmetric/report.hpp"
+
+int main(int argc, char** argv) {
+  const tl::Cli cli(argc, argv);
+  const int cells = static_cast<int>(cli.get_long("cells", 192));
+  const int steps = static_cast<int>(cli.get_long("steps", 3));
+
+  tl::Config config = tl::Config::default_config();
+  config.problem().x_cells = cells;
+  config.problem().y_cells = cells;
+  config.problem().end_step = steps;
+  config.problem().eps = 1e-12;
+
+  std::printf("portability report: %dx%d, %d steps, all backends\n\n", cells,
+              cells, steps);
+
+  tl::Table measured({"backend", "host s", "iters", "GB moved", "launches",
+                      "messages", "halo exchanges"});
+  std::vector<ppm::VariantResult> projected;
+
+  for (const std::string& id : tea::available_backends()) {
+    if (id == "serial" || id == "ops-seq") continue;  // references, not ports
+    const tea::RunResult run =
+        tea::run_simulation(id, config.problem());
+    measured.add_row(
+        {id, tl::Table::num(run.wall_seconds, 3),
+         std::to_string(run.total_iterations),
+         tl::Table::num(static_cast<double>(run.counters.total_bytes()) / 1e9, 2),
+         std::to_string(run.counters.kernel_launches),
+         std::to_string(run.counters.messages),
+         std::to_string(run.counters.halo_exchanges)});
+
+    for (const machine::MachineModel* m : machine::paper_machines()) {
+      if (!machine::supported(id, *m)) continue;
+      const machine::TimeBreakdown t = machine::project_time(
+          run.counters, *m, id, run.working_set_bytes);
+      projected.push_back(ppm::VariantResult{
+          id, m->id, t.total(), t.achieved_bw_gbs(run.counters),
+          t.achieved_gflops(run.counters), m->peak_bw_gbs, m->peak_gflops});
+    }
+  }
+
+  std::printf("-- measured on this host --\n%s\n", measured.to_ascii().c_str());
+
+  const auto rows = ppm::build_table3(projected, {"xeon", "knl"}, {"p100"});
+  std::printf("-- projected performance portability (Pennycook metric) --\n%s\n",
+              ppm::render_table3(rows, {"xeon", "knl"}, {"p100"}).to_ascii().c_str());
+
+  std::printf("P(application efficiency, CPU ∪ GPU):\n");
+  for (const auto& row : rows) {
+    std::printf("  %-8s %6.2f %%\n", row.framework.c_str(),
+                100.0 * row.p_all_app);
+  }
+  return 0;
+}

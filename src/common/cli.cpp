@@ -1,0 +1,56 @@
+#include "common/cli.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace tl {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` if the next token is not itself an option; else a flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  return options_.count(key) != 0;
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key,
+                        const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+long Cli::get_long(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  return v ? parse_long(*v) : fallback;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  return v ? parse_double(*v) : fallback;
+}
+
+}  // namespace tl

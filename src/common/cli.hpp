@@ -1,0 +1,34 @@
+// cli.hpp — minimal command-line parser for the examples and bench harnesses.
+// Supports `--flag`, `--key value` and `--key=value` forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tl {
+
+class Cli {
+public:
+  Cli(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Non-option positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tl

@@ -1,0 +1,103 @@
+// config.hpp — parser for TeaLeaf's `tea.in`-style input decks.
+//
+// The original deck format is line-oriented:
+//
+//   *tea
+//   state 1 density=100.0 energy=0.0001
+//   state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+//   x_cells=1000
+//   y_cells=1000
+//   xmin=0.0  xmax=10.0  ymin=0.0  ymax=10.0
+//   initial_timestep=0.004
+//   end_step=10
+//   tl_max_iters=10000
+//   tl_use_cg
+//   tl_eps=1.0e-15
+//   *endtea
+//
+// This module parses that format into a typed ProblemConfig used by the core
+// driver, plus a generic key/value view used by tests and tooling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tl {
+
+enum class Geometry { kRectangle, kCircle, kPoint };
+enum class SolverKind { kJacobi, kCg, kCheby, kPpcg };
+enum class CoefficientKind { kRecipDensity, kDensity };
+enum class PreconKind { kNone, kJacDiag };
+
+/// One `state N ...` line: a material region painted onto the mesh.
+struct StateConfig {
+  int index = 0;             // 1-based; state 1 is the ambient default
+  double density = 0.0;
+  double energy = 0.0;
+  Geometry geometry = Geometry::kRectangle;
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;  // rectangle
+  double cx = 0.0, cy = 0.0, radius = 0.0;                // circle
+};
+
+/// Full problem description.
+struct ProblemConfig {
+  int x_cells = 10;
+  int y_cells = 10;
+  double xmin = 0.0, xmax = 10.0;
+  double ymin = 0.0, ymax = 10.0;
+
+  double initial_timestep = 0.004;
+  int end_step = 10;
+
+  SolverKind solver = SolverKind::kCg;
+  CoefficientKind coefficient = CoefficientKind::kRecipDensity;
+  PreconKind preconditioner = PreconKind::kNone;  // tl_preconditioner_type
+  double eps = 1.0e-15;
+  int max_iters = 10000;
+  int ppcg_inner_steps = 10;   // tl_ppcg_inner_steps
+  int cheby_cg_presteps = 30;  // CG steps used to estimate eigenvalue bounds
+  bool check_result = true;
+  int halo_depth = 2;
+
+  std::vector<StateConfig> states;
+
+  double dx() const { return (xmax - xmin) / x_cells; }
+  double dy() const { return (ymax - ymin) / y_cells; }
+};
+
+class Config {
+public:
+  /// Parse deck text (contents of a tea.in file).  Throws ConfigError on
+  /// malformed input.
+  static Config parse(const std::string& text);
+
+  /// Parse a deck from disk.
+  static Config load(const std::string& path);
+
+  /// A reasonable default problem (TeaLeaf's shipped tea.in: two-state
+  /// rectangle problem, CG solver).
+  static Config default_config();
+
+  const ProblemConfig& problem() const { return problem_; }
+  ProblemConfig& problem() { return problem_; }
+
+  /// Raw key access for keys the typed layer does not know about.
+  std::optional<std::string> raw(const std::string& key) const;
+
+private:
+  Config() = default;
+  ProblemConfig problem_;
+  std::map<std::string, std::string> raw_;
+};
+
+/// Round-trip helper: render a ProblemConfig back into deck text.
+std::string to_deck(const ProblemConfig& p);
+
+const char* to_string(SolverKind s);
+const char* to_string(Geometry g);
+const char* to_string(CoefficientKind c);
+const char* to_string(PreconKind p);
+
+}  // namespace tl

@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+namespace tl {
+
+namespace {
+LogLevel level_from_env() {
+  const char* env = std::getenv("TEA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v = to_lower(env);
+  if (v == "error" || v == "0") return LogLevel::kError;
+  if (v == "warn" || v == "1") return LogLevel::kWarn;
+  if (v == "info" || v == "2") return LogLevel::kInfo;
+  if (v == "debug" || v == "3") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kWarn: return "[warn ]";
+    case LogLevel::kInfo: return "[info ]";
+    case LogLevel::kDebug: return "[debug]";
+  }
+  return "[?]";
+}
+}  // namespace
+
+Logger::Logger() : level_(level_from_env()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = stream_ != nullptr ? *stream_ : std::cerr;
+  os << level_tag(level) << " " << message << "\n";
+}
+
+}  // namespace tl

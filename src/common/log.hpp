@@ -1,0 +1,66 @@
+// log.hpp — leveled logger.  TeaLeaf historically writes a `tea.out` report;
+// we log to stderr (configurable stream) with a level gate controlled
+// programmatically or by the TEA_LOG_LEVEL environment variable.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tl {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+public:
+  /// Global logger singleton.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirect output (tests capture into a stringstream).  Pass nullptr to
+  /// restore stderr.
+  void set_stream(std::ostream* os) { stream_ = os; }
+
+  void log(LogLevel level, const std::string& message);
+
+private:
+  Logger();
+  std::mutex mutex_;
+  LogLevel level_;
+  std::ostream* stream_ = nullptr;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  Logger::instance().log(LogLevel::kError,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  Logger::instance().log(LogLevel::kWarn,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  Logger::instance().log(LogLevel::kInfo,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  Logger::instance().log(LogLevel::kDebug,
+                         detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace tl

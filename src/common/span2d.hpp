@@ -1,0 +1,58 @@
+// span2d.hpp — non-owning 2D view over a contiguous row-major buffer, the
+// lingua franca between the TeaLeaf kernels and every programming-model
+// substrate.  Indexing is (j = row/y, i = column/x) with x contiguous, which
+// matches the Fortran-heritage layout of the original mini-app after
+// transposition to C order.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace tl {
+
+template <typename T>
+class Span2D {
+public:
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span2D() noexcept : data_(nullptr), nx_(0), ny_(0) {}
+
+  /// Wrap `data` as an ny-by-nx view; `data` must point at nx*ny elements.
+  constexpr Span2D(T* data, int nx, int ny) noexcept
+      : data_(data), nx_(nx), ny_(ny) {}
+
+  constexpr T& operator()(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(j) * nx_ + i];
+  }
+
+  /// Bounds-checked access, for tests and debug paths.
+  T& at(int i, int j) const {
+    TL_REQUIRE(i >= 0 && i < nx_ && j >= 0 && j < ny_,
+               "Span2D index (" + std::to_string(i) + "," + std::to_string(j) +
+                   ") out of range " + std::to_string(nx_) + "x" +
+                   std::to_string(ny_));
+    return (*this)(i, j);
+  }
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr int nx() const noexcept { return nx_; }
+  constexpr int ny() const noexcept { return ny_; }
+  constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  }
+  constexpr bool empty() const noexcept { return size() == 0; }
+
+  /// Implicit const-qualification, mirroring std::span semantics.
+  constexpr operator Span2D<const T>() const noexcept {
+    return Span2D<const T>(data_, nx_, ny_);
+  }
+
+private:
+  T* data_;
+  int nx_;
+  int ny_;
+};
+
+}  // namespace tl

@@ -1,0 +1,105 @@
+#include "common/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace tl {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      std::string_view tok = s.substr(start, i - start);
+      if (keep_empty || !tok.empty()) out.emplace_back(tok);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool iequals(std::string_view s, std::string_view expected) {
+  if (s.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(expected[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  // std::from_chars<double> exists in GCC 12 but strtod handles Fortran-style
+  // exponents ("1.0d-15" is normalised by the config layer before reaching
+  // here); keep strtod for locale-free full-string validation.
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str() || *end != '\0') {
+    throw ConfigError("cannot parse '" + t + "' as a real number");
+  }
+  return v;
+}
+
+long parse_long(std::string_view s) {
+  const std::string t = trim(s);
+  long v = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc{} || ptr != t.data() + t.size()) {
+    throw ConfigError("cannot parse '" + t + "' as an integer");
+  }
+  return v;
+}
+
+bool parse_bool(std::string_view s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "1" || t == "true" || t == "on" || t == "yes") return true;
+  if (t == "0" || t == "false" || t == "off" || t == "no") return false;
+  throw ConfigError("cannot parse '" + t + "' as a boolean");
+}
+
+}  // namespace tl

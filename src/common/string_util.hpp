@@ -1,0 +1,34 @@
+// string_util.hpp — small string helpers used by the config and CLI parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl {
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Split on a delimiter, dropping empty tokens when `keep_empty` is false.
+std::vector<std::string> split(std::string_view s, char delim,
+                               bool keep_empty = false);
+
+/// Split on arbitrary whitespace runs.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` equals `expected` ignoring ASCII case.
+bool iequals(std::string_view s, std::string_view expected);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse helpers that throw tl::ConfigError with the offending text.
+double parse_double(std::string_view s);
+long parse_long(std::string_view s);
+bool parse_bool(std::string_view s);
+
+}  // namespace tl

@@ -1,0 +1,97 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tl {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TL_REQUIRE(!headers_.empty(), "table needs at least one column");
+  widths_.reserve(headers_.size());
+  for (const auto& h : headers_) widths_.push_back(h.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TL_REQUIRE(cells.size() == headers_.size(),
+             "row width " + std::to_string(cells.size()) +
+                 " != header width " + std::to_string(headers_.size()));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    widths_[i] = std::max(widths_[i], cells[i].size());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : widths_) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i] << std::string(widths_[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i] << std::string(widths_[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  line(headers_);
+  os << '|';
+  for (const auto w : widths_) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  const auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += '"';
+    return out;
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << esc(cells[i]);
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+}  // namespace tl

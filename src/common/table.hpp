@@ -1,0 +1,33 @@
+// table.hpp — ASCII / Markdown / CSV table rendering for the benchmark
+// harnesses (the Fig. 1/2 and Table III generators print through this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tl {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  std::string to_ascii() const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace tl

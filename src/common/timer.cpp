@@ -1,0 +1,48 @@
+#include "common/timer.hpp"
+
+#include <sstream>
+
+namespace tl {
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  e.total += seconds;
+  e.count += 1;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+long TimerRegistry::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::string> TimerRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+void TimerRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string TimerRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : entries_) {
+    os << name << ": " << entry.total << " s (" << entry.count << " calls)\n";
+  }
+  return os.str();
+}
+
+}  // namespace tl

@@ -1,0 +1,40 @@
+#include "common/vtk.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tl {
+
+void write_vtk(const std::string& path, int nx, int ny, double dx, double dy,
+               const std::vector<VtkField>& fields) {
+  TL_REQUIRE(nx > 0 && ny > 0, "vtk dimensions must be positive");
+  const std::size_t cells = static_cast<std::size_t>(nx) * ny;
+  for (const VtkField& f : fields) {
+    TL_REQUIRE(f.values.size() == cells,
+               "vtk field '" + f.name + "' has wrong size");
+  }
+
+  std::ofstream os(path);
+  TL_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  os << "# vtk DataFile Version 3.0\n";
+  os << "tealeaf-portability field dump\n";
+  os << "ASCII\n";
+  os << "DATASET STRUCTURED_POINTS\n";
+  // Cell-centred data over an (nx+1)x(ny+1) point lattice.
+  os << "DIMENSIONS " << nx + 1 << " " << ny + 1 << " 1\n";
+  os << "ORIGIN 0 0 0\n";
+  os << "SPACING " << dx << " " << dy << " 1\n";
+  os << "CELL_DATA " << cells << "\n";
+  os.precision(12);
+  for (const VtkField& f : fields) {
+    os << "SCALARS " << f.name << " double 1\n";
+    os << "LOOKUP_TABLE default\n";
+    for (std::size_t k = 0; k < cells; ++k) {
+      os << f.values[k] << "\n";
+    }
+  }
+  TL_REQUIRE(os.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace tl

@@ -1,0 +1,23 @@
+// vtk.hpp — legacy-VTK structured-points writer for field visualisation
+// (TeaLeaf's visit_frequency output).  Plain ASCII, loadable by ParaView and
+// VisIt.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tl {
+
+struct VtkField {
+  std::string name;
+  std::span<const double> values;  // nx*ny cell values, row-major
+};
+
+/// Write an nx-by-ny cell-centred dataset with spacing (dx, dy) and the
+/// given cell-data fields.  Throws tl::Error if the file cannot be written
+/// or a field size mismatches.
+void write_vtk(const std::string& path, int nx, int ny, double dx, double dy,
+               const std::vector<VtkField>& fields);
+
+}  // namespace tl

@@ -1,0 +1,97 @@
+// field_store.hpp — host-side field storage shared by the manual CPU
+// backends: one aligned slab holding all TeaLeaf fields with halo padding,
+// plus the rank partition geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+#include "core/field.hpp"
+
+namespace tea {
+
+/// Lightweight cell view: origin points at local cell (0,0), negative
+/// indices reach into the halo.
+struct CellView {
+  double* origin = nullptr;
+  int stride = 0;
+
+  double& operator()(int i, int j) const {
+    return origin[static_cast<std::ptrdiff_t>(j) * stride + i];
+  }
+};
+
+struct ConstCellView {
+  const double* origin = nullptr;
+  int stride = 0;
+
+  double operator()(int i, int j) const {
+    return origin[static_cast<std::ptrdiff_t>(j) * stride + i];
+  }
+};
+
+/// Partition geometry: this rank owns global cells
+/// [x0, x0+nx) x [y0, y0+ny) of a gnx x gny interior.
+struct PartitionGeom {
+  int x0 = 0, y0 = 0;
+  int nx = 0, ny = 0;
+  int gnx = 0, gny = 0;
+  int halo = 2;
+
+  bool at_xlo() const { return x0 == 0; }
+  bool at_xhi() const { return x0 + nx == gnx; }
+  bool at_ylo() const { return y0 == 0; }
+  bool at_yhi() const { return y0 + ny == gny; }
+  int padded_nx() const { return nx + 2 * halo; }
+  int padded_ny() const { return ny + 2 * halo; }
+  std::int64_t padded_cells() const {
+    return static_cast<std::int64_t>(padded_nx()) * padded_ny();
+  }
+  std::int64_t cells() const {
+    return static_cast<std::int64_t>(nx) * ny;
+  }
+};
+
+class FieldStore {
+public:
+  explicit FieldStore(const PartitionGeom& geom)
+      : geom_(geom),
+        slab_(static_cast<std::size_t>(kNumFields) * geom.padded_cells(),
+              0.0) {}
+
+  const PartitionGeom& geom() const { return geom_; }
+
+  CellView view(FieldId f) {
+    return CellView{base(f) + offset_to_origin(), geom_.padded_nx()};
+  }
+  ConstCellView cview(FieldId f) const {
+    return ConstCellView{base(f) + offset_to_origin(), geom_.padded_nx()};
+  }
+
+  /// Raw padded pointer for pack/upload paths.
+  double* padded(FieldId f) { return base(f); }
+  const double* padded(FieldId f) const { return base(f); }
+
+  std::int64_t working_set_bytes() const {
+    return static_cast<std::int64_t>(slab_.size()) * 8;
+  }
+
+private:
+  double* base(FieldId f) {
+    return slab_.data() +
+           static_cast<std::size_t>(f) * static_cast<std::size_t>(geom_.padded_cells());
+  }
+  const double* base(FieldId f) const {
+    return slab_.data() +
+           static_cast<std::size_t>(f) * static_cast<std::size_t>(geom_.padded_cells());
+  }
+  std::ptrdiff_t offset_to_origin() const {
+    return static_cast<std::ptrdiff_t>(geom_.halo) * geom_.padded_nx() +
+           geom_.halo;
+  }
+
+  PartitionGeom geom_;
+  tl::AlignedBuffer<double> slab_;
+};
+
+}  // namespace tea

@@ -1,0 +1,424 @@
+#include "core/backends/manual_host.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "core/backends/ref_kernels.hpp"
+#include "core/halo.hpp"
+#include "core/problem.hpp"
+#include "machine/instrumentation.hpp"
+
+namespace tea {
+
+namespace {
+machine::Instrumentation& instr() { return machine::Instrumentation::global(); }
+}  // namespace
+
+ManualHostBackend::ManualHostBackend(std::string id, tlp::ThreadPool* pool,
+                                     minimpi::Comm* comm)
+    : id_(std::move(id)), pool_(pool), comm_(comm) {
+  if (comm_ != nullptr) {
+    cart_ = std::make_unique<minimpi::Cart2D>(*comm_);
+  }
+}
+
+void ManualHostBackend::setup(const tl::ProblemConfig& cfg) {
+  PartitionGeom geom;
+  geom.gnx = cfg.x_cells;
+  geom.gny = cfg.y_cells;
+  geom.halo = cfg.halo_depth;
+  if (cart_ != nullptr) {
+    const auto [cx, cy] = cart_->coords();
+    const auto [x0, x1] = minimpi::block_range(geom.gnx, cart_->px(), cx);
+    const auto [y0, y1] = minimpi::block_range(geom.gny, cart_->py(), cy);
+    geom.x0 = x0;
+    geom.y0 = y0;
+    geom.nx = x1 - x0;
+    geom.ny = y1 - y0;
+  } else {
+    geom.nx = geom.gnx;
+    geom.ny = geom.gny;
+  }
+  store_ = std::make_unique<FieldStore>(geom);
+
+  const StateSampler sampler(cfg);
+  cell_volume_ = sampler.cell_volume();
+  CellView density = store_->view(FieldId::kDensity);
+  CellView energy0 = store_->view(FieldId::kEnergy0);
+  CellView energy1 = store_->view(FieldId::kEnergy1);
+  // Paint owned cells (global indexing through the sampler keeps all
+  // variants bit-identical); halos come from the first update_halo.
+  for (int j = 0; j < geom.ny; ++j) {
+    for (int i = 0; i < geom.nx; ++i) {
+      const int gi = geom.x0 + i;
+      const int gj = geom.y0 + j;
+      density(i, j) = sampler.density_at(gi, gj);
+      energy0(i, j) = sampler.energy_at(gi, gj);
+      energy1(i, j) = energy0(i, j);
+    }
+  }
+  update_halo({FieldId::kDensity, FieldId::kEnergy0, FieldId::kEnergy1},
+              geom.halo);
+}
+
+template <typename RowFn>
+void ManualHostBackend::rows(const RowFn& fn) {
+  const int ny = geom().ny;
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, ny, [&](long lo, long hi) {
+      fn(static_cast<int>(lo), static_cast<int>(hi));
+    });
+  } else {
+    fn(0, ny);
+  }
+}
+
+template <typename MapFn>
+double ManualHostBackend::reduce_rows(const MapFn& fn) {
+  const int ny = geom().ny;
+  double local = 0.0;
+  if (pool_ != nullptr) {
+    local = pool_->parallel_reduce<double>(
+        0, ny, 0.0,
+        [&](long lo, long hi) {
+          return fn(static_cast<int>(lo), static_cast<int>(hi));
+        },
+        [](double a, double b) { return a + b; });
+  } else {
+    local = fn(0, ny);
+  }
+  if (comm_ != nullptr) {
+    local = comm_->allreduce(local, minimpi::ReduceOp::kSum);
+  }
+  return local;
+}
+
+namespace {
+/// Charge one kernel's footprint: local traffic always (per-rank sums give
+/// the global bytes), dispatch counted once per logical kernel.
+void charge_kernel(const PartitionGeom& g, const ref::KernelCost& c,
+                   minimpi::Comm* comm, bool is_reduction = false) {
+  const std::int64_t cells = g.cells();
+  instr().add_traffic(cells * 8 * c.reads, cells * 8 * c.writes,
+                      cells * c.flops);
+  if (comm == nullptr || comm->rank() == 0) {
+    instr().add_launch();
+    if (is_reduction) instr().add_reduction();
+  }
+}
+}  // namespace
+
+void ManualHostBackend::compute_coefficients(tl::CoefficientKind kind) {
+  // Row-split of the (ny+1)-row face loop; ref kernel handles a row band.
+  ConstCellView density = store_->cview(FieldId::kDensity);
+  CellView kx = store_->view(FieldId::kKx);
+  CellView ky = store_->view(FieldId::kKy);
+  const int nx = geom().nx;
+  const int ny = geom().ny;
+  const auto band = [&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i <= nx; ++i) {
+        const double wc = ref::conduction(density(i, j), kind);
+        if (j < ny) {
+          const double wl = ref::conduction(density(i - 1, j), kind);
+          kx(i, j) = (wl + wc) / (2.0 * wl * wc);
+        }
+        if (i < nx) {
+          const double wd = ref::conduction(density(i, j - 1), kind);
+          ky(i, j) = (wd + wc) / (2.0 * wd * wc);
+        }
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, ny + 1, [&](long lo, long hi) {
+      band(static_cast<int>(lo), static_cast<int>(hi));
+    });
+  } else {
+    band(0, ny + 1);
+  }
+  charge_kernel(geom(), ref::kCostCoefficients, comm_);
+}
+
+void ManualHostBackend::init_u_u0() {
+  ConstCellView density = store_->cview(FieldId::kDensity);
+  ConstCellView energy = store_->cview(FieldId::kEnergy1);
+  CellView u = store_->view(FieldId::kU);
+  CellView u0 = store_->view(FieldId::kU0);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double v = energy(i, j) * density(i, j);
+        u(i, j) = v;
+        u0(i, j) = v;
+      }
+    }
+  });
+  charge_kernel(geom(), ref::kCostInitU, comm_);
+}
+
+void ManualHostBackend::apply_operator(FieldId in, FieldId out) {
+  ConstCellView vin = store_->cview(in);
+  CellView vout = store_->view(out);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        vout(i, j) = ref::apply_operator_at(vin, kx, ky, rx_, ry_, i, j);
+      }
+    }
+  });
+  charge_kernel(geom(), ref::kCostOperator, comm_);
+}
+
+void ManualHostBackend::compute_residual() {
+  ConstCellView u = store_->cview(FieldId::kU);
+  ConstCellView u0 = store_->cview(FieldId::kU0);
+  CellView r = store_->view(FieldId::kR);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        r(i, j) = u0(i, j) - ref::apply_operator_at(u, kx, ky, rx_, ry_, i, j);
+      }
+    }
+  });
+  charge_kernel(geom(), ref::kCostResidual, comm_);
+}
+
+void ManualHostBackend::copy_field(FieldId src, FieldId dst) {
+  ConstCellView s = store_->cview(src);
+  CellView d = store_->view(dst);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) d(i, j) = s(i, j);
+    }
+  });
+  charge_kernel(geom(), ref::kCostCopy, comm_);
+}
+
+void ManualHostBackend::scale_copy(FieldId dst, FieldId src, double sc) {
+  ConstCellView s = store_->cview(src);
+  CellView d = store_->view(dst);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) d(i, j) = sc * s(i, j);
+    }
+  });
+  charge_kernel(geom(), ref::kCostScaleCopy, comm_);
+}
+
+double ManualHostBackend::dot(FieldId a, FieldId b) {
+  ConstCellView va = store_->cview(a);
+  ConstCellView vb = store_->cview(b);
+  const int nx = geom().nx;
+  const double result = reduce_rows([&](int j0, int j1) {
+    double acc = 0.0;
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) acc += va(i, j) * vb(i, j);
+    }
+    return acc;
+  });
+  charge_kernel(geom(), ref::kCostDot, comm_, /*is_reduction=*/true);
+  return result;
+}
+
+void ManualHostBackend::axpy(FieldId y, double a, FieldId x) {
+  CellView vy = store_->view(y);
+  ConstCellView vx = store_->cview(x);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) vy(i, j) += a * vx(i, j);
+    }
+  });
+  charge_kernel(geom(), ref::kCostAxpy, comm_);
+}
+
+void ManualHostBackend::zaxpy(FieldId p, double beta, FieldId z) {
+  CellView vp = store_->view(p);
+  ConstCellView vz = store_->cview(z);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) vp(i, j) = vz(i, j) + beta * vp(i, j);
+    }
+  });
+  charge_kernel(geom(), ref::kCostZaxpy, comm_);
+}
+
+void ManualHostBackend::precondition(FieldId dst, FieldId src) {
+  CellView d = store_->view(dst);
+  ConstCellView s = store_->cview(src);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double diag = 1.0 + rx_ * (kx(i + 1, j) + kx(i, j)) +
+                            ry_ * (ky(i, j + 1) + ky(i, j));
+        d(i, j) = s(i, j) / diag;
+      }
+    }
+  });
+  charge_kernel(geom(), ref::kCostOperator, comm_);
+}
+
+void ManualHostBackend::smooth_update(FieldId acc, FieldId res, FieldId w,
+                                      FieldId sd, double alpha, double beta) {
+  CellView vacc = store_->view(acc);
+  CellView vres = store_->view(res);
+  ConstCellView vw = store_->cview(w);
+  CellView vsd = store_->view(sd);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        vacc(i, j) += vsd(i, j);
+        vres(i, j) -= vw(i, j);
+        vsd(i, j) = alpha * vsd(i, j) + beta * vres(i, j);
+      }
+    }
+  });
+  charge_kernel(geom(), ref::kCostSmooth, comm_);
+}
+
+double ManualHostBackend::jacobi_iterate() {
+  // Sweep from u (whose halo the solver just refreshed) into w, then commit
+  // w back to u; avoids ever reading a stale scratch halo.
+  ConstCellView uold = store_->cview(FieldId::kU);
+  ConstCellView u0 = store_->cview(FieldId::kU0);
+  CellView w = store_->view(FieldId::kW);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  const int nx = geom().nx;
+  const double err = reduce_rows([&](int j0, int j1) {
+    double band_err = 0.0;
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double diag = 1.0 + rx_ * (kx(i + 1, j) + kx(i, j)) +
+                            ry_ * (ky(i, j + 1) + ky(i, j));
+        const double off = rx_ * (kx(i + 1, j) * uold(i + 1, j) +
+                                  kx(i, j) * uold(i - 1, j)) +
+                           ry_ * (ky(i, j + 1) * uold(i, j + 1) +
+                                  ky(i, j) * uold(i, j - 1));
+        const double unew = (u0(i, j) + off) / diag;
+        w(i, j) = unew;
+        band_err += std::fabs(unew - uold(i, j));
+      }
+    }
+    return band_err;
+  });
+  copy_field(FieldId::kW, FieldId::kU);
+  charge_kernel(geom(), ref::kCostJacobi, comm_, /*is_reduction=*/true);
+  return err;
+}
+
+FieldSummary ManualHostBackend::field_summary() {
+  ConstCellView density = store_->cview(FieldId::kDensity);
+  ConstCellView energy = store_->cview(FieldId::kEnergy0);
+  ConstCellView u = store_->cview(FieldId::kU);
+  const int nx = geom().nx;
+  const double vol_cell = cell_volume_;
+
+  // Four simultaneous reductions, folded through one pass.
+  struct Quad {
+    double vol, mass, ie, temp;
+  };
+  const int ny = geom().ny;
+  std::vector<Quad> partials;
+  FieldSummary s;
+  const auto band = [&](int j0, int j1) {
+    Quad q{0, 0, 0, 0};
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        q.vol += vol_cell;
+        q.mass += density(i, j) * vol_cell;
+        q.ie += density(i, j) * energy(i, j) * vol_cell;
+        q.temp += u(i, j) * vol_cell;
+      }
+    }
+    return q;
+  };
+  if (pool_ != nullptr) {
+    // Reduce each component via the pool's deterministic combine.
+    Quad total{0, 0, 0, 0};
+    std::mutex m;
+    pool_->parallel_for(0, ny, [&](long lo, long hi) {
+      const Quad q = band(static_cast<int>(lo), static_cast<int>(hi));
+      std::lock_guard<std::mutex> lock(m);
+      total.vol += q.vol;
+      total.mass += q.mass;
+      total.ie += q.ie;
+      total.temp += q.temp;
+    });
+    s = FieldSummary{total.vol, total.mass, total.ie, total.temp};
+  } else {
+    const Quad q = band(0, ny);
+    s = FieldSummary{q.vol, q.mass, q.ie, q.temp};
+  }
+  if (comm_ != nullptr) {
+    double vals[4] = {s.vol, s.mass, s.ie, s.temp};
+    comm_->allreduce(std::span<double>(vals), minimpi::ReduceOp::kSum);
+    s = FieldSummary{vals[0], vals[1], vals[2], vals[3]};
+  }
+  charge_kernel(geom(), ref::kCostSummary, comm_, /*is_reduction=*/true);
+  return s;
+}
+
+void ManualHostBackend::update_halo(std::initializer_list<FieldId> fields,
+                                    int depth) {
+  for (const FieldId f : fields) {
+    exchange_and_reflect(store_->view(f), geom(), comm_, cart_.get(), depth);
+  }
+}
+
+void ManualHostBackend::finalise() {
+  ConstCellView u = store_->cview(FieldId::kU);
+  ConstCellView density = store_->cview(FieldId::kDensity);
+  CellView energy = store_->view(FieldId::kEnergy1);
+  const int nx = geom().nx;
+  rows([&](int j0, int j1) {
+    for (int j = j0; j < j1; ++j) {
+      for (int i = 0; i < nx; ++i) energy(i, j) = u(i, j) / density(i, j);
+    }
+  });
+  charge_kernel(geom(), ref::kCostFinalise, comm_);
+}
+
+tea::Backend::LocalExtent ManualHostBackend::local_extent() const {
+  const PartitionGeom& g = geom();
+  return LocalExtent{g.x0, g.y0, g.nx, g.ny, g.gnx, g.gny};
+}
+
+void ManualHostBackend::read_field(FieldId f, std::span<double> out) {
+  const PartitionGeom& g = geom();
+  TL_REQUIRE(out.size() >= static_cast<std::size_t>(g.cells()),
+             "read_field buffer too small");
+  ConstCellView v = store_->cview(f);
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) {
+      out[static_cast<std::size_t>(j) * g.nx + i] = v(i, j);
+    }
+  }
+}
+
+std::int64_t ManualHostBackend::working_set_bytes() const {
+  std::int64_t local = store_->working_set_bytes();
+  // Global working set: all ranks' slabs.
+  if (comm_ != nullptr) {
+    local = static_cast<std::int64_t>(local) * comm_->size();
+  }
+  return local;
+}
+
+}  // namespace tea

@@ -1,0 +1,76 @@
+// manual_host.hpp — the hand-parallelised CPU TeaLeaf variants.
+//
+// One class covers the paper's four manual CPU builds through its
+// construction parameters, keeping the parallelisation mechanics explicit:
+//   serial         : no pool, no comm   — the reference implementation
+//   manual-omp     : tlp pool           — OpenMP-style row work-sharing
+//   manual-mpi     : minimpi comm       — block decomposition + halo exchange
+//   manual-hybrid  : comm + per-rank pool
+// Kernels delegate the per-row math to ref_kernels (exactly what the Fortran
+// OpenMP port does around its loop pragmas); distribution adds halo
+// exchanges and allreduced reductions.
+#pragma once
+
+#include <memory>
+
+#include "core/backend.hpp"
+#include "core/backends/field_store.hpp"
+#include "minimpi/cart.hpp"
+#include "minimpi/comm.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace tea {
+
+class ManualHostBackend final : public Backend {
+public:
+  /// `pool` may be null (serial rows); `comm` may be null (undecomposed).
+  /// The backend does not own either.
+  ManualHostBackend(std::string id, tlp::ThreadPool* pool,
+                    minimpi::Comm* comm);
+
+  std::string id() const override { return id_; }
+  void setup(const tl::ProblemConfig& cfg) override;
+
+  void compute_coefficients(tl::CoefficientKind kind) override;
+  void init_u_u0() override;
+  void apply_operator(FieldId in, FieldId out) override;
+  void compute_residual() override;
+  void copy_field(FieldId src, FieldId dst) override;
+  void scale_copy(FieldId dst, FieldId src, double s) override;
+  double dot(FieldId a, FieldId b) override;
+  void axpy(FieldId y, double a, FieldId x) override;
+  void zaxpy(FieldId p, double beta, FieldId z) override;
+  void precondition(FieldId dst, FieldId src) override;
+  void smooth_update(FieldId acc, FieldId res, FieldId w, FieldId sd,
+                     double alpha, double beta) override;
+  double jacobi_iterate() override;
+  FieldSummary field_summary() override;
+  void update_halo(std::initializer_list<FieldId> fields, int depth) override;
+  void finalise() override;
+  std::int64_t working_set_bytes() const override;
+  bool counts_globally() const override {
+    return comm_ == nullptr || comm_->rank() == 0;
+  }
+  LocalExtent local_extent() const override;
+  void read_field(FieldId f, std::span<double> out) override;
+
+  const PartitionGeom& geom() const { return store_->geom(); }
+  FieldStore& store() { return *store_; }
+
+private:
+  /// Work-share rows [0, ny) over the pool (or run inline when serial).
+  template <typename RowFn>
+  void rows(const RowFn& fn);
+  /// Row-wise mapped reduction returning the comm-wide combined value.
+  template <typename MapFn>
+  double reduce_rows(const MapFn& fn);
+
+  std::string id_;
+  tlp::ThreadPool* pool_;
+  minimpi::Comm* comm_;
+  std::unique_ptr<minimpi::Cart2D> cart_;
+  std::unique_ptr<FieldStore> store_;
+  double cell_volume_ = 0.0;
+};
+
+}  // namespace tea

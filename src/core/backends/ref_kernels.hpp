@@ -1,0 +1,226 @@
+// ref_kernels.hpp — the serial reference implementation of every TeaLeaf
+// kernel, over CellViews.  This is the golden math: the serial backend uses
+// these directly, the tests compare every other backend against them, and
+// the per-kernel flop/byte footprints the instrumentation charges are
+// documented here next to the loops that incur them.
+//
+// Operator (matrix-free 5-point, SPD):
+//   (A u)(i,j) = (1 + rx (Kx(i+1,j)+Kx(i,j)) + ry (Ky(i,j+1)+Ky(i,j))) u(i,j)
+//              -  rx (Kx(i+1,j) u(i+1,j) + Kx(i,j) u(i-1,j))
+//              -  ry (Ky(i,j+1) u(i,j+1) + Ky(i,j) u(i,j-1))
+// with rx = dt/dx^2, ry = dt/dy^2.  Kx(i,j) is the face between cells
+// (i-1,j) and (i,j).  Reflective halos make the boundary fluxes vanish
+// (Neumann), so A is symmetric positive definite.
+#pragma once
+
+#include <cmath>
+
+#include "common/config.hpp"
+#include "core/backends/field_store.hpp"
+#include "core/field.hpp"
+
+namespace tea::ref {
+
+/// Per-kernel cost table (per interior cell): reads, writes, flops.  Shared
+/// by every backend's traffic charging so variants are compared on the same
+/// footprint accounting a DRAM-side profiler would use.
+struct KernelCost {
+  int reads;
+  int writes;
+  int flops;
+};
+inline constexpr KernelCost kCostCoefficients{1, 2, 6};
+inline constexpr KernelCost kCostInitU{2, 2, 1};
+inline constexpr KernelCost kCostOperator{4, 1, 13};  // u, kx, ky (+reuse), w
+inline constexpr KernelCost kCostResidual{5, 1, 14};
+inline constexpr KernelCost kCostCopy{1, 1, 0};
+inline constexpr KernelCost kCostScaleCopy{1, 1, 1};
+inline constexpr KernelCost kCostDot{2, 0, 2};
+inline constexpr KernelCost kCostAxpy{2, 1, 2};
+inline constexpr KernelCost kCostZaxpy{2, 1, 2};
+inline constexpr KernelCost kCostSmooth{4, 3, 6};
+inline constexpr KernelCost kCostJacobi{7, 2, 16};
+inline constexpr KernelCost kCostSummary{3, 0, 8};
+inline constexpr KernelCost kCostFinalise{2, 1, 1};
+
+/// Conduction coefficient of one cell from its density.
+inline double conduction(double density, tl::CoefficientKind kind) {
+  return kind == tl::CoefficientKind::kRecipDensity ? 1.0 / density : density;
+}
+
+/// Face coefficients from cell densities (TeaLeaf tea_leaf_common formula:
+/// Kface = (w_a + w_b) / (2 w_a w_b) of the two adjacent cell coefficients).
+inline void compute_coefficients(ConstCellView density, CellView kx,
+                                 CellView ky, int nx, int ny,
+                                 tl::CoefficientKind kind) {
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      const double wc = conduction(density(i, j), kind);
+      if (j < ny) {
+        const double wl = conduction(density(i - 1, j), kind);
+        kx(i, j) = (wl + wc) / (2.0 * wl * wc);
+      }
+      if (i < nx) {
+        const double wd = conduction(density(i, j - 1), kind);
+        ky(i, j) = (wd + wc) / (2.0 * wd * wc);
+      }
+    }
+  }
+}
+
+inline void init_u_u0(ConstCellView density, ConstCellView energy, CellView u,
+                      CellView u0, int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double v = energy(i, j) * density(i, j);
+      u(i, j) = v;
+      u0(i, j) = v;
+    }
+  }
+}
+
+inline double apply_operator_at(ConstCellView in, ConstCellView kx,
+                                ConstCellView ky, double rx, double ry, int i,
+                                int j) {
+  const double diag =
+      1.0 + rx * (kx(i + 1, j) + kx(i, j)) + ry * (ky(i, j + 1) + ky(i, j));
+  return diag * in(i, j) -
+         rx * (kx(i + 1, j) * in(i + 1, j) + kx(i, j) * in(i - 1, j)) -
+         ry * (ky(i, j + 1) * in(i, j + 1) + ky(i, j) * in(i, j - 1));
+}
+
+inline void apply_operator(ConstCellView in, CellView out, ConstCellView kx,
+                           ConstCellView ky, double rx, double ry, int nx,
+                           int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      out(i, j) = apply_operator_at(in, kx, ky, rx, ry, i, j);
+    }
+  }
+}
+
+inline void compute_residual(ConstCellView u, ConstCellView u0, CellView r,
+                             ConstCellView kx, ConstCellView ky, double rx,
+                             double ry, int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      r(i, j) = u0(i, j) - apply_operator_at(u, kx, ky, rx, ry, i, j);
+    }
+  }
+}
+
+inline void copy_field(ConstCellView src, CellView dst, int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) dst(i, j) = src(i, j);
+  }
+}
+
+inline void scale_copy(CellView dst, ConstCellView src, double s, int nx,
+                       int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) dst(i, j) = s * src(i, j);
+  }
+}
+
+inline double dot(ConstCellView a, ConstCellView b, int nx, int ny) {
+  double acc = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) acc += a(i, j) * b(i, j);
+  }
+  return acc;
+}
+
+inline void axpy(CellView y, double a, ConstCellView x, int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) y(i, j) += a * x(i, j);
+  }
+}
+
+inline void zaxpy(CellView p, double beta, ConstCellView z, int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) p(i, j) = z(i, j) + beta * p(i, j);
+  }
+}
+
+inline void smooth_update(CellView acc, CellView res, ConstCellView w,
+                          CellView sd, double alpha, double beta, int nx,
+                          int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      acc(i, j) += sd(i, j);
+      res(i, j) -= w(i, j);
+      sd(i, j) = alpha * sd(i, j) + beta * res(i, j);
+    }
+  }
+}
+
+/// One Jacobi sweep: u_old must be in `uold`; writes u.  Returns sum|du|.
+inline double jacobi_sweep(ConstCellView uold, ConstCellView u0, CellView u,
+                           ConstCellView kx, ConstCellView ky, double rx,
+                           double ry, int nx, int ny) {
+  double err = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double diag = 1.0 + rx * (kx(i + 1, j) + kx(i, j)) +
+                          ry * (ky(i, j + 1) + ky(i, j));
+      const double off =
+          rx * (kx(i + 1, j) * uold(i + 1, j) + kx(i, j) * uold(i - 1, j)) +
+          ry * (ky(i, j + 1) * uold(i, j + 1) + ky(i, j) * uold(i, j - 1));
+      const double unew = (u0(i, j) + off) / diag;
+      u(i, j) = unew;
+      err += std::fabs(unew - uold(i, j));
+    }
+  }
+  return err;
+}
+
+inline FieldSummary field_summary(ConstCellView density, ConstCellView energy,
+                                  ConstCellView u, double cell_volume, int nx,
+                                  int ny) {
+  FieldSummary s;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double vol = cell_volume;
+      s.vol += vol;
+      s.mass += density(i, j) * vol;
+      s.ie += density(i, j) * energy(i, j) * vol;
+      s.temp += u(i, j) * vol;
+    }
+  }
+  return s;
+}
+
+inline void finalise(ConstCellView u, ConstCellView density, CellView energy,
+                     int nx, int ny) {
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) energy(i, j) = u(i, j) / density(i, j);
+  }
+}
+
+/// Reflective (mirror) fill of `depth` halo layers on the flagged physical
+/// edges; the y pass covers the x halo so corners stay consistent.
+inline void reflect_halo(CellView f, int nx, int ny, int depth, bool at_xlo,
+                         bool at_xhi, bool at_ylo, bool at_yhi) {
+  if (at_xlo) {
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < depth; ++k) f(-1 - k, j) = f(k, j);
+    }
+  }
+  if (at_xhi) {
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < depth; ++k) f(nx + k, j) = f(nx - 1 - k, j);
+    }
+  }
+  if (at_ylo) {
+    for (int k = 0; k < depth; ++k) {
+      for (int i = -depth; i < nx + depth; ++i) f(i, -1 - k) = f(i, k);
+    }
+  }
+  if (at_yhi) {
+    for (int k = 0; k < depth; ++k) {
+      for (int i = -depth; i < nx + depth; ++i) f(i, ny + k) = f(i, ny - 1 - k);
+    }
+  }
+}
+
+}  // namespace tea::ref

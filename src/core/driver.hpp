@@ -1,0 +1,58 @@
+// driver.hpp — the TeaLeaf time-marching driver: for each step, rebuild
+// conduction coefficients, form u0 from energy*density, run the configured
+// implicit solver, convert the temperature back to energy, and report the
+// conserved-quantity summary.  One driver instance serves every backend; the
+// distributed variants run it SPMD (one instance per rank).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/backend.hpp"
+#include "core/solvers/solver.hpp"
+#include "machine/instrumentation.hpp"
+
+namespace tea {
+
+struct StepResult {
+  int step = 0;
+  double dt = 0.0;
+  SolveStats solve;
+  FieldSummary summary;
+};
+
+struct RunResult {
+  std::string backend_id;
+  std::vector<StepResult> steps;
+  FieldSummary final_summary;
+  double wall_seconds = 0.0;
+  long total_iterations = 0;
+  std::int64_t working_set_bytes = 0;
+  /// Instrumentation delta over the timed region (the "nvprof/VTune view").
+  machine::Counters counters;
+
+  bool all_converged() const {
+    for (const StepResult& s : steps) {
+      if (!s.solve.converged) return false;
+    }
+    return !steps.empty();
+  }
+};
+
+class TeaDriver {
+public:
+  explicit TeaDriver(tl::ProblemConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Set up `backend` and march cfg.end_step steps.  Counter deltas cover
+  /// the time-marching loop only (setup/painting is excluded, like the
+  /// paper's timed region, which starts after initialisation).
+  RunResult run(Backend& backend) const;
+
+  const tl::ProblemConfig& config() const { return cfg_; }
+
+private:
+  tl::ProblemConfig cfg_;
+};
+
+}  // namespace tea

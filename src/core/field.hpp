@@ -1,0 +1,46 @@
+// field.hpp — the TeaLeaf field set.  Every backend owns storage for these
+// thirteen fields (density, two energies, solution/RHS, solver work vectors
+// and the face-centred conduction coefficients), padded by the halo depth.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace tea {
+
+enum class FieldId : int {
+  kDensity = 0,
+  kEnergy0,   // committed energy (state between steps)
+  kEnergy1,   // working energy within a step
+  kU,         // temperature (solution vector)
+  kU0,        // right-hand side (u at step start)
+  kR,         // residual
+  kP,         // CG search direction
+  kW,         // operator application scratch (w = A p)
+  kZ,         // preconditioned residual / PPCG inner solution
+  kSd,        // Chebyshev / PPCG smoothing direction
+  kKx,        // x-face conduction coefficient
+  kKy,        // y-face conduction coefficient
+  kRInner,    // PPCG inner residual
+  kCount,
+};
+
+inline constexpr int kNumFields = static_cast<int>(FieldId::kCount);
+
+constexpr std::string_view field_name(FieldId f) {
+  constexpr std::array<std::string_view, kNumFields> names = {
+      "density", "energy0", "energy1", "u",  "u0", "r",       "p",
+      "w",       "z",       "sd",      "kx", "ky", "r_inner"};
+  return names[static_cast<int>(f)];
+}
+
+/// TeaLeaf's conserved-quantity summary, reduced over the mesh interior.
+/// `temp` is the volume-weighted temperature sum the original reports.
+struct FieldSummary {
+  double vol = 0.0;
+  double mass = 0.0;
+  double ie = 0.0;
+  double temp = 0.0;
+};
+
+}  // namespace tea

@@ -1,0 +1,117 @@
+#include "core/halo.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/backends/ref_kernels.hpp"
+#include "machine/instrumentation.hpp"
+
+namespace tea {
+
+namespace {
+constexpr minimpi::Tag kTagToLeft = 4001;
+constexpr minimpi::Tag kTagToRight = 4002;
+constexpr minimpi::Tag kTagToDown = 4003;
+constexpr minimpi::Tag kTagToUp = 4004;
+}  // namespace
+
+void exchange_and_reflect(CellView f, const PartitionGeom& geom,
+                          minimpi::Comm* comm, const minimpi::Cart2D* cart,
+                          int depth) {
+  TL_REQUIRE(depth <= geom.halo, "exchange depth exceeds halo depth");
+  const int nx = geom.nx;
+  const int ny = geom.ny;
+
+  if (comm != nullptr) {
+    TL_REQUIRE(cart != nullptr, "distributed exchange needs a topology");
+    const std::size_t x_msg = static_cast<std::size_t>(depth) * ny;
+    std::vector<double> buf(x_msg);
+    std::vector<double> in(x_msg);
+
+    // X phase: boundary interior columns <-> side halos.
+    if (cart->left() != minimpi::kProcNull) {
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth; ++k) {
+          buf[static_cast<std::size_t>(j) * depth + k] = f(k, j);
+        }
+      }
+      comm->send(std::span<const double>(buf), cart->left(), kTagToLeft);
+    }
+    if (cart->right() != minimpi::kProcNull) {
+      comm->recv(std::span<double>(in), cart->right(), kTagToLeft);
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth; ++k) {
+          f(nx + k, j) = in[static_cast<std::size_t>(j) * depth + k];
+        }
+      }
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth; ++k) {
+          buf[static_cast<std::size_t>(j) * depth + k] = f(nx - depth + k, j);
+        }
+      }
+      comm->send(std::span<const double>(buf), cart->right(), kTagToRight);
+    }
+    if (cart->left() != minimpi::kProcNull) {
+      comm->recv(std::span<double>(in), cart->left(), kTagToRight);
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth; ++k) {
+          f(-depth + k, j) = in[static_cast<std::size_t>(j) * depth + k];
+        }
+      }
+    }
+
+    // Y phase, rows spanning the x halo so corners propagate.
+    const int row_lo = -depth;
+    const int row_w = nx + 2 * depth;
+    const std::size_t y_msg = static_cast<std::size_t>(depth) * row_w;
+    buf.resize(y_msg);
+    in.resize(y_msg);
+    if (cart->down() != minimpi::kProcNull) {
+      for (int k = 0; k < depth; ++k) {
+        for (int i = 0; i < row_w; ++i) {
+          buf[static_cast<std::size_t>(k) * row_w + i] = f(row_lo + i, k);
+        }
+      }
+      comm->send(std::span<const double>(buf), cart->down(), kTagToDown);
+    }
+    if (cart->up() != minimpi::kProcNull) {
+      comm->recv(std::span<double>(in), cart->up(), kTagToDown);
+      for (int k = 0; k < depth; ++k) {
+        for (int i = 0; i < row_w; ++i) {
+          f(row_lo + i, ny + k) = in[static_cast<std::size_t>(k) * row_w + i];
+        }
+      }
+      for (int k = 0; k < depth; ++k) {
+        for (int i = 0; i < row_w; ++i) {
+          buf[static_cast<std::size_t>(k) * row_w + i] =
+              f(row_lo + i, ny - depth + k);
+        }
+      }
+      comm->send(std::span<const double>(buf), cart->up(), kTagToUp);
+    }
+    if (cart->down() != minimpi::kProcNull) {
+      comm->recv(std::span<double>(in), cart->down(), kTagToUp);
+      for (int k = 0; k < depth; ++k) {
+        for (int i = 0; i < row_w; ++i) {
+          f(row_lo + i, -depth + k) = in[static_cast<std::size_t>(k) * row_w + i];
+        }
+      }
+    }
+
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(2 * (x_msg + y_msg)) * sizeof(double);
+    machine::Instrumentation::global().add_traffic(bytes, bytes, 0);
+  }
+
+  const bool xlo = cart == nullptr || cart->left() == minimpi::kProcNull;
+  const bool xhi = cart == nullptr || cart->right() == minimpi::kProcNull;
+  const bool ylo = cart == nullptr || cart->down() == minimpi::kProcNull;
+  const bool yhi = cart == nullptr || cart->up() == minimpi::kProcNull;
+  ref::reflect_halo(f, nx, ny, depth, xlo, xhi, ylo, yhi);
+
+  if (comm == nullptr || comm->rank() == 0) {
+    machine::Instrumentation::global().add_halo_exchange();
+  }
+}
+
+}  // namespace tea

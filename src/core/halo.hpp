@@ -1,0 +1,21 @@
+// halo.hpp — host-side halo maintenance shared by the manual CPU backends:
+// internal edge exchange over minimpi plus reflective physical boundaries.
+// (miniops has its own Dat-based implementation; device backends reflect with
+// kernels.)
+#pragma once
+
+#include "core/backends/field_store.hpp"
+#include "minimpi/cart.hpp"
+#include "minimpi/comm.hpp"
+
+namespace tea {
+
+/// Exchange `depth` halo layers of `f` with Cartesian neighbours (when `comm`
+/// is non-null) and mirror-fill the physical edges of the partition.
+/// Collective across the communicator: every rank must call it in the same
+/// order with the same depth.
+void exchange_and_reflect(CellView f, const PartitionGeom& geom,
+                          minimpi::Comm* comm, const minimpi::Cart2D* cart,
+                          int depth);
+
+}  // namespace tea

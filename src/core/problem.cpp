@@ -1,0 +1,49 @@
+#include "core/problem.hpp"
+
+#include <cmath>
+
+namespace tea {
+
+StateSampler::StateSampler(const tl::ProblemConfig& cfg)
+    : cfg_(cfg), dx_(cfg.dx()), dy_(cfg.dy()) {}
+
+StateSampler::Cell StateSampler::sample(int i, int j) const {
+  // Cell centre in physical coordinates.
+  const double cx = cfg_.xmin + (i + 0.5) * dx_;
+  const double cy = cfg_.ymin + (j + 0.5) * dy_;
+
+  Cell cell{0.0, 0.0};
+  bool have_default = false;
+  for (const tl::StateConfig& st : cfg_.states) {
+    if (st.index == 1) {
+      // State 1 is the ambient material everywhere.
+      cell = Cell{st.density, st.energy};
+      have_default = true;
+      continue;
+    }
+    bool inside = false;
+    switch (st.geometry) {
+      case tl::Geometry::kRectangle:
+        inside = cx >= st.xmin && cx < st.xmax && cy >= st.ymin && cy < st.ymax;
+        break;
+      case tl::Geometry::kCircle: {
+        const double ddx = cx - st.cx;
+        const double ddy = cy - st.cy;
+        inside = std::sqrt(ddx * ddx + ddy * ddy) <= st.radius;
+        break;
+      }
+      case tl::Geometry::kPoint:
+        inside = st.cx >= cx - 0.5 * dx_ && st.cx < cx + 0.5 * dx_ &&
+                 st.cy >= cy - 0.5 * dy_ && st.cy < cy + 0.5 * dy_;
+        break;
+    }
+    if (inside) cell = Cell{st.density, st.energy};
+  }
+  (void)have_default;  // state 1 presence is validated at parse time
+  return cell;
+}
+
+double StateSampler::density_at(int i, int j) const { return sample(i, j).density; }
+double StateSampler::energy_at(int i, int j) const { return sample(i, j).energy; }
+
+}  // namespace tea

@@ -1,0 +1,39 @@
+// problem.hpp — problem geometry and the deterministic material sampler that
+// turns a deck's `state` lines into per-cell density/energy.  Every backend,
+// regardless of decomposition, queries the sampler with *global* cell indices
+// so initial conditions are bit-identical across all seventeen variants.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace tea {
+
+/// Samples the material state of a global cell (i, j) in [0,x_cells) x
+/// [0,y_cells).  States are applied in order; later states overwrite earlier
+/// ones where their geometry covers the cell centre, matching TeaLeaf's
+/// set_chunk_state.
+class StateSampler {
+public:
+  explicit StateSampler(const tl::ProblemConfig& cfg);
+
+  double density_at(int i, int j) const;
+  double energy_at(int i, int j) const;
+
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  /// Cell volume (uniform mesh).
+  double cell_volume() const { return dx_ * dy_; }
+
+private:
+  struct Cell {
+    double density;
+    double energy;
+  };
+  Cell sample(int i, int j) const;
+
+  const tl::ProblemConfig& cfg_;
+  double dx_;
+  double dy_;
+};
+
+}  // namespace tea

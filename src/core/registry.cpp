@@ -1,0 +1,183 @@
+#include "core/registry.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/backends/kokkos_backend.hpp"
+#include "core/backends/manual_acc.hpp"
+#include "core/backends/manual_cuda.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/backends/ops_backend.hpp"
+#include "core/backends/raja_backend.hpp"
+#include "minimpi/comm.hpp"
+#include "simgpu/device.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace tea {
+
+std::vector<std::string> available_backends() {
+  return {
+      "serial",
+      "manual-omp", "manual-mpi", "manual-hybrid", "manual-cuda",
+      "manual-acc-cpu", "manual-acc-gpu",
+      "ops-seq", "ops-omp", "ops-mpi", "ops-hybrid", "ops-tiled",
+      "ops-cuda", "ops-acc",
+      "kokkos-omp", "kokkos-cuda",
+      "raja-omp", "raja-cuda",
+  };
+}
+
+bool backend_is_distributed(const std::string& id) {
+  return id == "manual-mpi" || id == "manual-hybrid" || id == "ops-mpi" ||
+         id == "ops-hybrid" || id == "ops-tiled";
+}
+
+bool backend_is_gpu(const std::string& id) {
+  return id == "manual-cuda" || id == "manual-acc-gpu" || id == "ops-cuda" ||
+         id == "ops-acc" || id == "kokkos-cuda" || id == "raja-cuda";
+}
+
+namespace {
+
+/// Build a non-distributed backend.  `pool` is the caller-owned host pool for
+/// threaded variants.
+std::unique_ptr<Backend> make_shared_memory_backend(const std::string& id,
+                                                    tlp::ThreadPool* pool,
+                                                    const RunOptions& opts) {
+  if (id == "serial") {
+    return std::make_unique<ManualHostBackend>("serial", nullptr, nullptr);
+  }
+  if (id == "manual-omp") {
+    return std::make_unique<ManualHostBackend>("manual-omp", pool, nullptr);
+  }
+  if (id == "manual-cuda") {
+    simgpu::default_device().set_block_size(opts.gpu_block_x, opts.gpu_block_y);
+    return std::make_unique<ManualCudaBackend>();
+  }
+  if (id == "manual-acc-cpu") {
+    return std::make_unique<ManualAccBackend>(miniacc::Target::kHost);
+  }
+  if (id == "manual-acc-gpu") {
+    simgpu::default_device().set_block_size(opts.gpu_block_x, opts.gpu_block_y);
+    return std::make_unique<ManualAccBackend>(miniacc::Target::kDevice);
+  }
+  if (id == "ops-seq") {
+    return std::make_unique<OpsBackend>("ops-seq", ops::ContextOptions{});
+  }
+  if (id == "ops-omp") {
+    ops::ContextOptions o;
+    o.use_pool = true;
+    o.pool = pool;
+    return std::make_unique<OpsBackend>("ops-omp", o);
+  }
+  if (id == "ops-cuda" || id == "ops-acc") {
+    simgpu::default_device().set_block_size(opts.gpu_block_x, opts.gpu_block_y);
+    ops::ContextOptions o;
+    o.device = &simgpu::default_device();
+    return std::make_unique<OpsBackend>(id, o);
+  }
+  if (id == "kokkos-omp") {
+    return std::make_unique<KokkosBackend<kk::Threads>>("kokkos-omp");
+  }
+  if (id == "kokkos-cuda") {
+    simgpu::default_device().set_block_size(opts.gpu_block_x, opts.gpu_block_y);
+    return std::make_unique<KokkosBackend<kk::SimGPU>>("kokkos-cuda");
+  }
+  if (id == "raja-omp") {
+    return std::make_unique<RajaBackend<raja::omp_parallel_for_exec>>(
+        "raja-omp");
+  }
+  if (id == "raja-cuda") {
+    simgpu::default_device().set_block_size(opts.gpu_block_x, opts.gpu_block_y);
+    return std::make_unique<RajaBackend<raja::simgpu_exec>>("raja-cuda");
+  }
+  throw tl::Error("unknown backend id '" + id + "'");
+}
+
+/// Build a rank-local backend for the distributed variants.
+std::unique_ptr<Backend> make_rank_backend(const std::string& id,
+                                           minimpi::Comm& comm,
+                                           tlp::ThreadPool* rank_pool,
+                                           const RunOptions& opts) {
+  if (id == "manual-mpi") {
+    return std::make_unique<ManualHostBackend>("manual-mpi", nullptr, &comm);
+  }
+  if (id == "manual-hybrid") {
+    return std::make_unique<ManualHostBackend>("manual-hybrid", rank_pool,
+                                               &comm);
+  }
+  if (id == "ops-mpi") {
+    ops::ContextOptions o;
+    o.comm = &comm;
+    return std::make_unique<OpsBackend>("ops-mpi", o);
+  }
+  if (id == "ops-hybrid") {
+    ops::ContextOptions o;
+    o.comm = &comm;
+    o.use_pool = true;
+    o.pool = rank_pool;
+    return std::make_unique<OpsBackend>("ops-hybrid", o);
+  }
+  if (id == "ops-tiled") {
+    ops::ContextOptions o;
+    o.comm = &comm;
+    o.tiled = true;
+    o.tile = opts.tile;
+    return std::make_unique<OpsBackend>("ops-tiled", o);
+  }
+  throw tl::Error("unknown distributed backend id '" + id + "'");
+}
+
+}  // namespace
+
+RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
+                         const RunOptions& options) {
+  const TeaDriver driver(cfg);
+
+  if (!backend_is_distributed(id)) {
+    std::unique_ptr<tlp::ThreadPool> own_pool;
+    tlp::ThreadPool* pool = nullptr;
+    const bool threaded =
+        id == "manual-omp" || id == "ops-omp";
+    if (threaded) {
+      if (options.threads > 0) {
+        own_pool = std::make_unique<tlp::ThreadPool>(options.threads);
+        pool = own_pool.get();
+      } else {
+        pool = &tlp::global_pool();
+      }
+    }
+    const auto backend = make_shared_memory_backend(id, pool, options);
+    return driver.run(*backend);
+  }
+
+  // Distributed: one backend per rank, SPMD driver, rank 0's result wins.
+  const int ranks = std::max(1, options.ranks);
+  int per_rank_threads = options.hybrid_threads;
+  if (per_rank_threads <= 0) {
+    const int budget =
+        options.threads > 0 ? options.threads : tlp::default_threads();
+    per_rank_threads = std::max(1, budget / ranks);
+  }
+  const bool hybrid = id == "manual-hybrid" || id == "ops-hybrid";
+
+  RunResult result;
+  std::mutex result_mutex;
+  minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+    std::unique_ptr<tlp::ThreadPool> rank_pool;
+    if (hybrid) {
+      rank_pool = std::make_unique<tlp::ThreadPool>(per_rank_threads);
+    }
+    const auto backend =
+        make_rank_backend(id, comm, rank_pool.get(), options);
+    RunResult rank_result = driver.run(*backend);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result = std::move(rank_result);
+    }
+  });
+  return result;
+}
+
+}  // namespace tea

@@ -1,0 +1,45 @@
+// registry.hpp — backend construction and the one-call simulation entry
+// point.  Maps the paper's Table I version names onto our implementations
+// (see DESIGN.md for the full correspondence) and hides the SPMD plumbing the
+// distributed variants need.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "miniops/context.hpp"
+
+namespace tea {
+
+struct RunOptions {
+  // Host threading (0 = tlp default: TL_NUM_THREADS or hardware).
+  int threads = 0;
+  // Rank count for the distributed variants.
+  int ranks = 4;
+  // Per-rank threads for the hybrid variants (0 = split `threads` evenly).
+  int hybrid_threads = 0;
+  // OPS cache-blocking tiling configuration (ops-tiled).
+  ops::TileConfig tile;
+  // GPU thread-block shape (the paper tunes OPS CUDA to 64x8).
+  int gpu_block_x = 64;
+  int gpu_block_y = 8;
+};
+
+/// All registered backend ids: the paper's sixteen variants plus the serial
+/// reference and the ops-seq debugging build.
+std::vector<std::string> available_backends();
+
+/// True for variants that decompose over minimpi ranks.
+bool backend_is_distributed(const std::string& id);
+/// True for variants that execute on the simulated GPU.
+bool backend_is_gpu(const std::string& id);
+
+/// Run the full TeaLeaf time-marching simulation for `id` on `cfg`.
+/// Handles SPMD world creation for distributed variants; returns rank 0's
+/// result (identical on all ranks up to reduction determinism).
+RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
+                         const RunOptions& options = {});
+
+}  // namespace tea

@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.hpp"
+#include "common/vtk.hpp"
+
+namespace tea {
+
+void write_report(const RunResult& result, const tl::ProblemConfig& cfg,
+                  std::ostream& os) {
+  os << "Tea (reproduction) report\n";
+  os << "=========================\n\n";
+  os << "backend            " << result.backend_id << "\n";
+  os << "mesh               " << cfg.x_cells << " x " << cfg.y_cells << "\n";
+  os << "domain             [" << cfg.xmin << "," << cfg.xmax << "] x ["
+     << cfg.ymin << "," << cfg.ymax << "]\n";
+  os << "solver             " << tl::to_string(cfg.solver)
+     << " (eps " << cfg.eps << ", max " << cfg.max_iters << " iters)\n";
+  os << "preconditioner     " << tl::to_string(cfg.preconditioner) << "\n";
+  os << "coefficient        " << tl::to_string(cfg.coefficient) << "\n";
+  os << "timestep           " << cfg.initial_timestep << " x "
+     << cfg.end_step << " steps\n";
+  os << "states             " << cfg.states.size() << "\n\n";
+
+  os << " step        volume          mass            ie            temp"
+     << "      iters  converged\n";
+  os << std::scientific << std::setprecision(6);
+  for (const StepResult& s : result.steps) {
+    os << std::setw(5) << s.step << "  " << std::setw(13) << s.summary.vol
+       << "  " << std::setw(13) << s.summary.mass << "  " << std::setw(13)
+       << s.summary.ie << "  " << std::setw(13) << s.summary.temp << "  "
+       << std::setw(8) << s.solve.iterations << "  "
+       << (s.solve.converged ? "yes" : "NO") << "\n";
+  }
+
+  os << std::defaultfloat << "\n";
+  os << "wall clock         " << result.wall_seconds << " s\n";
+  os << "total iterations   " << result.total_iterations << "\n";
+  os << "DRAM traffic       "
+     << static_cast<double>(result.counters.total_bytes()) / 1e9 << " GB\n";
+  os << "flops              "
+     << static_cast<double>(result.counters.flops) / 1e9 << " Gflop\n";
+  os << "kernel launches    " << result.counters.kernel_launches << "\n";
+  os << "reductions         " << result.counters.reductions << "\n";
+  os << "halo exchanges     " << result.counters.halo_exchanges << "\n";
+  os << "messages           " << result.counters.messages << "\n";
+  os << "working set        "
+     << static_cast<double>(result.working_set_bytes) / 1e6 << " MB\n";
+}
+
+void write_report(const RunResult& result, const tl::ProblemConfig& cfg,
+                  const std::string& path) {
+  std::ofstream os(path);
+  TL_REQUIRE(os.good(), "cannot open report file '" + path + "'");
+  write_report(result, cfg, os);
+}
+
+void write_vtk_snapshot(Backend& backend, double dx, double dy,
+                        const std::string& path) {
+  const Backend::LocalExtent ext = backend.local_extent();
+  TL_REQUIRE(ext.nx == ext.gnx && ext.ny == ext.gny,
+             "VTK snapshots need a backend that owns the whole mesh");
+  const std::size_t cells = static_cast<std::size_t>(ext.nx) * ext.ny;
+  std::vector<double> density(cells), energy(cells), u(cells);
+  backend.read_field(FieldId::kDensity, density);
+  backend.read_field(FieldId::kEnergy0, energy);
+  backend.read_field(FieldId::kU, u);
+  tl::write_vtk(path, ext.nx, ext.ny, dx, dy,
+                {{"density", density}, {"energy", energy}, {"temperature", u}});
+}
+
+}  // namespace tea

@@ -1,0 +1,28 @@
+// report.hpp — TeaLeaf-style run reports: the `tea.out`-like text summary
+// the original mini-app writes, plus VTK snapshots of the solution fields.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/backend.hpp"
+#include "core/driver.hpp"
+
+namespace tea {
+
+/// Write a tea.out-style report: configuration echo, per-step summary table,
+/// timing and instrumentation totals.
+void write_report(const RunResult& result, const tl::ProblemConfig& cfg,
+                  std::ostream& os);
+
+/// Convenience overload writing to a file path.
+void write_report(const RunResult& result, const tl::ProblemConfig& cfg,
+                  const std::string& path);
+
+/// Dump density / energy / temperature of a (shared-memory) backend to a
+/// legacy VTK file for ParaView/VisIt (the visit_frequency output).  The
+/// backend must own the full mesh (local extent == global extent).
+void write_vtk_snapshot(Backend& backend, double dx, double dy,
+                        const std::string& path);
+
+}  // namespace tea

@@ -1,0 +1,96 @@
+#include "core/solvers/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tea {
+
+namespace {
+
+/// Number of eigenvalues of the tridiagonal strictly less than x (Sturm
+/// sequence / LDL^T inertia count).
+int count_below(std::span<const double> d, std::span<const double> e,
+                double x) {
+  int count = 0;
+  double q = 1.0;
+  const std::size_t n = d.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ek1 = k == 0 ? 0.0 : e[k - 1];
+    if (q == 0.0) {
+      // Standard guard: treat an exact zero pivot as a tiny value.
+      q = 1e-300;
+    }
+    q = d[k] - x - ek1 * ek1 / q;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+double bisect_for_count(std::span<const double> d, std::span<const double> e,
+                        int target_count, double lo, double hi) {
+  // Smallest x such that count_below(x) >= target_count.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-13 * std::max(1.0, std::fabs(hi));
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (count_below(d, e, mid) >= target_count) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+EigenBounds tridiag_eigen_bounds(std::span<const double> diag,
+                                 std::span<const double> offdiag) {
+  TL_REQUIRE(!diag.empty(), "eigen bounds of empty matrix");
+  TL_REQUIRE(offdiag.size() + 1 == diag.size() || diag.size() == 1,
+             "offdiag size must be diag size - 1");
+
+  // Gershgorin interval.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const std::size_t n = diag.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double r = (k > 0 ? std::fabs(offdiag[k - 1]) : 0.0) +
+                     (k + 1 < n ? std::fabs(offdiag[k]) : 0.0);
+    lo = std::min(lo, diag[k] - r);
+    hi = std::max(hi, diag[k] + r);
+  }
+  if (n == 1) return EigenBounds{diag[0], diag[0]};
+
+  EigenBounds b;
+  b.lambda_min = bisect_for_count(diag, offdiag, 1, lo, hi);
+  b.lambda_max = bisect_for_count(diag, offdiag, static_cast<int>(n), lo, hi);
+  return b;
+}
+
+EigenBounds bounds_from_cg_scalars(std::span<const double> alphas,
+                                   std::span<const double> betas) {
+  TL_REQUIRE(!alphas.empty(), "need at least one CG step for eigen bounds");
+  const std::size_t n = alphas.size();
+  std::vector<double> diag(n);
+  std::vector<double> offdiag(n > 0 ? n - 1 : 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    diag[k] = 1.0 / alphas[k];
+    if (k > 0) diag[k] += betas[k - 1] / alphas[k - 1];
+    if (k + 1 < n) offdiag[k] = std::sqrt(std::max(0.0, betas[k])) / alphas[k];
+  }
+  EigenBounds b = tridiag_eigen_bounds(diag, offdiag);
+  // TeaLeaf-style safety factors so the Chebyshev ellipse encloses the true
+  // spectrum even with a rough Lanczos estimate.
+  b.lambda_min *= 0.95;
+  b.lambda_max *= 1.05;
+  // The operator is I + (SPD) so its spectrum sits above 1; clamp against
+  // degenerate estimates from very few presteps.
+  b.lambda_min = std::max(b.lambda_min, 0.5);
+  b.lambda_max = std::max(b.lambda_max, b.lambda_min * (1.0 + 1e-12));
+  return b;
+}
+
+}  // namespace tea

@@ -1,0 +1,32 @@
+// eigen.hpp — eigenvalue bounds of the symmetric tridiagonal (Lanczos) matrix
+// assembled from CG step scalars.  TeaLeaf's Chebyshev and PPCG solvers need
+// [lambda_min, lambda_max] of the operator; running a few CG iterations and
+// taking the extremal eigenvalues of the associated tridiagonal is the
+// standard estimation TeaLeaf performs (tl_cheby_cg_presteps).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tea {
+
+struct EigenBounds {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+};
+
+/// Extremal eigenvalues of the symmetric tridiagonal matrix with diagonal
+/// `diag` and off-diagonal `offdiag` (size diag.size()-1), via Sturm-sequence
+/// bisection.  Throws tl::Error on empty input.
+EigenBounds tridiag_eigen_bounds(std::span<const double> diag,
+                                 std::span<const double> offdiag);
+
+/// Assemble the Lanczos tridiagonal from CG's step scalars:
+///   T(k,k)   = 1/alpha_k + beta_{k-1}/alpha_{k-1}
+///   T(k,k+1) = sqrt(beta_k)/alpha_k
+/// and return safety-factored bounds (TeaLeaf widens by ~5% to keep the
+/// Chebyshev ellipse enclosing the spectrum).
+EigenBounds bounds_from_cg_scalars(std::span<const double> alphas,
+                                   std::span<const double> betas);
+
+}  // namespace tea

@@ -1,0 +1,55 @@
+// solver.hpp — the generic TeaLeaf solvers (Jacobi, CG, Chebyshev, PPCG),
+// written once against the Backend kernel interface.  Convergence is judged
+// on the squared-residual reduction rrn <= eps * rr0, matching TeaLeaf's
+// tl_eps semantics on its `error` variable.
+#pragma once
+
+#include "common/config.hpp"
+#include "core/backend.hpp"
+
+namespace tea {
+
+struct SolveOptions {
+  double eps = 1.0e-15;
+  int max_iters = 10000;
+  int ppcg_inner_steps = 10;
+  int cheby_cg_presteps = 30;
+  // Chebyshev convergence is only probed every this many iterations (a dot
+  // product costs a global sync the smoothing loop otherwise avoids).
+  int cheby_check_freq = 10;
+  // Jacobi-diagonal preconditioning for the CG path
+  // (tl_preconditioner_type=jac_diag).
+  tl::PreconKind preconditioner = tl::PreconKind::kNone;
+
+  static SolveOptions from(const tl::ProblemConfig& cfg) {
+    SolveOptions o;
+    o.eps = cfg.eps;
+    o.max_iters = cfg.max_iters;
+    o.ppcg_inner_steps = cfg.ppcg_inner_steps;
+    o.cheby_cg_presteps = cfg.cheby_cg_presteps;
+    o.preconditioner = cfg.preconditioner;
+    return o;
+  }
+};
+
+struct SolveStats {
+  tl::SolverKind solver = tl::SolverKind::kCg;
+  int iterations = 0;        // outer iterations (incl. any CG presteps)
+  long inner_iterations = 0; // PPCG smoothing steps in total
+  double initial_rr = 0.0;   // ||r0||^2
+  double final_rr = 0.0;     // ||r||^2 at exit
+  bool converged = false;
+};
+
+/// Solve A u = u0 in-place through `backend`'s kernels.  The backend must be
+/// set up, with coefficients computed and rx/ry set for the current step.
+SolveStats solve(Backend& backend, tl::SolverKind kind,
+                 const SolveOptions& options);
+
+// Individual entry points (used directly by tests and the ablation bench).
+SolveStats solve_jacobi(Backend& backend, const SolveOptions& options);
+SolveStats solve_cg(Backend& backend, const SolveOptions& options);
+SolveStats solve_cheby(Backend& backend, const SolveOptions& options);
+SolveStats solve_ppcg(Backend& backend, const SolveOptions& options);
+
+}  // namespace tea

@@ -1,0 +1,279 @@
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/solvers/eigen.hpp"
+#include "core/solvers/solver.hpp"
+
+namespace tea {
+
+namespace {
+
+constexpr FieldId kU = FieldId::kU;
+constexpr FieldId kR = FieldId::kR;
+constexpr FieldId kP = FieldId::kP;
+constexpr FieldId kW = FieldId::kW;
+constexpr FieldId kZ = FieldId::kZ;
+constexpr FieldId kSd = FieldId::kSd;
+constexpr FieldId kRInner = FieldId::kRInner;
+
+/// Shared CG iteration loop.  Runs at most `iters` iterations from the
+/// current (u, r, p, rro) state; optionally records step scalars for the
+/// Lanczos eigenvalue estimate.  Returns the updated rro.
+double cg_iterations(Backend& b, int iters, double eps_rr, double rr0,
+                     SolveStats& stats, std::vector<double>* alphas,
+                     std::vector<double>* betas) {
+  double rro = stats.final_rr;
+  for (int it = 0; it < iters; ++it) {
+    b.update_halo({kP}, 1);
+    b.apply_operator(kP, kW);
+    const double pw = b.dot(kP, kW);
+    if (pw == 0.0) {  // direction annihilated: already converged (or breakdown)
+      stats.converged = rro <= eps_rr * rr0;
+      break;
+    }
+    const double alpha = rro / pw;
+    b.axpy(kU, alpha, kP);
+    b.axpy(kR, -alpha, kW);
+    const double rrn = b.dot(kR, kR);
+    ++stats.iterations;
+    stats.final_rr = rrn;
+    if (alphas != nullptr) alphas->push_back(alpha);
+    if (betas != nullptr) betas->push_back(rrn / rro);
+    if (rrn <= eps_rr * rr0) {
+      stats.converged = true;
+      rro = rrn;
+      break;
+    }
+    const double beta = rrn / rro;
+    b.zaxpy(kP, beta, kR);
+    rro = rrn;
+  }
+  return rro;
+}
+
+/// Common start: residual from the current u, plus its squared norm.
+double init_residual(Backend& b) {
+  b.update_halo({kU}, 1);
+  b.compute_residual();
+  return b.dot(kR, kR);
+}
+
+/// Chebyshev iteration coefficients for spectrum [mn, mx].
+struct ChebyCoeffs {
+  double theta, delta, sigma;
+};
+ChebyCoeffs cheby_coeffs(const EigenBounds& eb) {
+  ChebyCoeffs c;
+  c.theta = 0.5 * (eb.lambda_max + eb.lambda_min);
+  c.delta = 0.5 * (eb.lambda_max - eb.lambda_min);
+  if (c.delta <= 0.0) c.delta = 1e-12 * c.theta;
+  c.sigma = c.theta / c.delta;
+  return c;
+}
+
+}  // namespace
+
+SolveStats solve_cg(Backend& b, const SolveOptions& o) {
+  SolveStats stats;
+  stats.solver = tl::SolverKind::kCg;
+  const double rr0 = init_residual(b);
+  stats.initial_rr = rr0;
+  stats.final_rr = rr0;
+  if (rr0 == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+  if (o.preconditioner == tl::PreconKind::kJacDiag) {
+    // Preconditioned CG: z = M^-1 r with M = diag(A); convergence is still
+    // judged on the true residual so eps means the same thing in both paths.
+    b.precondition(kZ, kR);
+    b.copy_field(kZ, kP);
+    double rz = b.dot(kR, kZ);
+    for (int it = 0; it < o.max_iters; ++it) {
+      b.update_halo({kP}, 1);
+      b.apply_operator(kP, kW);
+      const double pw = b.dot(kP, kW);
+      if (pw == 0.0) break;
+      const double alpha = rz / pw;
+      b.axpy(kU, alpha, kP);
+      b.axpy(kR, -alpha, kW);
+      ++stats.iterations;
+      const double rrn = b.dot(kR, kR);
+      stats.final_rr = rrn;
+      if (rrn <= o.eps * rr0) {
+        stats.converged = true;
+        break;
+      }
+      b.precondition(kZ, kR);
+      const double rz_new = b.dot(kR, kZ);
+      b.zaxpy(kP, rz_new / rz, kZ);
+      rz = rz_new;
+    }
+    return stats;
+  }
+  b.copy_field(kR, kP);
+  cg_iterations(b, o.max_iters, o.eps, rr0, stats, nullptr, nullptr);
+  return stats;
+}
+
+SolveStats solve_jacobi(Backend& b, const SolveOptions& o) {
+  SolveStats stats;
+  stats.solver = tl::SolverKind::kJacobi;
+  const double rr0 = init_residual(b);
+  stats.initial_rr = rr0;
+  stats.final_rr = rr0;
+  if (rr0 == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+  // TeaLeaf's Jacobi converges on the sweep-to-sweep |du| sum; we additionally
+  // confirm with the true residual (same eps semantics as the Krylov paths)
+  // every 20 sweeps so the stats are comparable.
+  for (int it = 0; it < o.max_iters; ++it) {
+    b.update_halo({kU}, 1);
+    (void)b.jacobi_iterate();
+    ++stats.iterations;
+    if ((it + 1) % 20 == 0 || it + 1 == o.max_iters) {
+      b.update_halo({kU}, 1);
+      b.compute_residual();
+      const double rrn = b.dot(kR, kR);
+      stats.final_rr = rrn;
+      if (rrn <= o.eps * rr0) {
+        stats.converged = true;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+SolveStats solve_cheby(Backend& b, const SolveOptions& o) {
+  SolveStats stats;
+  stats.solver = tl::SolverKind::kCheby;
+  const double rr0 = init_residual(b);
+  stats.initial_rr = rr0;
+  stats.final_rr = rr0;
+  if (rr0 == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+
+  // CG presteps: advance the solve while harvesting Lanczos scalars.
+  b.copy_field(kR, kP);
+  std::vector<double> alphas, betas;
+  cg_iterations(b, o.cheby_cg_presteps, o.eps, rr0, stats, &alphas, &betas);
+  if (stats.converged || alphas.empty()) return stats;
+
+  const EigenBounds eb = bounds_from_cg_scalars(alphas, betas);
+  const ChebyCoeffs c = cheby_coeffs(eb);
+
+  // Chebyshev from the current (u, r): sd = r / theta, then the standard
+  // two-term recurrence.
+  b.scale_copy(kSd, kR, 1.0 / c.theta);
+  double rho_old = 1.0 / c.sigma;
+  for (int it = stats.iterations; it < o.max_iters; ++it) {
+    b.update_halo({kSd}, 1);
+    b.apply_operator(kSd, kW);
+    const double rho_new = 1.0 / (2.0 * c.sigma - rho_old);
+    const double alpha = rho_new * rho_old;
+    const double beta = 2.0 * rho_new / c.delta;
+    b.smooth_update(kU, kR, kW, kSd, alpha, beta);
+    rho_old = rho_new;
+    ++stats.iterations;
+    if (stats.iterations % o.cheby_check_freq == 0 ||
+        stats.iterations >= o.max_iters) {
+      const double rrn = b.dot(kR, kR);
+      stats.final_rr = rrn;
+      if (rrn <= o.eps * rr0) {
+        stats.converged = true;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+SolveStats solve_ppcg(Backend& b, const SolveOptions& o) {
+  SolveStats stats;
+  stats.solver = tl::SolverKind::kPpcg;
+  const double rr0 = init_residual(b);
+  stats.initial_rr = rr0;
+  stats.final_rr = rr0;
+  if (rr0 == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+
+  // Eigenvalue bounds from plain CG presteps (also advances the solve).
+  b.copy_field(kR, kP);
+  std::vector<double> alphas, betas;
+  double rro =
+      cg_iterations(b, o.cheby_cg_presteps, o.eps, rr0, stats, &alphas, &betas);
+  if (stats.converged || alphas.empty()) return stats;
+  const EigenBounds eb = bounds_from_cg_scalars(alphas, betas);
+  const ChebyCoeffs c = cheby_coeffs(eb);
+
+  // Fixed polynomial preconditioner: z = P(A) r via `inner` Chebyshev-style
+  // smoothing steps of A e = r starting from e = 0.  The polynomial is the
+  // same on every application, so CG's SPD preconditioner requirement holds.
+  const auto smooth_z = [&] {
+    b.copy_field(kR, kRInner);
+    b.scale_copy(kZ, kRInner, 0.0);
+    b.scale_copy(kSd, kRInner, 1.0 / c.theta);
+    double rho_old = 1.0 / c.sigma;
+    for (int k = 0; k < o.ppcg_inner_steps; ++k) {
+      b.update_halo({kSd}, 1);
+      b.apply_operator(kSd, kW);
+      const double rho_new = 1.0 / (2.0 * c.sigma - rho_old);
+      b.smooth_update(kZ, kRInner, kW, kSd, rho_new * rho_old,
+                      2.0 * rho_new / c.delta);
+      rho_old = rho_new;
+      ++stats.inner_iterations;
+    }
+  };
+
+  // Re-seed the Krylov direction with the preconditioned residual.
+  smooth_z();
+  b.copy_field(kZ, kP);
+  rro = b.dot(kR, kZ);
+
+  for (int it = stats.iterations; it < o.max_iters; ++it) {
+    b.update_halo({kP}, 1);
+    b.apply_operator(kP, kW);
+    const double pw = b.dot(kP, kW);
+    if (pw == 0.0) {
+      stats.converged = stats.final_rr <= o.eps * rr0;
+      break;
+    }
+    const double alpha = rro / pw;
+    b.axpy(kU, alpha, kP);
+    b.axpy(kR, -alpha, kW);
+    ++stats.iterations;
+    const double rrn = b.dot(kR, kR);
+    stats.final_rr = rrn;
+    if (rrn <= o.eps * rr0) {
+      stats.converged = true;
+      break;
+    }
+    smooth_z();
+    const double rz = b.dot(kR, kZ);
+    const double beta = rz / rro;
+    b.zaxpy(kP, beta, kZ);
+    rro = rz;
+  }
+  return stats;
+}
+
+SolveStats solve(Backend& backend, tl::SolverKind kind,
+                 const SolveOptions& options) {
+  switch (kind) {
+    case tl::SolverKind::kJacobi: return solve_jacobi(backend, options);
+    case tl::SolverKind::kCg: return solve_cg(backend, options);
+    case tl::SolverKind::kCheby: return solve_cheby(backend, options);
+    case tl::SolverKind::kPpcg: return solve_ppcg(backend, options);
+  }
+  throw tl::Error("unknown solver kind");
+}
+
+}  // namespace tea

@@ -1,0 +1,115 @@
+#include "machine/efficiency.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace machine {
+
+namespace {
+
+struct Key {
+  std::string variant;
+  std::string machine;
+  bool operator<(const Key& o) const {
+    return variant != o.variant ? variant < o.variant : machine < o.machine;
+  }
+};
+
+// Calibration table.  Two anchor kinds, both from the paper:
+//  [T3]  — Table III bandwidth-efficiency column, used directly where our
+//          from-scratch implementation moves the same bytes the original did;
+//  [APP] — derived from Table III *application* efficiency instead.  The
+//          2017-era OPS/Kokkos/RAJA builds moved ~1.2-1.4x more DRAM bytes
+//          than the manual ports (high reported bandwidth at lower speed);
+//          our reimplementations are leaner, so the extra traffic is folded
+//          into the residual to keep the paper's *time* ratios — the
+//          quantity the portability metric scores.  DESIGN.md §7 records
+//          this as the one knowingly-calibrated input.
+const std::map<Key, EfficiencyProfile>& table() {
+  static const std::map<Key, EfficiencyProfile> t = {
+      // --- Xeon E5-2660 v4 (dual socket; the pure-OpenMP first-touch NUMA
+      //     trouble is the paper's 4000^2 outlier) ---
+      {{"serial", "xeon"}, {.bw_fraction = 0.10, .launch_multiplier = 0.0}},
+      {{"manual-omp", "xeon"}, {.bw_fraction = 0.30, .launch_multiplier = 1.0}},
+      {{"manual-mpi", "xeon"}, {.bw_fraction = 0.55, .launch_multiplier = 0.6}},
+      {{"manual-hybrid", "xeon"}, {.bw_fraction = 0.58, .launch_multiplier = 1.1}},
+      {{"manual-acc-cpu", "xeon"}, {.bw_fraction = 0.605, .launch_multiplier = 1.4}},  // [T3]
+      {{"ops-omp", "xeon"}, {.bw_fraction = 0.38, .launch_multiplier = 1.3}},   // [APP]
+      {{"ops-mpi", "xeon"}, {.bw_fraction = 0.40, .launch_multiplier = 0.9}},   // [APP]
+      {{"ops-hybrid", "xeon"}, {.bw_fraction = 0.41, .launch_multiplier = 1.4}},  // [APP]
+      {{"ops-tiled", "xeon"}, {.bw_fraction = 0.415, .launch_multiplier = 1.5}},  // [APP]
+      // Kokkos' team dispatch costs dominate small meshes (its 4.49 s at
+      // 1000^2 is the slowest CPU time in the paper): high launch multiplier.
+      {{"kokkos-omp", "xeon"}, {.bw_fraction = 0.641, .launch_multiplier = 12.0}},  // [T3]
+      {{"raja-omp", "xeon"}, {.bw_fraction = 0.531, .launch_multiplier = 1.2}},  // [T3]
+
+      // --- KNL 7210 (flat MCDRAM, quadrant; no NUMA penalty, but fork-join
+      //     costs bite and Kokkos' dispatch collapses) ---
+      {{"serial", "knl"}, {.bw_fraction = 0.02, .launch_multiplier = 0.0}},
+      {{"manual-omp", "knl"}, {.bw_fraction = 0.88, .launch_multiplier = 1.0}},
+      {{"manual-mpi", "knl"}, {.bw_fraction = 0.90, .launch_multiplier = 0.7}},
+      {{"manual-hybrid", "knl"}, {.bw_fraction = 0.916, .launch_multiplier = 1.1}},  // [T3]
+      {{"ops-omp", "knl"}, {.bw_fraction = 0.90, .launch_multiplier = 1.3}},
+      {{"ops-mpi", "knl"}, {.bw_fraction = 0.92, .launch_multiplier = 0.9}},
+      {{"ops-hybrid", "knl"}, {.bw_fraction = 0.93, .launch_multiplier = 1.4}},
+      {{"ops-tiled", "knl"}, {.bw_fraction = 0.9593, .launch_multiplier = 1.2}},  // [T3]
+      {{"kokkos-omp", "knl"}, {.bw_fraction = 0.30, .launch_multiplier = 2.2}},  // [APP]
+      {{"raja-omp", "knl"}, {.bw_fraction = 0.82, .launch_multiplier = 1.2}},   // [APP]
+
+      // --- Tesla P100 ---
+      {{"manual-cuda", "p100"},
+       {.bw_fraction = 0.757, .launch_multiplier = 1.0, .reduction_sync_us = 10.0}},  // [T3]
+      {{"manual-acc-gpu", "p100"},
+       {.bw_fraction = 0.70, .launch_multiplier = 4.3, .reduction_sync_us = 14.0}},
+      {{"ops-cuda", "p100"},
+       {.bw_fraction = 0.51, .launch_multiplier = 1.5, .reduction_sync_us = 12.0}},  // [APP]
+      {{"ops-acc", "p100"},
+       {.bw_fraction = 0.47, .launch_multiplier = 2.5, .reduction_sync_us = 16.0}},
+      {{"kokkos-cuda", "p100"},
+       {.bw_fraction = 0.685, .launch_multiplier = 1.2, .reduction_sync_us = 10.0}},  // [APP]
+      {{"raja-cuda", "p100"},
+       {.bw_fraction = 0.635, .launch_multiplier = 4.5, .reduction_sync_us = 18.0}},  // [APP]
+  };
+  return t;
+}
+
+}  // namespace
+
+bool supported(const std::string& backend_id, const MachineModel& m) {
+  if (m.id == "host") return true;  // host runs are measured, not modeled
+  return table().count({backend_id, m.id}) != 0;
+}
+
+EfficiencyProfile efficiency_for(const std::string& backend_id,
+                                 const MachineModel& m) {
+  const auto it = table().find({backend_id, m.id});
+  TL_REQUIRE(it != table().end(), "backend '" + backend_id +
+                                      "' is not supported on machine '" +
+                                      m.id + "'");
+  return it->second;
+}
+
+std::string framework_of(const std::string& backend_id) {
+  const auto dash = backend_id.find('-');
+  if (dash == std::string::npos) return backend_id;
+  return backend_id.substr(0, dash);
+}
+
+std::vector<std::string> paper_variants() {
+  return {
+      "manual-omp",  "manual-mpi",  "manual-hybrid", "manual-cuda",
+      "manual-acc-cpu", "manual-acc-gpu",
+      "ops-omp",     "ops-mpi",     "ops-hybrid",    "ops-tiled",
+      "ops-cuda",    "ops-acc",
+      "kokkos-omp",  "kokkos-cuda",
+      "raja-omp",    "raja-cuda",
+  };
+}
+
+bool is_gpu_variant(const std::string& backend_id) {
+  return backend_id.find("cuda") != std::string::npos ||
+         backend_id == "manual-acc-gpu" || backend_id == "ops-acc";
+}
+
+}  // namespace machine

@@ -1,0 +1,53 @@
+// efficiency.hpp — per-(backend variant, machine) efficiency residuals used by
+// the roofline projection.
+//
+// Everything the roofline multiplies these against — bytes, flops, kernel
+// launches, messages, reductions, iteration counts — is measured from real
+// execution of our from-scratch implementations.  The residuals themselves
+// encode how well a given programming model drives a given machine's memory
+// system, which cannot be derived without the hardware; they are calibrated
+// against the paper's own Table III bandwidth-efficiency column (anchors
+// marked [T3] in efficiency.cpp) and the qualitative orderings in §IV-B.
+// DESIGN.md §7 records this as the one knowingly-calibrated input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+
+namespace machine {
+
+struct EfficiencyProfile {
+  // Fraction of the machine's peak (STREAM) bandwidth this variant achieves
+  // on large, streaming-dominated meshes.
+  double bw_fraction = 0.8;
+  // Fraction of peak FLOP/s achievable by the stencil instruction mix.
+  double compute_fraction = 0.35;
+  // Scale on the machine's per-launch overhead (framework dispatch cost).
+  double launch_multiplier = 1.0;
+  // Extra per-global-reduction synchronization cost, microseconds (device to
+  // host readback on GPUs, tree+broadcast on CPUs).
+  double reduction_sync_us = 0.0;
+};
+
+/// True if the paper could build/run this variant on this machine.  (E.g.
+/// OpenACC host offload was impossible on the KNL with PGI 17.3 — §IV-B.)
+bool supported(const std::string& backend_id, const MachineModel& m);
+
+/// Look up the calibrated profile.  Throws tl::Error if the variant is not
+/// supported on `m` (check supported() first).
+EfficiencyProfile efficiency_for(const std::string& backend_id,
+                                 const MachineModel& m);
+
+/// Provenance family of a backend id: "manual-omp" -> "manual".
+std::string framework_of(const std::string& backend_id);
+
+/// All backend variant ids in paper Table I order (plus the serial
+/// reference, which the paper does not time).
+std::vector<std::string> paper_variants();
+
+/// True for variants that target a GPU.
+bool is_gpu_variant(const std::string& backend_id);
+
+}  // namespace machine

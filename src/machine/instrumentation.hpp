@@ -1,0 +1,107 @@
+// instrumentation.hpp — execution counters collected by every backend while
+// kernels actually run.  These play the role Intel VTune and nvprof play in
+// the paper (§V: achieved GB/s and GFLOP/s): the roofline machine models turn
+// the counts into projected times on the paper's systems.
+//
+// Counters are added once per kernel invocation (not per element), so the
+// overhead in hot loops is one handful of relaxed atomic adds per launch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace machine {
+
+/// Plain snapshot of the counter set.
+struct Counters {
+  // Logical main-memory traffic in bytes, as a DRAM-side profiler would see.
+  // Backends report per-kernel footprints; the tiled executor reports the
+  // post-cache-reuse traffic it actually generates (see miniops/tiling).
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t flops = 0;
+
+  std::int64_t kernel_launches = 0;    // device kernels / parallel regions
+  std::int64_t reductions = 0;         // global reductions (dot products &c.)
+  std::int64_t messages = 0;           // point-to-point messages
+  std::int64_t message_bytes = 0;
+  std::int64_t h2d_bytes = 0;          // host -> device copies
+  std::int64_t d2h_bytes = 0;
+  std::int64_t halo_exchanges = 0;
+  std::int64_t solver_iterations = 0;
+
+  std::int64_t total_bytes() const { return bytes_read + bytes_written; }
+
+  Counters& operator+=(const Counters& o);
+  Counters operator-(const Counters& o) const;
+  std::string to_string() const;
+};
+
+/// Thread-safe accumulating counter set.
+class Instrumentation {
+public:
+  /// Process-global instance used by all substrates.
+  static Instrumentation& global();
+
+  void add_traffic(std::int64_t read_bytes, std::int64_t written_bytes,
+                   std::int64_t flops) {
+    bytes_read_.fetch_add(read_bytes, std::memory_order_relaxed);
+    bytes_written_.fetch_add(written_bytes, std::memory_order_relaxed);
+    flops_.fetch_add(flops, std::memory_order_relaxed);
+  }
+  void add_launch(std::int64_t n = 1) {
+    kernel_launches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_reduction(std::int64_t n = 1) {
+    reductions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_message(std::int64_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    message_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_h2d(std::int64_t bytes) {
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_d2h(std::int64_t bytes) {
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_halo_exchange(std::int64_t n = 1) {
+    halo_exchanges_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_solver_iterations(std::int64_t n) {
+    solver_iterations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  Counters snapshot() const;
+  void reset();
+
+private:
+  std::atomic<std::int64_t> bytes_read_{0};
+  std::atomic<std::int64_t> bytes_written_{0};
+  std::atomic<std::int64_t> flops_{0};
+  std::atomic<std::int64_t> kernel_launches_{0};
+  std::atomic<std::int64_t> reductions_{0};
+  std::atomic<std::int64_t> messages_{0};
+  std::atomic<std::int64_t> message_bytes_{0};
+  std::atomic<std::int64_t> h2d_bytes_{0};
+  std::atomic<std::int64_t> d2h_bytes_{0};
+  std::atomic<std::int64_t> halo_exchanges_{0};
+  std::atomic<std::int64_t> solver_iterations_{0};
+};
+
+/// RAII capture of the counter delta across a scope.
+class CounterScope {
+public:
+  explicit CounterScope(Instrumentation& instr = Instrumentation::global())
+      : instr_(instr), start_(instr.snapshot()) {}
+
+  /// Delta accumulated since construction.
+  Counters delta() const { return instr_.snapshot() - start_; }
+
+private:
+  Instrumentation& instr_;
+  Counters start_;
+};
+
+}  // namespace machine

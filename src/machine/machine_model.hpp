@@ -1,0 +1,65 @@
+// machine_model.hpp — calibrated roofline models of the paper's three systems
+// (Table II), plus the local host.  Absolute specs are public data sheet /
+// STREAM numbers; they are *not* fitted to the paper's results.  Framework-
+// specific efficiency residuals live separately in efficiency.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace machine {
+
+enum class MachineKind { kCpu, kGpu };
+
+struct MachineModel {
+  std::string id;           // "xeon", "knl", "p100", "host"
+  std::string description;  // human-readable, matches paper Table II wording
+  MachineKind kind = MachineKind::kCpu;
+
+  // Peak attainable (STREAM-like) main-memory bandwidth, GB/s.
+  double peak_bw_gbs = 0.0;
+  // Peak double-precision compute, GFLOP/s.
+  double peak_gflops = 0.0;
+
+  int cores = 1;
+  int threads_per_core = 1;
+
+  // Cost of dispatching one kernel / parallel region, microseconds.  On GPUs
+  // this is the CUDA launch latency; on CPUs the fork-join/barrier cost of a
+  // work-shared loop.
+  double launch_overhead_us = 0.0;
+
+  // Intra-node message costs (per message latency; per-byte from bandwidth).
+  double msg_latency_us = 0.0;
+  double msg_bw_gbs = 0.0;
+
+  // Host<->device link (GPUs only).
+  double pcie_bw_gbs = 0.0;
+
+  // Memory capacity, GB (the KNL MCDRAM spill rule uses this).
+  double mem_capacity_gb = 0.0;
+
+  // Dual-socket NUMA (true for the Xeon; the KNL in quadrant mode and the
+  // P100 are modeled as flat).
+  bool numa = false;
+
+  bool is_gpu() const { return kind == MachineKind::kGpu; }
+};
+
+/// The paper's systems (Table II): Xeon E5-2660 v4 (2 sockets), Xeon Phi 7210
+/// KNL (flat MCDRAM, quadrant), Tesla P100.
+const MachineModel& xeon_e5_2660v4();
+const MachineModel& knl_7210();
+const MachineModel& tesla_p100();
+
+/// A model of the machine this library is running on, measured at first use
+/// (cores from hardware_concurrency, bandwidth from a small STREAM triad).
+const MachineModel& host_machine();
+
+/// Lookup by id; throws tl::Error for unknown ids.
+const MachineModel& machine_by_id(const std::string& id);
+
+/// All paper machines, in Table II order.
+std::vector<const MachineModel*> paper_machines();
+
+}  // namespace machine

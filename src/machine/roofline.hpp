@@ -1,0 +1,61 @@
+// roofline.hpp — turn measured execution counters into a projected wall time
+// on a modeled machine.  The streaming part follows the classic roofline:
+// time >= max(bytes / attainable_bw, flops / attainable_flops); dispatch,
+// reduction-synchronization, message and PCIe terms are added serially (they
+// do not overlap with the bulk streaming phases in TeaLeaf's kernels).
+#pragma once
+
+#include <string>
+
+#include "machine/efficiency.hpp"
+#include "machine/instrumentation.hpp"
+#include "machine/machine_model.hpp"
+
+namespace machine {
+
+struct TimeBreakdown {
+  double memory_s = 0.0;     // bytes / attainable bandwidth
+  double compute_s = 0.0;    // flops / attainable flops
+  double stream_s = 0.0;     // max(memory_s, compute_s) — the roofline term
+  double launch_s = 0.0;     // kernel/region dispatch
+  double reduction_s = 0.0;  // global-reduction synchronization
+  double message_s = 0.0;    // halo messages (latency + volume)
+  double pcie_s = 0.0;       // host<->device copies
+
+  double total() const {
+    return stream_s + launch_s + reduction_s + message_s + pcie_s;
+  }
+
+  /// Achieved bandwidth implied by the projection, GB/s.
+  double achieved_bw_gbs(const Counters& c) const {
+    const double t = total();
+    return t > 0.0 ? static_cast<double>(c.total_bytes()) / t / 1e9 : 0.0;
+  }
+
+  /// Achieved compute implied by the projection, GFLOP/s.
+  double achieved_gflops(const Counters& c) const {
+    const double t = total();
+    return t > 0.0 ? static_cast<double>(c.flops) / t / 1e9 : 0.0;
+  }
+};
+
+/// Project the time the counted work would take on machine `m` when executed
+/// through `profile`'s programming model.  `working_set_bytes` triggers the
+/// KNL MCDRAM-spill rule (bandwidth degrades towards DDR beyond capacity).
+TimeBreakdown project_time(const Counters& c, const MachineModel& m,
+                           const EfficiencyProfile& profile,
+                           std::int64_t working_set_bytes = 0);
+
+/// Convenience: look up the profile by backend id and project.
+TimeBreakdown project_time(const Counters& c, const MachineModel& m,
+                           const std::string& backend_id,
+                           std::int64_t working_set_bytes = 0);
+
+/// Scale counters measured at one problem scale to another: streaming traffic
+/// and flops scale with (cells x iterations); launches and reductions with
+/// iterations; message volume with (perimeter x iterations).  Used to project
+/// a reduced-size host run onto the paper's 1000^2 / 4000^2 meshes.
+Counters scale_counters(const Counters& measured, double cells_ratio,
+                        double iteration_ratio, double perimeter_ratio);
+
+}  // namespace machine

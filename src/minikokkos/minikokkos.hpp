@@ -1,0 +1,6 @@
+// minikokkos.hpp — umbrella header for the Kokkos-substitute library.
+#pragma once
+
+#include "minikokkos/core.hpp"      // IWYU pragma: export
+#include "minikokkos/parallel.hpp"  // IWYU pragma: export
+#include "minikokkos/view.hpp"      // IWYU pragma: export

@@ -1,0 +1,197 @@
+// view.hpp — minikokkos Views: reference-counted multi-dimensional arrays
+// bound to a memory space, plus deep_copy and mirror creation.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "common/error.hpp"
+#include "minikokkos/core.hpp"
+
+namespace kk {
+
+namespace detail {
+
+/// Space-specific allocation, returned as a shared_ptr whose deleter knows
+/// how to release it (host delete or device deallocate).
+template <typename T, typename Space>
+struct SpaceAlloc;
+
+template <typename T>
+struct SpaceAlloc<T, HostSpace> {
+  static std::shared_ptr<T> make(std::size_t count) {
+    T* p = static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t(64)));
+    std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+    return std::shared_ptr<T>(
+        p, [](T* q) { ::operator delete(q, std::align_val_t(64)); });
+  }
+};
+
+template <typename T>
+struct SpaceAlloc<T, SimGPUSpace> {
+  static std::shared_ptr<T> make(std::size_t count) {
+    simgpu::Device& dev = device();
+    T* p = static_cast<T*>(dev.allocate(count * sizeof(T)));
+    std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+    return std::shared_ptr<T>(p, [&dev](T* q) { dev.deallocate(q); });
+  }
+};
+
+template <typename Layout>
+constexpr std::size_t index2(int i0, int i1, int n0, int n1);
+
+template <>
+constexpr std::size_t index2<LayoutRight>(int i0, int i1, int /*n0*/, int n1) {
+  return static_cast<std::size_t>(i0) * n1 + i1;
+}
+template <>
+constexpr std::size_t index2<LayoutLeft>(int i0, int i1, int n0, int /*n1*/) {
+  return static_cast<std::size_t>(i1) * n0 + i0;
+}
+
+}  // namespace detail
+
+/// Rank-1 view.  Copying a View copies the handle (shared ownership), exactly
+/// like Kokkos.
+template <typename T, typename Space = HostSpace>
+class View1D {
+public:
+  using value_type = T;
+  using memory_space = Space;
+
+  View1D() = default;
+
+  View1D(std::string label, std::size_t n)
+      : label_(std::move(label)),
+        n_(n),
+        data_(detail::SpaceAlloc<T, Space>::make(n)) {}
+
+  T& operator()(std::size_t i) const { return data_.get()[i]; }
+  T& operator[](std::size_t i) const { return data_.get()[i]; }
+
+  std::size_t size() const { return n_; }
+  std::size_t extent(int r) const { return r == 0 ? n_ : 1; }
+  T* data() const { return data_.get(); }
+  const std::string& label() const { return label_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+private:
+  std::string label_;
+  std::size_t n_ = 0;
+  std::shared_ptr<T> data_;
+};
+
+/// Rank-2 view with a space-dependent default layout.
+template <typename T, typename Layout = void, typename Space = HostSpace>
+class View2D {
+public:
+  using value_type = T;
+  using memory_space = Space;
+  using layout = std::conditional_t<
+      std::is_void_v<Layout>, typename DefaultLayout<Space>::type, Layout>;
+
+  View2D() = default;
+
+  View2D(std::string label, int n0, int n1)
+      : label_(std::move(label)),
+        n0_(n0),
+        n1_(n1),
+        data_(detail::SpaceAlloc<T, Space>::make(
+            static_cast<std::size_t>(n0) * n1)) {}
+
+  T& operator()(int i0, int i1) const {
+    return data_.get()[detail::index2<layout>(i0, i1, n0_, n1_)];
+  }
+
+  int extent(int r) const { return r == 0 ? n0_ : (r == 1 ? n1_ : 1); }
+  std::size_t size() const { return static_cast<std::size_t>(n0_) * n1_; }
+  T* data() const { return data_.get(); }
+  const std::string& label() const { return label_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+private:
+  std::string label_;
+  int n0_ = 0;
+  int n1_ = 0;
+  std::shared_ptr<T> data_;
+};
+
+// --- deep_copy ----------------------------------------------------------------
+
+namespace detail {
+
+template <typename Space>
+struct CopyTraits;
+
+template <>
+struct CopyTraits<HostSpace> {
+  static constexpr bool on_device = false;
+};
+template <>
+struct CopyTraits<SimGPUSpace> {
+  static constexpr bool on_device = true;
+};
+
+template <typename T, typename DstSpace, typename SrcSpace>
+void copy_bytes(T* dst, const T* src, std::size_t count) {
+  const std::size_t bytes = count * sizeof(T);
+  constexpr bool dst_dev = CopyTraits<DstSpace>::on_device;
+  constexpr bool src_dev = CopyTraits<SrcSpace>::on_device;
+  if constexpr (dst_dev && src_dev) {
+    device().memcpy_d2d(dst, src, bytes);
+  } else if constexpr (dst_dev) {
+    device().memcpy_h2d(dst, src, bytes);
+  } else if constexpr (src_dev) {
+    device().memcpy_d2h(dst, const_cast<T*>(src), bytes);
+  } else {
+    std::memcpy(static_cast<void*>(dst), src, bytes);
+  }
+}
+
+}  // namespace detail
+
+template <typename T, typename DS, typename SS>
+void deep_copy(const View1D<T, DS>& dst, const View1D<T, SS>& src) {
+  TL_REQUIRE(dst.size() == src.size(), "deep_copy size mismatch");
+  detail::copy_bytes<T, DS, SS>(dst.data(), src.data(), src.size());
+}
+
+/// Rank-2 deep_copy requires matching *resolved* layouts (as Kokkos requires
+/// compatible layouts for a bitwise copy); mirrors inherit the source layout,
+/// so the common mirror pattern always satisfies this.
+template <typename T, typename L1, typename L2, typename DS, typename SS>
+void deep_copy(const View2D<T, L1, DS>& dst, const View2D<T, L2, SS>& src) {
+  static_assert(std::is_same_v<typename View2D<T, L1, DS>::layout,
+                               typename View2D<T, L2, SS>::layout>,
+                "deep_copy between different layouts is not a bitwise copy");
+  TL_REQUIRE(dst.extent(0) == src.extent(0) && dst.extent(1) == src.extent(1),
+             "deep_copy extent mismatch");
+  detail::copy_bytes<T, DS, SS>(dst.data(), src.data(), src.size());
+}
+
+/// Host mirror with the same extents (and, for rank-2, the same layout as the
+/// source so deep_copy stays bitwise).
+template <typename T, typename Space>
+View1D<T, HostSpace> create_mirror_view(const View1D<T, Space>& v) {
+  if constexpr (std::is_same_v<Space, HostSpace>) {
+    return v;
+  } else {
+    return View1D<T, HostSpace>(v.label() + "_mirror", v.size());
+  }
+}
+
+template <typename T, typename L, typename Space>
+auto create_mirror_view(const View2D<T, L, Space>& v) {
+  using SrcLayout = typename View2D<T, L, Space>::layout;
+  if constexpr (std::is_same_v<Space, HostSpace>) {
+    return v;
+  } else {
+    return View2D<T, SrcLayout, HostSpace>(v.label() + "_mirror", v.extent(0),
+                                           v.extent(1));
+  }
+}
+
+}  // namespace kk

@@ -1,0 +1,56 @@
+#include "minimpi/cart.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace minimpi {
+
+std::array<int, 2> dims_create(int nprocs) {
+  TL_REQUIRE(nprocs >= 1, "nprocs must be >= 1");
+  // Largest factor pair (px, py) with px >= py and px*py == nprocs, px as
+  // close to sqrt(nprocs) as possible.
+  int py = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+  while (py > 1 && nprocs % py != 0) --py;
+  const int px = nprocs / py;
+  return {px, py};
+}
+
+Cart2D::Cart2D(Comm& comm, std::array<int, 2> dims)
+    : comm_(comm), dims_(dims) {
+  TL_REQUIRE(dims_[0] * dims_[1] == comm.size(),
+             "cart dims " + std::to_string(dims_[0]) + "x" +
+                 std::to_string(dims_[1]) + " != world size " +
+                 std::to_string(comm.size()));
+  coords_ = coords_of(comm.rank());
+}
+
+std::array<int, 2> Cart2D::coords_of(int rank) const {
+  TL_REQUIRE(rank >= 0 && rank < comm_.size(), "rank out of range");
+  return {rank % dims_[0], rank / dims_[0]};
+}
+
+int Cart2D::rank_of(int cx, int cy) const {
+  TL_REQUIRE(cx >= 0 && cx < dims_[0] && cy >= 0 && cy < dims_[1],
+             "cart coords out of range");
+  return cy * dims_[0] + cx;
+}
+
+int Cart2D::neighbour(int dx, int dy) const {
+  const int cx = coords_[0] + dx;
+  const int cy = coords_[1] + dy;
+  if (cx < 0 || cx >= dims_[0] || cy < 0 || cy >= dims_[1]) return kProcNull;
+  return rank_of(cx, cy);
+}
+
+std::pair<int, int> block_range(int cells, int parts, int index) {
+  TL_REQUIRE(parts >= 1 && index >= 0 && index < parts,
+             "invalid block_range request");
+  const int base = cells / parts;
+  const int rem = cells % parts;
+  const int begin = base * index + (index < rem ? index : rem);
+  const int end = begin + base + (index < rem ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace minimpi

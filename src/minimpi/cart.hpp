@@ -1,0 +1,55 @@
+// cart.hpp — 2D Cartesian process topology (MPI_Cart_create subset) used for
+// TeaLeaf's block domain decomposition.  Non-periodic; out-of-domain
+// neighbours are kProcNull, so halo exchanges at physical boundaries become
+// no-ops exactly as with MPI_PROC_NULL.
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "minimpi/comm.hpp"
+
+namespace minimpi {
+
+/// Choose a near-square factorization px*py == nprocs with px >= py
+/// (MPI_Dims_create equivalent for 2D).
+std::array<int, 2> dims_create(int nprocs);
+
+class Cart2D {
+public:
+  /// Build a topology over comm with the given dims (dims[0]*dims[1] must
+  /// equal comm.size()).  Rank layout is row-major: rank = cy*px + cx.
+  Cart2D(Comm& comm, std::array<int, 2> dims);
+
+  /// Convenience: choose dims automatically.
+  explicit Cart2D(Comm& comm) : Cart2D(comm, dims_create(comm.size())) {}
+
+  Comm& comm() const noexcept { return comm_; }
+  int px() const noexcept { return dims_[0]; }
+  int py() const noexcept { return dims_[1]; }
+
+  /// This rank's grid coordinates (cx, cy).
+  std::array<int, 2> coords() const noexcept { return coords_; }
+  std::array<int, 2> coords_of(int rank) const;
+  int rank_of(int cx, int cy) const;
+
+  /// Neighbour ranks; kProcNull outside the grid.
+  int left() const { return neighbour(-1, 0); }
+  int right() const { return neighbour(+1, 0); }
+  int down() const { return neighbour(0, -1); }
+  int up() const { return neighbour(0, +1); }
+
+  int neighbour(int dx, int dy) const;
+
+private:
+  Comm& comm_;
+  std::array<int, 2> dims_;
+  std::array<int, 2> coords_;
+};
+
+/// Split `cells` over `parts`; part `index` gets [begin, end).  Remainder
+/// cells go to the leading parts (same rule the Fortran TeaLeaf decomposition
+/// uses, keeping block sizes within one cell of each other).
+std::pair<int, int> block_range(int cells, int parts, int index);
+
+}  // namespace minimpi

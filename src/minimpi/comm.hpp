@@ -1,0 +1,268 @@
+// comm.hpp — World (the set of in-process ranks) and Comm (a rank's handle
+// into it).  Point-to-point uses eager buffered sends through per-rank
+// mailboxes; collectives are implemented *on top of* point-to-point with
+// binomial trees, exactly as a small MPI implementation would layer them.
+//
+// Usage:
+//   minimpi::run_world(4, [](minimpi::Comm& comm) {
+//     std::vector<double> halo(n);
+//     comm.send(std::span(halo), comm.rank() ^ 1, /*tag=*/0);
+//     ...
+//   });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "minimpi/mailbox.hpp"
+#include "minimpi/request.hpp"
+#include "minimpi/types.hpp"
+
+namespace minimpi {
+
+class Comm;
+
+/// A communicator universe: `size` ranks with mailboxes.  Rank bodies run on
+/// dedicated std::threads via run().
+class World {
+public:
+  explicit World(int size);
+
+  int size() const noexcept { return size_; }
+
+  /// Execute `rank_main(comm)` once per rank, each on its own thread.  The
+  /// first exception thrown by any rank is rethrown here after all ranks
+  /// join.  May be called repeatedly (each call is a fresh "job launch").
+  void run(const std::function<void(Comm&)>& rank_main);
+
+private:
+  friend class Comm;
+  const int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Per-rank handle.  All member functions are called from the rank's thread.
+class Comm {
+public:
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_.size(); }
+
+  // --- point-to-point -----------------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, Tag tag) {
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+
+  template <typename T>
+  Status recv(std::span<T> data, int source, Tag tag) {
+    return recv_bytes(data.data(), data.size_bytes(), source, tag);
+  }
+
+  /// Single-value convenience overloads.
+  template <typename T>
+  void send_value(const T& v, int dest, Tag tag) {
+    send_bytes(&v, sizeof(T), dest, tag);
+  }
+  template <typename T>
+  T recv_value(int source, Tag tag) {
+    T v{};
+    recv_bytes(&v, sizeof(T), source, tag);
+    return v;
+  }
+
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, Tag tag) {
+    // Eager protocol: data is copied into the destination mailbox now, so the
+    // request is born complete (legal per MPI buffered-send semantics).
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+    return Request::completed_send();
+  }
+
+  template <typename T>
+  Request irecv(std::span<T> data, int source, Tag tag) {
+    return Request::pending_recv(this, data.data(), data.size_bytes(), source,
+                                 tag);
+  }
+
+  Status wait(Request& request);
+  std::vector<Status> waitall(std::span<Request> requests);
+
+  /// Non-blocking probe for a matching incoming message.
+  bool iprobe(int source, Tag tag, Status* status = nullptr);
+
+  // --- collectives ----------------------------------------------------------
+  // Collectives must be invoked by every rank in the same order; each call
+  // consumes a reserved tag so user traffic never interferes.
+
+  void barrier();
+
+  template <typename T>
+  void bcast(std::span<T> data, int root);
+
+  template <typename T>
+  T reduce(const T& value, ReduceOp op, int root);
+
+  template <typename T>
+  T allreduce(const T& value, ReduceOp op);
+
+  /// Element-wise vector allreduce (used for multi-field reductions such as
+  /// TeaLeaf's field summary).
+  template <typename T>
+  void allreduce(std::span<T> values, ReduceOp op);
+
+  template <typename T>
+  std::vector<T> gather(const T& value, int root);
+
+  template <typename T>
+  std::vector<T> allgather(const T& value);
+
+  template <typename T>
+  T scatter(std::span<const T> values, int root);
+
+  // Internal: raw byte transport (public for Request).
+  void send_bytes(const void* data, std::size_t bytes, int dest, Tag tag);
+  Status recv_bytes(void* data, std::size_t bytes, int source, Tag tag);
+
+private:
+  Tag next_collective_tag() {
+    // Reserved tag space; stays synchronized because collectives are called
+    // in the same order on every rank.
+    return kCollectiveTagBase + (collective_seq_++ & 0xFFFF);
+  }
+
+  static constexpr Tag kCollectiveTagBase = 0x40000000;
+
+  World& world_;
+  const int rank_;
+  long collective_seq_ = 0;
+};
+
+/// Convenience: build a World of `size` ranks and run `rank_main` once.
+void run_world(int size, const std::function<void(Comm&)>& rank_main);
+
+// --- template implementations ----------------------------------------------
+
+template <typename T>
+void Comm::bcast(std::span<T> data, int root) {
+  const Tag tag = next_collective_tag();
+  const int n = size();
+  // Binomial tree rooted at `root`: relative rank r receives from
+  // r - lowest_set_bit(r), then forwards to r + 2^k for growing k.
+  const int rel = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % n;
+      recv_bytes(data.data(), data.size_bytes(), src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = (rel + mask + root) % n;
+      send_bytes(data.data(), data.size_bytes(), dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+T Comm::reduce(const T& value, ReduceOp op, int root) {
+  const Tag tag = next_collective_tag();
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  T acc = value;
+  // Binomial reduction: at step k, relative ranks with bit k set send their
+  // partial to (rel - 2^k) and leave.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rel & mask) {
+      const int dst = (rel - mask + root) % n;
+      send_bytes(&acc, sizeof(T), dst, tag);
+      return acc;  // non-root partials are meaningless, by MPI convention
+    }
+    if (rel + mask < n) {
+      const int src = (rel + mask + root) % n;
+      T incoming{};
+      recv_bytes(&incoming, sizeof(T), src, tag);
+      acc = apply(op, acc, incoming);
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+T Comm::allreduce(const T& value, ReduceOp op) {
+  T result = reduce(value, op, /*root=*/0);
+  std::span<T> one(&result, 1);
+  bcast(one, /*root=*/0);
+  return result;
+}
+
+template <typename T>
+void Comm::allreduce(std::span<T> values, ReduceOp op) {
+  const Tag tag = next_collective_tag();
+  const int n = size();
+  std::vector<T> incoming(values.size());
+  // Reduce to rank 0 (binomial), element-wise.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rank_ & mask) {
+      send_bytes(values.data(), values.size_bytes(), (rank_ - mask), tag);
+      break;
+    }
+    if (rank_ + mask < n) {
+      recv_bytes(incoming.data(), values.size_bytes(), rank_ + mask, tag);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = apply(op, values[i], incoming[i]);
+      }
+    }
+  }
+  bcast(values, /*root=*/0);
+}
+
+template <typename T>
+std::vector<T> Comm::gather(const T& value, int root) {
+  const Tag tag = next_collective_tag();
+  if (rank_ != root) {
+    send_bytes(&value, sizeof(T), root, tag);
+    return {};
+  }
+  std::vector<T> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = value;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    recv_bytes(&out[static_cast<std::size_t>(r)], sizeof(T), r, tag);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(const T& value) {
+  std::vector<T> out = gather(value, /*root=*/0);
+  out.resize(static_cast<std::size_t>(size()));
+  bcast(std::span<T>(out), /*root=*/0);
+  return out;
+}
+
+template <typename T>
+T Comm::scatter(std::span<const T> values, int root) {
+  const Tag tag = next_collective_tag();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send_bytes(&values[static_cast<std::size_t>(r)], sizeof(T), r, tag);
+    }
+    return values[static_cast<std::size_t>(root)];
+  }
+  T v{};
+  recv_bytes(&v, sizeof(T), root, tag);
+  return v;
+}
+
+}  // namespace minimpi

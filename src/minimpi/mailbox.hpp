@@ -1,0 +1,110 @@
+// mailbox.hpp — per-rank message queue.  Senders enqueue copies (eager
+// protocol); receivers block until a message matching (source, tag) arrives.
+// Matching preserves MPI's non-overtaking rule: among messages from the same
+// source with an acceptable tag, the earliest enqueued wins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace minimpi {
+
+class Mailbox {
+public:
+  void push(int source, Tag tag, const void* data, std::size_t bytes) {
+    Message msg;
+    msg.source = source;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message matching (source|kAnySource, tag|kAnyTag) is
+  /// available, copy at most `capacity` bytes into `out`, and return status.
+  /// Polls briefly before sleeping: halo exchanges and reduction trees are
+  /// latency-bound, and the peer's send is usually microseconds away.
+  Status pop(int source, Tag tag, void* out, std::size_t capacity) {
+    for (int spin = 0; spin < 400; ++spin) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto st = try_pop_locked(source, tag, out, capacity)) return *st;
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (auto st = try_pop_locked(source, tag, out, capacity)) return *st;
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-destructive check for a matching message (MPI_Iprobe equivalent).
+  bool probe(int source, Tag tag, Status* status_out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Message& m : queue_) {
+      if (matches(m, source, tag)) {
+        if (status_out != nullptr) {
+          status_out->source = m.source;
+          status_out->tag = m.tag;
+          status_out->bytes = m.payload.size();
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+private:
+  struct Message {
+    int source;
+    Tag tag;
+    std::vector<unsigned char> payload;
+  };
+
+  static bool matches(const Message& m, int source, Tag tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::optional<Status> try_pop_locked(int source, Tag tag, void* out,
+                                       std::size_t capacity) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!matches(*it, source, tag)) continue;
+      Status st;
+      st.source = it->source;
+      st.tag = it->tag;
+      st.bytes = it->payload.size();
+      if (st.bytes > 0 && out != nullptr) {
+        std::memcpy(out, it->payload.data(),
+                    st.bytes < capacity ? st.bytes : capacity);
+      }
+      queue_.erase(it);
+      return st;
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace minimpi

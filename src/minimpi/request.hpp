@@ -1,0 +1,54 @@
+// request.hpp — nonblocking-operation handles.  With minimpi's eager sends a
+// send request is born complete; a receive request performs its (blocking)
+// matching when waited on, which preserves MPI's completion semantics for the
+// post-exchange-then-waitall pattern TeaLeaf's halo code uses.
+#pragma once
+
+#include <cstddef>
+
+#include "minimpi/types.hpp"
+
+namespace minimpi {
+
+class Comm;
+
+class Request {
+public:
+  Request() = default;
+
+  static Request completed_send() {
+    Request r;
+    r.kind_ = Kind::kSend;
+    r.done_ = true;
+    return r;
+  }
+
+  static Request pending_recv(Comm* comm, void* data, std::size_t bytes,
+                              int source, Tag tag) {
+    Request r;
+    r.kind_ = Kind::kRecv;
+    r.comm_ = comm;
+    r.data_ = data;
+    r.bytes_ = bytes;
+    r.source_ = source;
+    r.tag_ = tag;
+    return r;
+  }
+
+  bool done() const noexcept { return done_; }
+  bool is_recv() const noexcept { return kind_ == Kind::kRecv; }
+
+private:
+  friend class Comm;
+  enum class Kind { kNull, kSend, kRecv };
+
+  Kind kind_ = Kind::kNull;
+  bool done_ = false;
+  Comm* comm_ = nullptr;
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  int source_ = kAnySource;
+  Tag tag_ = kAnyTag;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,45 @@
+// types.hpp — wire-level constants and small value types for minimpi, the
+// in-process message-passing library that substitutes for MPI (DESIGN.md §2).
+// Semantics follow the MPI standard subset TeaLeaf uses: tagged point-to-point
+// with per-pair non-overtaking order, buffered (eager) sends, and collectives.
+#pragma once
+
+#include <cstddef>
+
+namespace minimpi {
+
+using Tag = int;
+
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+/// Null peer: sends are dropped, receives complete immediately with zero
+/// elements (mirrors MPI_PROC_NULL at non-periodic Cartesian edges).
+inline constexpr int kProcNull = -2;
+
+/// Completed-receive metadata (MPI_Status equivalent).
+struct Status {
+  int source = kAnySource;
+  Tag tag = kAnyTag;
+  std::size_t bytes = 0;
+
+  template <typename T>
+  std::size_t count() const {
+    return bytes / sizeof(T);
+  }
+};
+
+/// Reduction operators supported by reduce/allreduce/scan.
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+template <typename T>
+T apply(ReduceOp op, const T& a, const T& b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return b < a ? b : a;
+    case ReduceOp::kMax: return a < b ? b : a;
+  }
+  return a;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,101 @@
+// args.hpp — par_loop argument descriptors and the accessor objects handed to
+// user kernels (OPS' ops_arg_dat / ops_arg_gbl / ACC<double> equivalents).
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "minimpi/types.hpp"
+#include "miniops/dat.hpp"
+#include "miniops/range.hpp"
+#include "miniops/stencil.hpp"
+#include "threading/thread_id.hpp"
+
+namespace ops {
+
+using ReduceOp = minimpi::ReduceOp;
+
+/// Field argument: which Dat, how it is accessed, through which stencil.
+struct ArgDat {
+  Dat* dat;
+  AccessMode mode;
+  const Stencil* stencil;
+};
+
+inline ArgDat arg_dat(Dat& d, AccessMode mode,
+                      const Stencil& s = Stencil::point()) {
+  return ArgDat{&d, mode, &s};
+}
+
+/// Accessor bound to the loop's current point: `acc(di, dj)` addresses the
+/// cell offset by (di, dj), like OPS' ACC<double> operator().
+class Acc {
+public:
+  Acc(double* at_point, int row_stride)
+      : p_(at_point), stride_(row_stride) {}
+
+  double& operator()(int di, int dj) const {
+    return p_[static_cast<std::ptrdiff_t>(dj) * stride_ + di];
+  }
+
+private:
+  double* p_;
+  int stride_;
+};
+
+/// Per-thread reduction scratch for one global argument.  Kernels receive a
+/// `double&` slot; slots are padded against false sharing and folded after
+/// the loop (then allreduced across ranks by the Context).
+class GblScratch {
+public:
+  explicit GblScratch(ReduceOp op) : op_(op) {
+    reset();
+  }
+
+  void reset() {
+    const double identity = identity_of(op_);
+    for (auto& s : slots_) s.value = identity;
+  }
+
+  double& slot() {
+    return slots_[static_cast<std::size_t>(tlp::current_thread_id())].value;
+  }
+
+  double combined() const {
+    double acc = identity_of(op_);
+    for (const auto& s : slots_) acc = minimpi::apply(op_, acc, s.value);
+    return acc;
+  }
+
+  ReduceOp op() const { return op_; }
+
+  static double identity_of(ReduceOp op) {
+    switch (op) {
+      case ReduceOp::kSum: return 0.0;
+      case ReduceOp::kProd: return 1.0;
+      case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+      case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+    }
+    return 0.0;
+  }
+
+private:
+  struct alignas(64) Slot {
+    double value;
+  };
+  ReduceOp op_;
+  std::array<Slot, tlp::kMaxThreadIds> slots_;
+};
+
+/// Global-reduction argument: result lands in `*target` once the loop (and
+/// any cross-rank combine) completes.
+struct ArgGbl {
+  double* target;
+  ReduceOp op;
+};
+
+inline ArgGbl arg_gbl(double& target, ReduceOp op = ReduceOp::kSum) {
+  return ArgGbl{&target, op};
+}
+
+}  // namespace ops

@@ -1,0 +1,143 @@
+// dat.hpp — ops::Block (a structured-mesh block) and ops::Dat (a field
+// defined on a block with halo padding).
+//
+// A Dat's logical coordinates are *global interior* indices; under an MPI
+// context each rank stores only its local sub-block plus halo.  Dats carry
+// the dirty bits OPS uses for both automatic halo maintenance (host side)
+// and host/device coherence (CUDA side).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/span2d.hpp"
+#include "simgpu/device_buffer.hpp"
+
+namespace ops {
+
+class Context;
+
+/// A structured-mesh block: the *global* interior extent.  Decomposition
+/// happens inside the Context that declared it.
+class Block {
+public:
+  Block(std::string name, int nx, int ny) : name_(std::move(name)), nx_(nx), ny_(ny) {}
+
+  const std::string& name() const { return name_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+private:
+  std::string name_;
+  int nx_;
+  int ny_;
+};
+
+/// Field on a block.  Storage covers the *local* interior plus `halo_depth`
+/// padding on all sides, row-major with x contiguous.
+class Dat {
+public:
+  Dat(const Block& block, std::string name, int halo_depth, int local_x0,
+      int local_y0, int local_nx, int local_ny)
+      : block_(&block),
+        name_(std::move(name)),
+        halo_(halo_depth),
+        x0_(local_x0),
+        y0_(local_y0),
+        nx_(local_nx),
+        ny_(local_ny),
+        padded_nx_(local_nx + 2 * halo_depth),
+        padded_ny_(local_ny + 2 * halo_depth),
+        host_(static_cast<std::size_t>(padded_nx_) * padded_ny_, 0.0) {}
+
+  const Block& block() const { return *block_; }
+  const std::string& name() const { return name_; }
+  int halo_depth() const { return halo_; }
+
+  // Local interior extent and its offset within the global interior.
+  int local_x0() const { return x0_; }
+  int local_y0() const { return y0_; }
+  int local_nx() const { return nx_; }
+  int local_ny() const { return ny_; }
+  int padded_nx() const { return padded_nx_; }
+  int padded_ny() const { return padded_ny_; }
+
+  std::size_t padded_cells() const {
+    return static_cast<std::size_t>(padded_nx_) * padded_ny_;
+  }
+  std::size_t bytes() const { return padded_cells() * sizeof(double); }
+
+  /// Host element access by *local* interior coordinates: (0,0) is the first
+  /// owned cell; negative / >= n reach into halo.
+  double& at(int i, int j) {
+    return host_[idx(i, j)];
+  }
+  double at(int i, int j) const { return host_[idx(i, j)]; }
+
+  /// Raw padded host span (for pack/unpack and kernel accessors).
+  tl::Span2D<double> padded_span() {
+    return host_.span2d(padded_nx_, padded_ny_);
+  }
+  tl::Span2D<const double> padded_span() const {
+    return host_.span2d(padded_nx_, padded_ny_);
+  }
+
+  /// Pointer to local cell (0,0) in the padded layout.
+  double* origin() { return host_.data() + idx(0, 0); }
+  const double* origin() const { return host_.data() + idx(0, 0); }
+
+  int row_stride() const { return padded_nx_; }
+
+  // --- dirty bits (maintained by the Context) --------------------------------
+
+  bool halo_dirty() const { return halo_dirty_; }
+  void set_halo_dirty(bool d) { halo_dirty_ = d; }
+
+  bool device_stale() const { return device_stale_; }
+  void set_device_stale(bool d) { device_stale_ = d; }
+  bool host_stale() const { return host_stale_; }
+  void set_host_stale(bool d) { host_stale_ = d; }
+
+  // --- device mirror (created on demand by CUDA/ACC contexts) ---------------
+
+  bool has_device() const { return device_ != nullptr; }
+  simgpu::DeviceBuffer<double>& device_buffer(simgpu::Device& dev) {
+    if (!device_) {
+      device_ = std::make_unique<simgpu::DeviceBuffer<double>>(dev,
+                                                               padded_cells());
+      device_stale_ = true;
+    }
+    return *device_;
+  }
+  double* device_origin() {
+    return device_->data() + idx(0, 0);
+  }
+
+  /// Stable id within its Context (set at declaration; used by tiling plans).
+  int id() const { return id_; }
+
+private:
+  friend class Context;
+
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(j + halo_) * padded_nx_ +
+           static_cast<std::size_t>(i + halo_);
+  }
+
+  const Block* block_;
+  std::string name_;
+  int halo_;
+  int x0_, y0_, nx_, ny_;
+  int padded_nx_, padded_ny_;
+  tl::AlignedBuffer<double> host_;
+  std::unique_ptr<simgpu::DeviceBuffer<double>> device_;
+
+  bool halo_dirty_ = true;     // halos undefined until first update
+  bool device_stale_ = true;   // device copy older than host
+  bool host_stale_ = false;    // host copy older than device
+  int id_ = -1;
+};
+
+}  // namespace ops

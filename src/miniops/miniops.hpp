@@ -1,0 +1,10 @@
+// miniops.hpp — umbrella header for the OPS-substitute structured-mesh DSL.
+#pragma once
+
+#include "miniops/args.hpp"      // IWYU pragma: export
+#include "miniops/context.hpp"   // IWYU pragma: export
+#include "miniops/dat.hpp"       // IWYU pragma: export
+#include "miniops/par_loop.hpp"  // IWYU pragma: export
+#include "miniops/range.hpp"     // IWYU pragma: export
+#include "miniops/stencil.hpp"   // IWYU pragma: export
+#include "miniops/tiling.hpp"    // IWYU pragma: export

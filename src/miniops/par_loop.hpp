@@ -1,0 +1,154 @@
+// par_loop.hpp — the templated miniops front-end (ops_par_loop equivalent).
+//
+//   ops::par_loop(ctx, "advance", range, /*flops_per_cell=*/3,
+//                 [](ops::Acc u, ops::Acc w) { w(0,0) = 0.5 * u(1,0); },
+//                 ops::arg_dat(u_dat, ops::AccessMode::kRead, Stencil::star5()),
+//                 ops::arg_dat(w_dat, ops::AccessMode::kWrite));
+//
+// Kernel parameters correspond positionally to the trailing argument
+// descriptors: ArgDat -> ops::Acc bound to the current point, ArgGbl ->
+// double& (a per-thread reduction slot; the final combined/allreduced value
+// lands in the ArgGbl's target after the call).
+#pragma once
+
+#include <memory>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "miniops/context.hpp"
+
+namespace ops {
+
+namespace detail {
+
+struct HostBind {
+  double* origin;
+  int stride;
+};
+struct DevBind {
+  Dat* dat;
+};
+using GblBind = std::shared_ptr<GblScratch>;
+
+inline HostBind bind_host(const ArgDat& a) {
+  return HostBind{a.dat->origin(), a.dat->row_stride()};
+}
+inline const GblBind& bind_host(const GblBind& g) { return g; }
+
+inline DevBind bind_dev(const ArgDat& a) { return DevBind{a.dat}; }
+inline const GblBind& bind_dev(const GblBind& g) { return g; }
+
+template <typename B>
+decltype(auto) deref(const B& b, int i, int j) {
+  if constexpr (std::is_same_v<B, HostBind>) {
+    return Acc(b.origin + static_cast<std::ptrdiff_t>(j) * b.stride + i,
+               b.stride);
+  } else if constexpr (std::is_same_v<B, DevBind>) {
+    double* origin = b.dat->device_origin();
+    const int stride = b.dat->row_stride();
+    return Acc(origin + static_cast<std::ptrdiff_t>(j) * stride + i, stride);
+  } else {
+    static_assert(std::is_same_v<B, GblBind>, "unknown binder");
+    return static_cast<double&>(b->slot());
+  }
+}
+
+// Argument classification helpers.
+inline void collect(LoopRecord& rec, const ArgDat& a) {
+  rec.dats.push_back(LoopRecord::DatUse{a.dat, a.mode, a.stencil->ylo(),
+                                        a.stencil->yhi(), a.stencil->xlo(),
+                                        a.stencil->xhi()});
+}
+inline void collect(LoopRecord& rec, const ArgGbl&) {
+  rec.has_reduction = true;
+}
+
+/// Normalize an argument for closure capture: ArgGbl becomes a shared
+/// scratch, ArgDat passes through.
+struct NormalizedGbl {
+  GblBind scratch;
+  double* target;
+  ReduceOp op;
+};
+
+inline const ArgDat& normalize(const ArgDat& a,
+                               std::vector<NormalizedGbl>&) {
+  return a;
+}
+inline GblBind normalize(const ArgGbl& g, std::vector<NormalizedGbl>& gbls) {
+  auto scratch = std::make_shared<GblScratch>(g.op);
+  gbls.push_back(NormalizedGbl{scratch, g.target, g.op});
+  return scratch;
+}
+
+inline const Dat* first_dat() { return nullptr; }
+template <typename... Rest>
+const Dat* first_dat(const ArgDat& a, const Rest&...) {
+  return a.dat;
+}
+template <typename A0, typename... Rest>
+const Dat* first_dat(const A0&, const Rest&... rest) {
+  return first_dat(rest...);
+}
+
+}  // namespace detail
+
+template <typename Kernel, typename... Args>
+void par_loop(Context& ctx, const std::string& name, const Range& global_range,
+              int flops_per_cell, Kernel kernel, Args... args) {
+  const Dat* anchor = detail::first_dat(args...);
+  TL_REQUIRE(anchor != nullptr, "par_loop needs at least one dat argument");
+
+  LoopRecord rec;
+  rec.name = name;
+  rec.flops_per_cell = flops_per_cell;
+  rec.local_range = ctx.clip_to_local(global_range, *anchor);
+  (detail::collect(rec, args), ...);
+
+  std::vector<detail::NormalizedGbl> gbls;
+  auto binders_src = std::make_tuple(detail::normalize(args, gbls)...);
+
+  if (ctx.is_device()) {
+    rec.device_elem = [kernel, binders = std::move(binders_src)](int i, int j) {
+      std::apply(
+          [&](const auto&... b) {
+            kernel(detail::deref(detail::bind_dev(b), i, j)...);
+          },
+          binders);
+    };
+  } else {
+    rec.host_exec = [kernel, binders = std::move(binders_src)](
+                        int x0, int x1, int y0, int y1) {
+      std::apply(
+          [&](const auto&... b) {
+            const auto bound = std::make_tuple(detail::bind_host(b)...);
+            for (int j = y0; j < y1; ++j) {
+              for (int i = x0; i < x1; ++i) {
+                std::apply(
+                    [&](const auto&... bb) {
+                      kernel(detail::deref(bb, i, j)...);
+                    },
+                    bound);
+              }
+            }
+          },
+          binders);
+    };
+  }
+
+  ctx.execute(std::move(rec));
+
+  for (const detail::NormalizedGbl& g : gbls) {
+    *g.target = ctx.finish_reduction(g.scratch->combined(), g.op);
+  }
+}
+
+/// Overload with a default flop estimate (5 flops/cell, typical of TeaLeaf's
+/// pointwise kernels).
+template <typename Kernel, typename... Args>
+void par_loop(Context& ctx, const std::string& name, const Range& global_range,
+              Kernel kernel, Args... args) {
+  par_loop(ctx, name, global_range, 5, std::move(kernel), args...);
+}
+
+}  // namespace ops

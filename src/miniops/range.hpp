@@ -1,0 +1,37 @@
+// range.hpp — iteration ranges and access modes for miniops par_loops.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace ops {
+
+/// Half-open 2D iteration range in *global interior* coordinates: the mesh
+/// interior is [0,nx) x [0,ny); halo cells sit at negative indices / >= n.
+struct Range {
+  int x0 = 0, x1 = 0;
+  int y0 = 0, y1 = 0;
+
+  bool empty() const { return x0 >= x1 || y0 >= y1; }
+  long cells() const {
+    return empty() ? 0
+                   : static_cast<long>(x1 - x0) * static_cast<long>(y1 - y0);
+  }
+
+  Range intersect(const Range& o) const {
+    return Range{std::max(x0, o.x0), std::min(x1, o.x1), std::max(y0, o.y0),
+                 std::min(y1, o.y1)};
+  }
+
+  std::string to_string() const {
+    return "[" + std::to_string(x0) + "," + std::to_string(x1) + ")x[" +
+           std::to_string(y0) + "," + std::to_string(y1) + ")";
+  }
+};
+
+enum class AccessMode { kRead, kWrite, kReadWrite };
+
+inline bool reads(AccessMode m) { return m != AccessMode::kWrite; }
+inline bool writes(AccessMode m) { return m != AccessMode::kRead; }
+
+}  // namespace ops

@@ -1,0 +1,75 @@
+// stencil.hpp — access stencils.  A par_loop argument's stencil declares which
+// neighbour cells the kernel may touch; the library derives halo-exchange
+// depth and tiling dependency skews from the extents, exactly as OPS does.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ops {
+
+class Stencil {
+public:
+  using Point = std::array<int, 2>;  // (dx, dy)
+
+  explicit Stencil(std::vector<Point> points) : points_(std::move(points)) {
+    TL_REQUIRE(!points_.empty(), "stencil needs at least one point");
+    for (const Point& p : points_) {
+      xlo_ = std::min(xlo_, p[0]);
+      xhi_ = std::max(xhi_, p[0]);
+      ylo_ = std::min(ylo_, p[1]);
+      yhi_ = std::max(yhi_, p[1]);
+    }
+  }
+
+  /// The single-point stencil {(0,0)}.
+  static const Stencil& point();
+  /// The 5-point star {(0,0),(±1,0),(0,±1)}.
+  static const Stencil& star5();
+  /// Star of radius `r` along the axes (used by depth-2 halo reads).
+  static Stencil star(int radius);
+
+  const std::vector<Point>& points() const { return points_; }
+
+  // Extents (inclusive): reads reach [x+xlo, x+xhi], [y+ylo, y+yhi].
+  int xlo() const { return xlo_; }
+  int xhi() const { return xhi_; }
+  int ylo() const { return ylo_; }
+  int yhi() const { return yhi_; }
+
+  /// Maximum axis reach; the halo depth a read through this stencil needs.
+  int max_extent() const {
+    return std::max({-xlo_, xhi_, -ylo_, yhi_});
+  }
+
+  bool is_point() const { return max_extent() == 0; }
+
+private:
+  std::vector<Point> points_;
+  int xlo_ = 0, xhi_ = 0, ylo_ = 0, yhi_ = 0;
+};
+
+inline const Stencil& Stencil::point() {
+  static const Stencil s({{0, 0}});
+  return s;
+}
+
+inline const Stencil& Stencil::star5() {
+  static const Stencil s({{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}});
+  return s;
+}
+
+inline Stencil Stencil::star(int radius) {
+  std::vector<Point> pts{{0, 0}};
+  for (int r = 1; r <= radius; ++r) {
+    pts.push_back({r, 0});
+    pts.push_back({-r, 0});
+    pts.push_back({0, r});
+    pts.push_back({0, -r});
+  }
+  return Stencil(std::move(pts));
+}
+
+}  // namespace ops

@@ -1,0 +1,175 @@
+#include "miniops/tiling.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ops {
+
+namespace {
+
+/// Required end row for loop k in the current tile, from the already-fixed
+/// ends of later loops.  All three dependence kinds skew loop k forward:
+///   RAW — a later loop m reads (with stencil reach +b) a dat k writes:
+///         k must have produced rows < end_m + b, so end_k >= end_m + b;
+///   WAR — a later loop m overwrites a dat k reads (with reach -a below):
+///         k must have consumed rows < end_m + a before m clobbers them,
+///         so end_k >= end_m + a;
+///   WAW — both write: k's later-tile writes must never land on rows m has
+///         already finalised, so end_k >= end_m.
+int required_end(const std::vector<LoopRecord>& loops, std::size_t k,
+                 const std::vector<int>& later_ends, int nominal_end) {
+  const LoopRecord& earlier = loops[k];
+  int end = nominal_end;
+  for (std::size_t m = k + 1; m < loops.size(); ++m) {
+    const LoopRecord& later = loops[m];
+    for (const auto& later_use : later.dats) {
+      for (const auto& early_use : earlier.dats) {
+        if (early_use.dat != later_use.dat) continue;
+        if (writes(early_use.mode) && reads(later_use.mode)) {
+          end = std::max(end, later_ends[m] + std::max(0, later_use.yhi));
+        }
+        if (reads(early_use.mode) && writes(later_use.mode)) {
+          end = std::max(end, later_ends[m] + std::max(0, -early_use.ylo));
+        }
+        if (writes(early_use.mode) && writes(later_use.mode)) {
+          end = std::max(end, later_ends[m]);
+        }
+      }
+    }
+  }
+  return end;
+}
+
+}  // namespace
+
+TilePlan::TilePlan(const std::vector<LoopRecord>& loops,
+                   const TileConfig& config, int local_nx) {
+  TL_REQUIRE(!loops.empty(), "tile plan over empty chain");
+  const std::size_t nloops = loops.size();
+
+  y_min_ = loops[0].local_range.y0;
+  y_max_ = loops[0].local_range.y1;
+  std::set<const Dat*> distinct;
+  for (const LoopRecord& l : loops) {
+    y_min_ = std::min(y_min_, l.local_range.y0);
+    y_max_ = std::max(y_max_, l.local_range.y1);
+    for (const auto& u : l.dats) distinct.insert(u.dat);
+  }
+  const int total_rows = std::max(0, y_max_ - y_min_);
+
+  if (config.tile_rows > 0) {
+    tile_rows_ = config.tile_rows;
+  } else {
+    // Fit the chain's per-row working set into the cache budget, with slack
+    // for stencil skew rows.
+    const std::size_t row_bytes =
+        std::max<std::size_t>(1, distinct.size()) *
+        static_cast<std::size_t>(std::max(1, local_nx)) * sizeof(double);
+    tile_rows_ = static_cast<int>(config.cache_bytes / (2 * row_bytes));
+    tile_rows_ = std::clamp(tile_rows_, 8, std::max(8, total_rows));
+  }
+
+  const int ntiles =
+      total_rows == 0 ? 1 : (total_rows + tile_rows_ - 1) / tile_rows_;
+
+  // Backward-skewed per-tile ends; prev_end[k] tracks where loop k stopped
+  // in the previous tile (its start here).
+  std::vector<int> prev_end(nloops);
+  for (std::size_t k = 0; k < nloops; ++k) {
+    prev_end[k] = loops[k].local_range.y0;
+  }
+
+  tiles_.reserve(static_cast<std::size_t>(ntiles));
+  for (int t = 0; t < ntiles; ++t) {
+    const bool last_tile = (t == ntiles - 1);
+    const int nominal = last_tile ? y_max_ : y_min_ + (t + 1) * tile_rows_;
+
+    std::vector<int> ends(nloops);
+    // Sweep the chain from last loop to first, growing ends through the
+    // dependence skews.
+    for (std::size_t kk = nloops; kk-- > 0;) {
+      int end = last_tile ? loops[kk].local_range.y1
+                          : required_end(loops, kk, ends, nominal);
+      end = std::clamp(end, loops[kk].local_range.y0,
+                       loops[kk].local_range.y1);
+      end = std::max(end, prev_end[kk]);  // never regress
+      ends[kk] = end;
+    }
+
+    std::vector<TileSlice> slices(nloops);
+    for (std::size_t k = 0; k < nloops; ++k) {
+      slices[k] = TileSlice{prev_end[k], ends[k]};
+      prev_end[k] = ends[k];
+    }
+    tiles_.push_back(std::move(slices));
+  }
+
+  // Partition check: the final tile must finish every loop.
+  for (std::size_t k = 0; k < nloops; ++k) {
+    TL_REQUIRE(tiles_.back()[k].y_end == loops[k].local_range.y1,
+               "tile plan failed to cover loop '" + loops[k].name + "'");
+  }
+}
+
+TilePlan::Traffic TilePlan::traffic(
+    const std::vector<LoopRecord>& loops) const {
+  Traffic total;
+  for (const auto& tile : tiles_) {
+    std::set<const Dat*> in_cache;
+    for (std::size_t k = 0; k < loops.size(); ++k) {
+      const TileSlice& s = tile[k];
+      const int rows = std::max(0, s.y_end - s.y_begin);
+      if (rows == 0) continue;
+      const LoopRecord& l = loops[k];
+      const long long row_cells = std::max(0, l.local_range.x1 -
+                                                  l.local_range.x0);
+      long long cells = static_cast<long long>(rows) * row_cells;
+      if (l.traffic_cells_override >= 0) {
+        // Sparse-footprint loops (halo records): apportion the true total by
+        // the fraction of their rows this tile executes.
+        const int total_rows =
+            std::max(1, l.local_range.y1 - l.local_range.y0);
+        cells = l.traffic_cells_override * rows / total_rows;
+      }
+      total.flops += cells * l.flops_per_cell;
+      for (const auto& use : l.dats) {
+        const long long bytes = cells * static_cast<long long>(sizeof(double));
+        const bool cached = in_cache.count(use.dat) != 0;
+        if (reads(use.mode) && !cached) total.bytes_read += bytes;
+        if (writes(use.mode) && !cached) total.bytes_written += bytes;
+        in_cache.insert(use.dat);
+      }
+    }
+  }
+  return total;
+}
+
+double TilePlan::reuse_factor(const std::vector<LoopRecord>& loops) const {
+  const Traffic tiled = traffic(loops);
+  const Traffic flat = untiled_traffic(loops);
+  const double flat_bytes =
+      static_cast<double>(flat.bytes_read + flat.bytes_written);
+  if (flat_bytes <= 0.0) return 1.0;
+  return static_cast<double>(tiled.bytes_read + tiled.bytes_written) /
+         flat_bytes;
+}
+
+TilePlan::Traffic untiled_traffic(const std::vector<LoopRecord>& loops) {
+  TilePlan::Traffic total;
+  for (const LoopRecord& l : loops) {
+    const long long cells = l.traffic_cells_override >= 0
+                                ? l.traffic_cells_override
+                                : l.local_range.cells();
+    total.flops += cells * l.flops_per_cell;
+    for (const auto& use : l.dats) {
+      const long long bytes = cells * static_cast<long long>(sizeof(double));
+      if (reads(use.mode)) total.bytes_read += bytes;
+      if (writes(use.mode)) total.bytes_written += bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace ops

@@ -1,0 +1,69 @@
+// forall.hpp — miniraja loop execution: forall<policy> and a 2D nested
+// kernel.  Host policies count one kernel launch; the GPU policy delegates to
+// simgpu, which counts its own.
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+#include "machine/instrumentation.hpp"
+#include "miniraja/policy.hpp"
+#include "simgpu/device.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace raja {
+
+namespace detail {
+inline machine::Instrumentation& instr() {
+  return machine::Instrumentation::global();
+}
+}  // namespace detail
+
+template <typename Policy, typename F>
+void forall(const RangeSegment& seg, F&& f) {
+  if constexpr (std::is_same_v<Policy, seq_exec>) {
+    for (long i = seg.begin(); i < seg.end(); ++i) f(i);
+    detail::instr().add_launch();
+  } else if constexpr (std::is_same_v<Policy, omp_parallel_for_exec>) {
+    tlp::global_pool().parallel_for(seg.begin(), seg.end(),
+                                    [&](long lo, long hi) {
+                                      for (long i = lo; i < hi; ++i) f(i);
+                                    });
+    detail::instr().add_launch();
+  } else {
+    static_assert(std::is_same_v<Policy, simgpu_exec>, "unknown policy");
+    simgpu::default_device().launch_1d(
+        "raja_forall", seg.size(), {},
+        [&, b = seg.begin()](long i) { f(b + i); });
+  }
+}
+
+/// Nested 2D loop (RAJA::kernel<> with two For statements): outer segment is
+/// work-shared / mapped to grid-y, inner runs contiguous.
+template <typename Policy, typename F>
+void kernel_2d(const RangeSegment& outer, const RangeSegment& inner, F&& f) {
+  if constexpr (std::is_same_v<Policy, seq_exec>) {
+    for (long j = outer.begin(); j < outer.end(); ++j) {
+      for (long i = inner.begin(); i < inner.end(); ++i) f(j, i);
+    }
+    detail::instr().add_launch();
+  } else if constexpr (std::is_same_v<Policy, omp_parallel_for_exec>) {
+    tlp::global_pool().parallel_for(
+        outer.begin(), outer.end(), [&](long lo, long hi) {
+          for (long j = lo; j < hi; ++j) {
+            for (long i = inner.begin(); i < inner.end(); ++i) f(j, i);
+          }
+        });
+    detail::instr().add_launch();
+  } else {
+    static_assert(std::is_same_v<Policy, simgpu_exec>, "unknown policy");
+    simgpu::default_device().launch_2d(
+        "raja_kernel_2d", static_cast<int>(inner.size()),
+        static_cast<int>(outer.size()), {},
+        [&, jb = outer.begin(), ib = inner.begin()](int x, int y) {
+          f(jb + y, ib + x);
+        });
+  }
+}
+
+}  // namespace raja

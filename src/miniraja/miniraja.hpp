@@ -1,0 +1,6 @@
+// miniraja.hpp — umbrella header for the RAJA-substitute library.
+#pragma once
+
+#include "miniraja/forall.hpp"  // IWYU pragma: export
+#include "miniraja/policy.hpp"  // IWYU pragma: export
+#include "miniraja/reduce.hpp"  // IWYU pragma: export

@@ -1,0 +1,29 @@
+// policy.hpp — miniraja execution policies (the RAJA substitution,
+// DESIGN.md §2).  Policy names intentionally mirror RAJA's so backend code
+// reads like RAJA code.
+#pragma once
+
+namespace raja {
+
+/// Sequential on the calling thread.
+struct seq_exec {};
+/// Host thread pool (RAJA::omp_parallel_for_exec equivalent).
+struct omp_parallel_for_exec {};
+/// Simulated GPU (RAJA::cuda_exec<BLOCK> equivalent; the block size comes
+/// from the device's configured block geometry).
+struct simgpu_exec {};
+
+/// Contiguous index range [begin, end), as RAJA::RangeSegment.
+class RangeSegment {
+public:
+  RangeSegment(long begin, long end) : begin_(begin), end_(end) {}
+  long begin() const { return begin_; }
+  long end() const { return end_; }
+  long size() const { return end_ - begin_; }
+
+private:
+  long begin_;
+  long end_;
+};
+
+}  // namespace raja

@@ -1,0 +1,122 @@
+// reduce.hpp — miniraja portable reducer objects.
+//
+// RAJA reducers are value-semantic objects captured by the loop lambda; the
+// same user code works across serial, OpenMP and CUDA policies.  We implement
+// the host mechanics RAJA uses: per-thread padded accumulation slots keyed by
+// a stable thread id, folded on get().  Because simgpu kernels execute on
+// pool threads, the identical mechanism serves the GPU policy too.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "threading/thread_id.hpp"
+
+namespace raja {
+
+namespace detail {
+
+template <typename T>
+struct alignas(64) PaddedSlot {
+  T value{};
+};
+
+template <typename T, typename Fold>
+class ReducerState {
+public:
+  explicit ReducerState(T identity) : identity_(identity) {
+    for (auto& s : slots_) s.value = identity;
+  }
+
+  void combine(const T& v) {
+    auto& slot = slots_[static_cast<std::size_t>(tlp::current_thread_id())];
+    slot.value = Fold()(slot.value, v);
+  }
+
+  T get() const {
+    T acc = identity_;
+    for (const auto& s : slots_) acc = Fold()(acc, s.value);
+    return acc;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.value = identity_;
+  }
+
+private:
+  T identity_;
+  std::array<PaddedSlot<T>, tlp::kMaxThreadIds> slots_;
+};
+
+struct FoldSum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+struct FoldMin {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+struct FoldMax {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+template <typename T, typename Fold>
+class Reducer {
+public:
+  explicit Reducer(T initial, T identity)
+      : state_(std::make_shared<ReducerState<T, Fold>>(identity)),
+        initial_(initial) {}
+
+  /// Final reduced value (RAJA's implicit conversion / .get()).
+  T get() const { return Fold()(initial_, state_->get()); }
+  operator T() const { return get(); }
+
+protected:
+  std::shared_ptr<ReducerState<T, Fold>> state_;
+  T initial_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class ReduceSum : public detail::Reducer<T, detail::FoldSum> {
+public:
+  explicit ReduceSum(T initial = T{})
+      : detail::Reducer<T, detail::FoldSum>(initial, T{}) {}
+  /// RAJA idiom: `sum += value;` inside the loop body.
+  const ReduceSum& operator+=(const T& v) const {
+    const_cast<ReduceSum*>(this)->state_->combine(v);
+    return *this;
+  }
+};
+
+template <typename T>
+class ReduceMin : public detail::Reducer<T, detail::FoldMin> {
+public:
+  explicit ReduceMin(T initial)
+      : detail::Reducer<T, detail::FoldMin>(initial, initial) {}
+  const ReduceMin& min(const T& v) const {
+    const_cast<ReduceMin*>(this)->state_->combine(v);
+    return *this;
+  }
+};
+
+template <typename T>
+class ReduceMax : public detail::Reducer<T, detail::FoldMax> {
+public:
+  explicit ReduceMax(T initial)
+      : detail::Reducer<T, detail::FoldMax>(initial, initial) {}
+  const ReduceMax& max(const T& v) const {
+    const_cast<ReduceMax*>(this)->state_->combine(v);
+    return *this;
+  }
+};
+
+}  // namespace raja

@@ -1,0 +1,69 @@
+#include "ppmetric/paper_data.hpp"
+
+namespace ppm::paper {
+
+const std::vector<Table3Row>& table3() {
+  // Values transcribed from the paper's Table III (percent / 100).
+  static const std::vector<Table3Row> rows = {
+      // fw       xeon com/bw/app      knl com/bw/app       P(cpu) com/bw/app    p100 com/bw/app      P(all) com/bw/app
+      {"manual", 0.0096, 0.6049, 1.0000, 0.0152, 0.9161, 0.9373, 0.0118, 0.7319, 0.9676, 0.0236, 0.7570, 1.0000, 0.0142, 0.7401, 0.9782},
+      {"ops",    0.0135, 0.8961, 0.6702, 0.0339, 0.9593, 1.0000, 0.0193, 0.9266, 0.8026, 0.0283, 0.6121, 0.5732, 0.0216, 0.7911, 0.7081},
+      {"kokkos", 0.0273, 0.6411, 0.9145, 0.0157, 0.2359, 0.3140, 0.0200, 0.3449, 0.4674, 0.0530, 0.6586, 0.7265, 0.0252, 0.4100, 0.5305},
+      {"raja",   0.0091, 0.5313, 0.8073, 0.0160, 0.6087, 0.8425, 0.0116, 0.5674, 0.8245, 0.0187, 0.7063, 0.6746, 0.0133, 0.6072, 0.7677},
+  };
+  return rows;
+}
+
+const std::vector<QuotedTime>& quoted_times() {
+  static const std::vector<QuotedTime> times = {
+      {"kokkos-omp", "xeon", 1000, 4.49},
+      {"kokkos-omp", "knl", 1000, 11.02},
+  };
+  return times;
+}
+
+const std::vector<ShapeClaim>& shape_claims() {
+  static const std::vector<ShapeClaim> claims = {
+      {"manual MPI is almost always faster than manual OpenMP (4000^2 Xeon)",
+       "manual-mpi", "manual-omp", "xeon", 4000},
+      {"OPS MPI Tiled beats OPS OpenMP on the KNL (4000^2)",
+       "ops-tiled", "ops-omp", "knl", 4000},
+      {"OPS MPI Tiled beats OPS MPI+OpenMP on the KNL (4000^2)",
+       "ops-tiled", "ops-hybrid", "knl", 4000},
+      {"Kokkos OpenMP is the slowest OpenMP variant on the Xeon (1000^2): "
+       "RAJA OpenMP beats it",
+       "raja-omp", "kokkos-omp", "xeon", 1000},
+      {"manual OpenACC (CPU) is the best implementation on the Xeon (4000^2): "
+       "beats OPS tiled",
+       "manual-acc-cpu", "ops-tiled", "xeon", 4000},
+      {"RAJA OpenMP gives the best OpenMP time on the KNL (4000^2) vs Kokkos",
+       "raja-omp", "kokkos-omp", "knl", 4000},
+      {"manual CUDA is the fastest GPU variant (1000^2)",
+       "manual-cuda", "kokkos-cuda", "p100", 1000},
+      {"manual CUDA is the fastest GPU variant (4000^2)",
+       "manual-cuda", "kokkos-cuda", "p100", 4000},
+      {"Kokkos CUDA beats OPS CUDA on the P100 (4000^2)",
+       "kokkos-cuda", "ops-cuda", "p100", 4000},
+      {"Kokkos CUDA beats RAJA CUDA on the P100 (4000^2)",
+       "kokkos-cuda", "raja-cuda", "p100", 4000},
+      {"Kokkos CUDA beats manual OpenACC GPU at 1000^2",
+       "kokkos-cuda", "manual-acc-gpu", "p100", 1000},
+      {"RAJA CUDA beats OPS CUDA at 4000^2",
+       "raja-cuda", "ops-cuda", "p100", 4000},
+      {"OPS CUDA beats RAJA CUDA at 1000^2",
+       "ops-cuda", "raja-cuda", "p100", 1000},
+      {"CUDA beats OpenACC on the GPU (manual, 4000^2)",
+       "manual-cuda", "manual-acc-gpu", "p100", 4000},
+  };
+  return claims;
+}
+
+const std::vector<GpuCpuGap>& gpu_cpu_gaps() {
+  static const std::vector<GpuCpuGap> gaps = {
+      {1000, 3.04},
+      {4000, 50.57},
+  };
+  return gaps;
+}
+
+}  // namespace ppm::paper

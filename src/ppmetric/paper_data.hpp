@@ -1,0 +1,55 @@
+// paper_data.hpp — the paper's published evaluation numbers, embedded for
+// side-by-side comparison in the bench harnesses and EXPERIMENTS.md.
+// Sources: Table III (exact values) and §IV's quantitative statements about
+// Figures 1-2 (the figures themselves are bar charts; only a few absolute
+// values are given in the text).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppm::paper {
+
+/// Table III row (percentages as fractions).
+struct Table3Row {
+  std::string framework;
+  // xeon, knl: {compute, bw, app}; p100 likewise.
+  double xeon_com, xeon_bw, xeon_app;
+  double knl_com, knl_bw, knl_app;
+  double p_cpu_com, p_cpu_bw, p_cpu_app;
+  double p100_com, p100_bw, p100_app;
+  double p_all_com, p_all_bw, p_all_app;
+};
+
+/// The paper's Table III (4000^2 mesh).
+const std::vector<Table3Row>& table3();
+
+/// Absolute times quoted in §IV-B (10 steps):
+///   Kokkos OpenMP, 1000^2: 4.49 s (Xeon), 11.02 s (KNL).
+struct QuotedTime {
+  std::string variant;
+  std::string machine;
+  int mesh;  // 1000 or 4000
+  double seconds;
+};
+const std::vector<QuotedTime>& quoted_times();
+
+/// Qualitative orderings the text asserts (used as shape checks):
+struct ShapeClaim {
+  std::string description;
+  // "faster": variant a beats variant b on machine m at mesh size.
+  std::string a, b, machine;
+  int mesh;
+};
+const std::vector<ShapeClaim>& shape_claims();
+
+/// §IV-C: best-GPU vs best-CPU gap: 3.04% (1000^2), 50.57% (4000^2).
+struct GpuCpuGap {
+  int mesh;
+  double percent;
+};
+const std::vector<GpuCpuGap>& gpu_cpu_gaps();
+
+}  // namespace ppm::paper

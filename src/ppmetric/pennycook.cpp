@@ -1,0 +1,27 @@
+#include "ppmetric/pennycook.hpp"
+
+#include "common/error.hpp"
+
+namespace ppm {
+
+double pennycook(std::span<const std::optional<double>> efficiencies) {
+  TL_REQUIRE(!efficiencies.empty(), "pennycook metric over an empty set");
+  double inv_sum = 0.0;
+  for (const std::optional<double>& e : efficiencies) {
+    if (!e.has_value() || *e <= 0.0) return 0.0;
+    inv_sum += 1.0 / *e;
+  }
+  return static_cast<double>(efficiencies.size()) / inv_sum;
+}
+
+double application_efficiency(double best_time_s, double time_s) {
+  if (time_s <= 0.0) return 0.0;
+  return best_time_s / time_s;
+}
+
+double architecture_efficiency(double achieved, double peak) {
+  if (peak <= 0.0) return 0.0;
+  return achieved / peak;
+}
+
+}  // namespace ppm

@@ -1,0 +1,28 @@
+// pennycook.hpp — the performance-portability metric of Pennycook, Sewall &
+// Lee (arXiv:1611.07409), as used in the paper's §V:
+//
+//   PP(a, p, H) = |H| / sum_{i in H} 1/e_i(a, p)   if a runs on all i in H
+//              = 0                                 otherwise
+//
+// where e_i is either *application efficiency* (best observed time on i
+// divided by a's time on i) or *architecture efficiency* (achieved fraction
+// of i's peak bandwidth or compute).
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace ppm {
+
+/// Harmonic-mean metric over per-platform efficiencies in (0, 1].  Returns 0
+/// if any platform is unsupported (nullopt) or has non-positive efficiency;
+/// the set must be non-empty.
+double pennycook(std::span<const std::optional<double>> efficiencies);
+
+/// Application efficiency: best time on the platform / this time.
+double application_efficiency(double best_time_s, double time_s);
+
+/// Architecture efficiency: achieved / peak (bandwidth or compute).
+double architecture_efficiency(double achieved, double peak);
+
+}  // namespace ppm

@@ -1,0 +1,154 @@
+#include "ppmetric/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "ppmetric/pennycook.hpp"
+
+namespace ppm {
+
+namespace {
+
+std::string framework_of(const std::string& variant) {
+  const auto dash = variant.find('-');
+  return dash == std::string::npos ? variant : variant.substr(0, dash);
+}
+
+}  // namespace
+
+std::vector<FrameworkRow> build_table3(
+    const std::vector<VariantResult>& results,
+    const std::vector<std::string>& cpu_machines,
+    const std::vector<std::string>& gpu_machines) {
+  // Best overall time per machine (application-efficiency denominator).
+  std::map<std::string, double> best_time;
+  for (const VariantResult& r : results) {
+    auto [it, inserted] = best_time.emplace(r.machine, r.time_s);
+    if (!inserted) it->second = std::min(it->second, r.time_s);
+  }
+
+  // Frameworks in first-seen order.
+  std::vector<std::string> frameworks;
+  for (const VariantResult& r : results) {
+    const std::string fw = framework_of(r.variant);
+    if (std::find(frameworks.begin(), frameworks.end(), fw) ==
+        frameworks.end()) {
+      frameworks.push_back(fw);
+    }
+  }
+
+  std::vector<std::string> all_machines = cpu_machines;
+  all_machines.insert(all_machines.end(), gpu_machines.begin(),
+                      gpu_machines.end());
+
+  std::vector<FrameworkRow> rows;
+  for (const std::string& fw : frameworks) {
+    FrameworkRow row;
+    row.framework = fw;
+
+    for (const std::string& m : all_machines) {
+      // The framework is represented on each machine by its best variant,
+      // independently for time (app eff) and achieved rates (arch eff) — the
+      // paper notes these need not be the same implementation.
+      MachineEfficiency eff;
+      for (const VariantResult& r : results) {
+        if (framework_of(r.variant) != fw || r.machine != m) continue;
+        eff.supported = true;
+        eff.app = std::max(eff.app,
+                           application_efficiency(best_time[m], r.time_s));
+        eff.arch_bw = std::max(
+            eff.arch_bw, architecture_efficiency(r.achieved_bw_gbs,
+                                                 r.peak_bw_gbs));
+        eff.arch_compute = std::max(
+            eff.arch_compute,
+            architecture_efficiency(r.achieved_gflops, r.peak_gflops));
+      }
+      row.per_machine[m] = eff;
+    }
+
+    const auto metric = [&](const std::vector<std::string>& machines,
+                            auto selector) {
+      std::vector<std::optional<double>> effs;
+      for (const std::string& m : machines) {
+        const MachineEfficiency& e = row.per_machine.at(m);
+        effs.push_back(e.supported ? std::optional<double>(selector(e))
+                                   : std::nullopt);
+      }
+      return pennycook(effs);
+    };
+
+    row.p_cpu_arch_compute = metric(
+        cpu_machines, [](const MachineEfficiency& e) { return e.arch_compute; });
+    row.p_cpu_arch_bw =
+        metric(cpu_machines, [](const MachineEfficiency& e) { return e.arch_bw; });
+    row.p_cpu_app =
+        metric(cpu_machines, [](const MachineEfficiency& e) { return e.app; });
+    row.p_all_arch_compute = metric(
+        all_machines, [](const MachineEfficiency& e) { return e.arch_compute; });
+    row.p_all_arch_bw =
+        metric(all_machines, [](const MachineEfficiency& e) { return e.arch_bw; });
+    row.p_all_app =
+        metric(all_machines, [](const MachineEfficiency& e) { return e.app; });
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+tl::Table render_table3(const std::vector<FrameworkRow>& rows,
+                        const std::vector<std::string>& cpu_machines,
+                        const std::vector<std::string>& gpu_machines) {
+  std::vector<std::string> headers{"Version"};
+  for (const std::string& m : cpu_machines) {
+    headers.push_back("Eff(" + m + ") Com%");
+    headers.push_back("Eff(" + m + ") BW%");
+    headers.push_back("Eff(" + m + ") App%");
+  }
+  headers.push_back("P(CPU) Com%");
+  headers.push_back("P(CPU) BW%");
+  headers.push_back("P(CPU) App%");
+  for (const std::string& m : gpu_machines) {
+    headers.push_back("Eff(" + m + ") Com%");
+    headers.push_back("Eff(" + m + ") BW%");
+    headers.push_back("Eff(" + m + ") App%");
+  }
+  headers.push_back("P(All) Com%");
+  headers.push_back("P(All) BW%");
+  headers.push_back("P(All) App%");
+
+  tl::Table table(headers);
+  const auto pct = [](double v) { return tl::Table::num(100.0 * v, 2); };
+  for (const FrameworkRow& row : rows) {
+    std::vector<std::string> cells{row.framework};
+    for (const std::string& m : cpu_machines) {
+      const MachineEfficiency& e = row.per_machine.at(m);
+      if (e.supported) {
+        cells.push_back(pct(e.arch_compute));
+        cells.push_back(pct(e.arch_bw));
+        cells.push_back(pct(e.app));
+      } else {
+        cells.insert(cells.end(), {"-", "-", "-"});
+      }
+    }
+    cells.push_back(pct(row.p_cpu_arch_compute));
+    cells.push_back(pct(row.p_cpu_arch_bw));
+    cells.push_back(pct(row.p_cpu_app));
+    for (const std::string& m : gpu_machines) {
+      const MachineEfficiency& e = row.per_machine.at(m);
+      if (e.supported) {
+        cells.push_back(pct(e.arch_compute));
+        cells.push_back(pct(e.arch_bw));
+        cells.push_back(pct(e.app));
+      } else {
+        cells.insert(cells.end(), {"-", "-", "-"});
+      }
+    }
+    cells.push_back(pct(row.p_all_arch_compute));
+    cells.push_back(pct(row.p_all_arch_bw));
+    cells.push_back(pct(row.p_all_app));
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace ppm

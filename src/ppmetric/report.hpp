@@ -1,0 +1,62 @@
+// report.hpp — assembles the paper's Table III from per-(variant, machine)
+// results: per-framework architecture efficiency (compute & bandwidth) and
+// application efficiency on each system, then the Pennycook metric over the
+// CPU set and the CPU ∪ GPU set.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace ppm {
+
+/// One measured/projected run of one backend variant on one machine.
+struct VariantResult {
+  std::string variant;   // e.g. "ops-tiled"
+  std::string machine;   // "xeon" | "knl" | "p100"
+  double time_s = 0.0;
+  double achieved_bw_gbs = 0.0;
+  double achieved_gflops = 0.0;
+  double peak_bw_gbs = 0.0;
+  double peak_gflops = 0.0;
+};
+
+struct MachineEfficiency {
+  double arch_compute = 0.0;  // fraction of peak FLOP/s
+  double arch_bw = 0.0;       // fraction of peak bandwidth
+  double app = 0.0;           // best time on machine / this framework's best
+  bool supported = false;
+};
+
+struct FrameworkRow {
+  std::string framework;  // "manual" | "ops" | "kokkos" | "raja"
+  std::map<std::string, MachineEfficiency> per_machine;
+  // Pennycook metric over the CPU machines and over CPU ∪ GPU, for each
+  // efficiency flavour (paper Table III's P columns).
+  double p_cpu_arch_compute = 0.0;
+  double p_cpu_arch_bw = 0.0;
+  double p_cpu_app = 0.0;
+  double p_all_arch_compute = 0.0;
+  double p_all_arch_bw = 0.0;
+  double p_all_app = 0.0;
+};
+
+/// Build Table III rows.  `cpu_machines` / `gpu_machines` name the machine
+/// ids forming H_cpu and H_gpu; frameworks are derived from variant prefixes
+/// ("manual-omp" -> "manual").  Within a framework the best (fastest) variant
+/// per machine represents it, as the paper does when it folds all manual
+/// ports into one "Manual" row.
+std::vector<FrameworkRow> build_table3(
+    const std::vector<VariantResult>& results,
+    const std::vector<std::string>& cpu_machines,
+    const std::vector<std::string>& gpu_machines);
+
+/// Render rows in the paper's layout.
+tl::Table render_table3(const std::vector<FrameworkRow>& rows,
+                        const std::vector<std::string>& cpu_machines,
+                        const std::vector<std::string>& gpu_machines);
+
+}  // namespace ppm

@@ -1,0 +1,80 @@
+// device_buffer.hpp — typed RAII wrapper over a simgpu device allocation,
+// with explicit upload/download (cudaMemcpy discipline).
+#pragma once
+
+#include <span>
+
+#include "common/error.hpp"
+#include "common/span2d.hpp"
+#include "simgpu/device.hpp"
+
+namespace simgpu {
+
+template <typename T>
+class DeviceBuffer {
+public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device),
+        count_(count),
+        data_(static_cast<T*>(device.allocate(count * sizeof(T)))) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { swap(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  void swap(DeviceBuffer& o) noexcept {
+    std::swap(device_, o.device_);
+    std::swap(count_, o.count_);
+    std::swap(data_, o.data_);
+  }
+
+  /// Device pointer — valid to dereference only inside kernels.
+  T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  void upload(std::span<const T> host) {
+    TL_REQUIRE(host.size() <= count_, "upload larger than device buffer");
+    device_->memcpy_h2d(data_, host.data(), host.size_bytes());
+  }
+
+  void download(std::span<T> host) const {
+    TL_REQUIRE(host.size() <= count_, "download larger than device buffer");
+    device_->memcpy_d2h(host.data(), data_, host.size_bytes());
+  }
+
+  /// 2D view for kernel code (device-side indexing).
+  tl::Span2D<T> span2d(int nx, int ny) const {
+    TL_REQUIRE(static_cast<std::size_t>(nx) * ny <= count_,
+               "span2d dimensions exceed device buffer");
+    return tl::Span2D<T>(data_, nx, ny);
+  }
+
+private:
+  void release() noexcept {
+    if (data_ != nullptr && device_ != nullptr) {
+      device_->deallocate(data_);
+    }
+    data_ = nullptr;
+    count_ = 0;
+    device_ = nullptr;
+  }
+
+  Device* device_ = nullptr;
+  std::size_t count_ = 0;
+  T* data_ = nullptr;
+};
+
+}  // namespace simgpu

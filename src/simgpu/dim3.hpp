@@ -1,0 +1,28 @@
+// dim3.hpp — CUDA-style launch geometry for the simulated GPU.
+#pragma once
+
+namespace simgpu {
+
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  long count() const {
+    return static_cast<long>(x) * static_cast<long>(y) * static_cast<long>(z);
+  }
+};
+
+/// Ceiling division used to size grids, as CUDA codes do.
+inline int div_up(int n, int block) { return (n + block - 1) / block; }
+
+/// Per-element kernel coordinates (blockIdx/threadIdx equivalents are
+/// recoverable from these plus the block dims, but kernels in this codebase
+/// consume the global index directly, as TeaLeaf's CUDA kernels do after
+/// their first line `i = blockIdx.x*blockDim.x + threadIdx.x`).
+struct GlobalIndex {
+  int x = 0;
+  int y = 0;
+};
+
+}  // namespace simgpu

@@ -1,0 +1,46 @@
+// barrier.hpp — reusable centralized barrier with sense reversal.  Used by the
+// pool's fork-join join phase and exposed for rank-style lockstep algorithms
+// (minimpi builds its collective barrier on top of this).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace tlp {
+
+class Barrier {
+public:
+  explicit Barrier(int participants)
+      : participants_(participants), waiting_(0), generation_(0) {
+    TL_REQUIRE(participants > 0, "barrier needs >= 1 participant");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants have arrived.  Reusable across phases.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const long gen = generation_;
+    if (++waiting_ == participants_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+  int participants() const noexcept { return participants_; }
+
+private:
+  const int participants_;
+  int waiting_;
+  long generation_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace tlp

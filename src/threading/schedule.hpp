@@ -1,0 +1,41 @@
+// schedule.hpp — loop scheduling policies for tlp::parallel_for, mirroring
+// OpenMP's static/dynamic/guided clauses (the paper's CPU builds all rely on
+// OpenMP work-sharing; this library is our from-scratch equivalent).
+#pragma once
+
+#include <algorithm>
+
+namespace tlp {
+
+enum class Schedule {
+  kStatic,   // contiguous equal blocks, decided up front (OpenMP default)
+  kDynamic,  // fixed-size chunks handed out on demand
+  kGuided,   // exponentially shrinking chunks
+};
+
+struct ForOptions {
+  Schedule schedule = Schedule::kStatic;
+  // Chunk granularity for dynamic/guided (elements); 0 = auto.
+  long chunk = 0;
+};
+
+/// The [begin,end) sub-range thread `tid` of `nthreads` owns under static
+/// scheduling.  Remainder elements are spread over the leading threads, as
+/// OpenMP's static schedule does.
+struct StaticRange {
+  long begin;
+  long end;
+};
+
+inline StaticRange static_partition(long begin, long end, int tid,
+                                    int nthreads) {
+  const long n = end - begin;
+  if (n <= 0 || nthreads <= 0) return {begin, begin};
+  const long base = n / nthreads;
+  const long rem = n % nthreads;
+  const long lo = begin + base * tid + std::min<long>(tid, rem);
+  const long hi = lo + base + (tid < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace tlp

@@ -1,0 +1,92 @@
+// Deck-level integration tests: the shipped input decks must parse to the
+// expected configurations, and the runnable ones must execute end-to-end
+// with conserved physics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path decks_dir() {
+  // Tests run from the build tree; decks live in the source tree.
+  for (fs::path p :
+       {fs::path(TEA_SOURCE_DIR) / "examples" / "decks",
+        fs::path("examples/decks"), fs::path("../examples/decks")}) {
+    if (fs::exists(p)) return p;
+  }
+  return {};
+}
+
+TEST(Decks, AllShippedDecksParse) {
+  const fs::path dir = decks_dir();
+  ASSERT_FALSE(dir.empty()) << "decks directory not found";
+  int parsed = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".in") continue;
+    EXPECT_NO_THROW({
+      const tl::Config cfg = tl::Config::load(entry.path().string());
+      EXPECT_GT(cfg.problem().x_cells, 0);
+      EXPECT_FALSE(cfg.problem().states.empty());
+    }) << entry.path();
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 4);
+}
+
+TEST(Decks, Bm1MatchesUpstreamShape) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_bm_1.in").string());
+  EXPECT_EQ(cfg.problem().x_cells, 10);
+  EXPECT_EQ(cfg.problem().end_step, 2);
+  EXPECT_EQ(cfg.problem().solver, tl::SolverKind::kCg);
+  EXPECT_DOUBLE_EQ(cfg.problem().eps, 1e-15);
+  ASSERT_EQ(cfg.problem().states.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.problem().states[1].ymax, 2.0);
+}
+
+TEST(Decks, Bm5IsThePaperTable3Problem) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_bm_5.in").string());
+  EXPECT_EQ(cfg.problem().x_cells, 4000);
+  EXPECT_EQ(cfg.problem().y_cells, 4000);
+  EXPECT_EQ(cfg.problem().end_step, 10);
+}
+
+TEST(Decks, Bm1RunsEndToEnd) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_bm_1.in").string());
+  const auto run = tea::run_simulation("serial", cfg.problem());
+  ASSERT_TRUE(run.all_converged());
+  // Upstream bm_1 conserved quantities: mass = 20*0.1 + 80*100, ie likewise.
+  EXPECT_NEAR(run.final_summary.mass, 8002.0, 1e-6);
+  EXPECT_NEAR(run.final_summary.vol, 100.0, 1e-9);
+  EXPECT_NEAR(run.final_summary.ie, 50.8, 1e-3);
+}
+
+TEST(Decks, PpcgPreconDeckExercisesExtensions) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_ppcg_precon.in").string());
+  EXPECT_EQ(cfg.problem().solver, tl::SolverKind::kPpcg);
+  EXPECT_EQ(cfg.problem().preconditioner, tl::PreconKind::kJacDiag);
+  EXPECT_EQ(cfg.problem().coefficient, tl::CoefficientKind::kDensity);
+  EXPECT_EQ(cfg.problem().ppcg_inner_steps, 12);
+  // Run a shrunken version end-to-end on two backend families.
+  auto p = cfg.problem();
+  p.x_cells = 48;
+  p.y_cells = 48;
+  p.end_step = 1;
+  const auto ref = tea::run_simulation("serial", p);
+  const auto kk = tea::run_simulation("kokkos-omp", p);
+  ASSERT_TRUE(ref.all_converged());
+  ASSERT_TRUE(kk.all_converged());
+  EXPECT_NEAR(kk.final_summary.temp, ref.final_summary.temp,
+              1e-7 * std::fabs(ref.final_summary.temp));
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Driver-level integration tests: deck-to-result runs, step accounting,
+// timing/counter capture and failure reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/config.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/driver.hpp"
+#include "core/problem.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+tl::ProblemConfig quick_problem() {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = 24;
+  cfg.problem().y_cells = 24;
+  cfg.problem().end_step = 3;
+  cfg.problem().eps = 1e-11;
+  return cfg.problem();
+}
+
+TEST(Driver, RunsConfiguredSteps) {
+  tea::ManualHostBackend backend("serial", nullptr, nullptr);
+  const tea::TeaDriver driver(quick_problem());
+  const auto result = driver.run(backend);
+  ASSERT_EQ(result.steps.size(), 3u);
+  EXPECT_EQ(result.steps[0].step, 1);
+  EXPECT_EQ(result.steps[2].step, 3);
+  EXPECT_TRUE(result.all_converged());
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_EQ(result.backend_id, "serial");
+  long total = 0;
+  for (const auto& s : result.steps) total += s.solve.iterations;
+  EXPECT_EQ(result.total_iterations, total);
+}
+
+TEST(Driver, CountersCoverTimedRegionOnly) {
+  tea::ManualHostBackend backend("serial", nullptr, nullptr);
+  const tea::TeaDriver driver(quick_problem());
+  const auto result = driver.run(backend);
+  // Setup painting is excluded; per-iteration traffic dominates.
+  EXPECT_GT(result.counters.total_bytes(), 0);
+  EXPECT_EQ(result.counters.solver_iterations, result.total_iterations);
+  EXPECT_GT(result.counters.halo_exchanges, 0);
+}
+
+TEST(Driver, NonConvergenceSurfacesInResult) {
+  auto cfg = quick_problem();
+  cfg.max_iters = 2;
+  cfg.eps = 1e-30;
+  tea::ManualHostBackend backend("serial", nullptr, nullptr);
+  const tea::TeaDriver driver(cfg);
+  const auto result = driver.run(backend);
+  EXPECT_FALSE(result.all_converged());
+}
+
+TEST(Driver, EmptyResultNotConverged) {
+  const tea::RunResult empty;
+  EXPECT_FALSE(empty.all_converged());
+}
+
+TEST(StateSampler, PaintsStatesInOrder) {
+  tl::Config cfg = tl::Config::parse(R"(*tea
+state 1 density=1.0 energy=2.0
+state 2 density=5.0 energy=6.0 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 ymax=5.0
+state 3 density=9.0 energy=1.0 geometry=circle xcentre=2.5 ycentre=2.5 radius=1.0
+x_cells=10
+y_cells=10
+xmin=0.0 xmax=10.0 ymin=0.0 ymax=10.0
+*endtea)");
+  const tea::StateSampler sampler(cfg.problem());
+  // Ambient cell.
+  EXPECT_DOUBLE_EQ(sampler.density_at(8, 8), 1.0);
+  // Rectangle region (cell centre 1.5, 1.5).
+  EXPECT_DOUBLE_EQ(sampler.density_at(1, 1), 5.0);
+  // Circle overrides rectangle at its centre (cell centre 2.5, 2.5).
+  EXPECT_DOUBLE_EQ(sampler.density_at(2, 2), 9.0);
+  EXPECT_DOUBLE_EQ(sampler.energy_at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sampler.cell_volume(), 1.0);
+}
+
+TEST(StateSampler, PointGeometryHitsSingleCell) {
+  tl::Config cfg = tl::Config::parse(R"(*tea
+state 1 density=1.0 energy=1.0
+state 2 density=3.0 energy=3.0 geometry=point xcentre=4.5 ycentre=4.5
+x_cells=10
+y_cells=10
+xmin=0.0 xmax=10.0 ymin=0.0 ymax=10.0
+*endtea)");
+  const tea::StateSampler sampler(cfg.problem());
+  int hits = 0;
+  for (int j = 0; j < 10; ++j) {
+    for (int i = 0; i < 10; ++i) hits += sampler.density_at(i, j) == 3.0;
+  }
+  EXPECT_EQ(hits, 1);
+  EXPECT_DOUBLE_EQ(sampler.density_at(4, 4), 3.0);
+}
+
+TEST(Driver, InitialSummaryMatchesAnalytic) {
+  // 10x10 default problem: state 2 strip covers y in [0,2) => 20 cells of
+  // density 0.1/energy 25; remaining 80 cells density 100/energy 0.0001.
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().end_step = 1;
+  const auto run = tea::run_simulation("serial", cfg.problem());
+  const double cell_vol = 1.0;
+  const double mass = 20 * 0.1 * cell_vol + 80 * 100.0 * cell_vol;
+  const double ie = 20 * 0.1 * 25.0 * cell_vol + 80 * 100.0 * 0.0001 * cell_vol;
+  EXPECT_NEAR(run.final_summary.mass, mass, 1e-9 * mass);
+  // Internal energy is conserved by the solve (energy moves, sum stays).
+  EXPECT_NEAR(run.final_summary.ie, ie, 1e-6 * ie);
+  EXPECT_NEAR(run.final_summary.vol, 100.0, 1e-12);
+}
+
+TEST(Driver, DifferentSolversSameAnswer) {
+  auto cfg = quick_problem();
+  cfg.end_step = 2;
+  cfg.solver = tl::SolverKind::kCg;
+  const auto cg = tea::run_simulation("serial", cfg);
+  cfg.solver = tl::SolverKind::kPpcg;
+  const auto ppcg = tea::run_simulation("serial", cfg);
+  EXPECT_NEAR(ppcg.final_summary.ie, cg.final_summary.ie,
+              1e-6 * std::fabs(cg.final_summary.ie));
+}
+
+TEST(Driver, WorkingSetScalesWithMesh) {
+  auto small = quick_problem();
+  auto large = quick_problem();
+  large.x_cells = 48;
+  large.y_cells = 48;
+  const auto rs = tea::run_simulation("serial", small);
+  const auto rl = tea::run_simulation("serial", large);
+  EXPECT_GT(rl.working_set_bytes, rs.working_set_bytes * 2);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for the bench harness itself: option handling, projection plumbing,
+// figure-table construction and shape-claim evaluation on a real (small)
+// variant sweep.  The harness is what turns instrumented runs into the
+// paper-artefact tables, so it gets the same scrutiny as the library.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/harness.hpp"
+#include "machine/efficiency.hpp"
+
+namespace {
+
+TEST(HarnessOptions, DefaultsAndEnvOverrides) {
+  unsetenv("TEA_BENCH_FULL");
+  unsetenv("TEA_BENCH_MESH");
+  unsetenv("TEA_BENCH_STEPS");
+  const auto d = bench::HarnessOptions::from_env(1000);
+  EXPECT_EQ(d.paper_mesh, 1000);
+  EXPECT_EQ(d.bench_mesh, 256);
+  EXPECT_EQ(d.bench_steps, 5);
+  EXPECT_EQ(d.paper_steps, 10);
+
+  setenv("TEA_BENCH_MESH", "96", 1);
+  setenv("TEA_BENCH_STEPS", "2", 1);
+  const auto o = bench::HarnessOptions::from_env(4000);
+  EXPECT_EQ(o.bench_mesh, 96);
+  EXPECT_EQ(o.bench_steps, 2);
+  EXPECT_EQ(o.paper_mesh, 4000);
+  unsetenv("TEA_BENCH_MESH");
+  unsetenv("TEA_BENCH_STEPS");
+
+  setenv("TEA_BENCH_FULL", "1", 1);
+  const auto f = bench::HarnessOptions::from_env(1000);
+  EXPECT_EQ(f.bench_mesh, 1000);
+  EXPECT_EQ(f.bench_steps, 10);
+  unsetenv("TEA_BENCH_FULL");
+}
+
+TEST(HarnessVariants, PaperGroupings) {
+  EXPECT_EQ(bench::cpu_variants().size(), 10u);
+  EXPECT_EQ(bench::gpu_variants().size(), 6u);
+  for (const auto& v : bench::cpu_variants()) {
+    EXPECT_FALSE(machine::is_gpu_variant(v)) << v;
+  }
+  for (const auto& v : bench::gpu_variants()) {
+    EXPECT_TRUE(machine::is_gpu_variant(v)) << v;
+  }
+}
+
+class HarnessRunTest : public ::testing::Test {
+protected:
+  static const std::vector<bench::VariantTimes>& rows() {
+    static const std::vector<bench::VariantTimes> r = [] {
+      bench::HarnessOptions o;
+      o.paper_mesh = 1000;
+      o.bench_mesh = 64;
+      o.bench_steps = 1;
+      o.eps = 1e-10;
+      o.ranks = 2;
+      return bench::run_variants({"manual-omp", "kokkos-omp", "manual-mpi"},
+                                 {"xeon", "knl"}, o);
+    }();
+    return r;
+  }
+};
+
+TEST_F(HarnessRunTest, EveryVariantProjectedOnEveryMachine) {
+  ASSERT_EQ(rows().size(), 3u);
+  for (const auto& row : rows()) {
+    EXPECT_GT(row.host_seconds, 0.0) << row.variant;
+    ASSERT_EQ(row.machines.size(), 2u) << row.variant;
+    for (const double s : row.seconds) EXPECT_GT(s, 0.0);
+    for (const double bw : row.achieved_bw_gbs) EXPECT_GT(bw, 0.0);
+  }
+}
+
+TEST_F(HarnessRunTest, IterationNormalisationSharesReference) {
+  // All variants project the same iteration count (normalised to the first).
+  const long ref = rows()[0].projected_iterations;
+  for (const auto& row : rows()) {
+    EXPECT_EQ(row.projected_iterations, ref) << row.variant;
+  }
+  // Scaling: 1 bench step of a 64^2 mesh projected to 10 steps of 1000^2
+  // multiplies iterations by (1000/64)*(10/1) against the measured count.
+  EXPECT_GT(ref, 100);
+}
+
+TEST_F(HarnessRunTest, LookupHelpers) {
+  const double t = bench::time_of(rows(), "manual-omp", "xeon");
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(bench::time_of(rows(), "nonexistent", "xeon"), 0.0);
+  EXPECT_LT(bench::time_of(rows(), "manual-omp", "p100"), 0.0);
+  const double best = bench::best_time_on(rows(), "knl");
+  for (const auto& row : rows()) {
+    const double s = bench::time_of(rows(), row.variant, "knl");
+    EXPECT_GE(s, best);
+  }
+}
+
+TEST_F(HarnessRunTest, CalibratedOrderingHoldsAtSmallScale) {
+  // Even from a tiny 64^2 probe the calibrated Kokkos-on-KNL collapse must
+  // appear in the projections (the efficiency residual dominates).
+  const double kokkos = bench::time_of(rows(), "kokkos-omp", "knl");
+  const double manual = bench::time_of(rows(), "manual-omp", "knl");
+  EXPECT_GT(kokkos, 2.0 * manual);
+}
+
+TEST(HarnessUnsupported, AccCpuSkipsKnl) {
+  bench::HarnessOptions o;
+  o.paper_mesh = 1000;
+  o.bench_mesh = 48;
+  o.bench_steps = 1;
+  o.eps = 1e-8;
+  const auto rows =
+      bench::run_variants({"manual-acc-cpu"}, {"xeon", "knl"}, o);
+  ASSERT_EQ(rows.size(), 1u);
+  // PGI 17.3 could not target the KNL host: only the Xeon column exists.
+  ASSERT_EQ(rows[0].machines.size(), 1u);
+  EXPECT_EQ(rows[0].machines[0], "xeon");
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Unit tests for the machine layer: counters, machine registry, efficiency
+// calibration table, and roofline projection properties.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/efficiency.hpp"
+#include "machine/instrumentation.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+
+namespace {
+
+using machine::Counters;
+using machine::EfficiencyProfile;
+using machine::MachineModel;
+
+TEST(Counters, ArithmeticAndSnapshot) {
+  machine::Instrumentation instr;
+  instr.add_traffic(100, 50, 10);
+  instr.add_launch(2);
+  instr.add_message(64);
+  instr.add_h2d(8);
+  instr.add_reduction();
+  const Counters c = instr.snapshot();
+  EXPECT_EQ(c.bytes_read, 100);
+  EXPECT_EQ(c.bytes_written, 50);
+  EXPECT_EQ(c.total_bytes(), 150);
+  EXPECT_EQ(c.flops, 10);
+  EXPECT_EQ(c.kernel_launches, 2);
+  EXPECT_EQ(c.messages, 1);
+  EXPECT_EQ(c.message_bytes, 64);
+  EXPECT_EQ(c.h2d_bytes, 8);
+  EXPECT_EQ(c.reductions, 1);
+  instr.reset();
+  EXPECT_EQ(instr.snapshot().total_bytes(), 0);
+}
+
+TEST(Counters, ScopeDeltas) {
+  machine::Instrumentation instr;
+  instr.add_traffic(1000, 0, 0);
+  const machine::CounterScope scope(instr);
+  instr.add_traffic(0, 500, 0);
+  const Counters d = scope.delta();
+  EXPECT_EQ(d.bytes_read, 0);
+  EXPECT_EQ(d.bytes_written, 500);
+}
+
+TEST(Counters, ToStringMentionsFields) {
+  Counters c;
+  c.flops = 7;
+  EXPECT_NE(c.to_string().find("flops=7"), std::string::npos);
+}
+
+TEST(MachineRegistry, PaperMachinesPresent) {
+  const auto machines = machine::paper_machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0]->id, "xeon");
+  EXPECT_EQ(machines[1]->id, "knl");
+  EXPECT_EQ(machines[2]->id, "p100");
+  EXPECT_FALSE(machines[0]->is_gpu());
+  EXPECT_TRUE(machines[2]->is_gpu());
+  // Table II headline specs.
+  EXPECT_EQ(machines[0]->cores, 28);
+  EXPECT_EQ(machines[1]->cores, 64);
+  EXPECT_GT(machines[1]->peak_bw_gbs, machines[0]->peak_bw_gbs);
+  EXPECT_GT(machines[2]->peak_bw_gbs, machines[1]->peak_bw_gbs);
+}
+
+TEST(MachineRegistry, LookupByIdAndUnknownThrows) {
+  EXPECT_EQ(machine::machine_by_id("knl").id, "knl");
+  EXPECT_THROW(machine::machine_by_id("cray-1"), tl::Error);
+}
+
+TEST(Efficiency, SupportMatrixMatchesPaper) {
+  const auto& xeon = machine::xeon_e5_2660v4();
+  const auto& knl = machine::knl_7210();
+  const auto& p100 = machine::tesla_p100();
+  // CPU variants run on CPUs, not on the GPU.
+  EXPECT_TRUE(machine::supported("manual-omp", xeon));
+  EXPECT_TRUE(machine::supported("manual-omp", knl));
+  EXPECT_FALSE(machine::supported("manual-omp", p100));
+  // GPU variants only on the P100.
+  EXPECT_TRUE(machine::supported("kokkos-cuda", p100));
+  EXPECT_FALSE(machine::supported("kokkos-cuda", xeon));
+  // PGI 17.3 could not offload OpenACC to the KNL host (paper §IV-B).
+  EXPECT_TRUE(machine::supported("manual-acc-cpu", xeon));
+  EXPECT_FALSE(machine::supported("manual-acc-cpu", knl));
+}
+
+TEST(Efficiency, Table3AnchorsPreserved) {
+  // [T3] anchors from the paper's Table III bandwidth column.
+  EXPECT_NEAR(machine::efficiency_for("ops-tiled", machine::knl_7210()).bw_fraction,
+              0.9593, 1e-9);
+  EXPECT_NEAR(machine::efficiency_for("manual-cuda", machine::tesla_p100()).bw_fraction,
+              0.757, 1e-9);
+  EXPECT_NEAR(machine::efficiency_for("raja-omp", machine::xeon_e5_2660v4()).bw_fraction,
+              0.531, 1e-9);
+  // [APP] anchor: Kokkos' KNL residual is set from Table III *application*
+  // efficiency (31.40%) because our leaner reimplementation moves fewer
+  // bytes than the 2017 build (see efficiency.cpp).
+  EXPECT_NEAR(machine::efficiency_for("kokkos-omp", machine::knl_7210()).bw_fraction,
+              0.30, 1e-9);
+}
+
+TEST(Efficiency, UnsupportedLookupThrows) {
+  EXPECT_THROW(machine::efficiency_for("manual-cuda", machine::knl_7210()),
+               tl::Error);
+}
+
+TEST(Efficiency, FrameworkOfSplitsPrefix) {
+  EXPECT_EQ(machine::framework_of("manual-acc-cpu"), "manual");
+  EXPECT_EQ(machine::framework_of("ops-tiled"), "ops");
+  EXPECT_EQ(machine::framework_of("serial"), "serial");
+}
+
+TEST(Efficiency, PaperVariantListHasSixteen) {
+  EXPECT_EQ(machine::paper_variants().size(), 16u);
+}
+
+TEST(Efficiency, GpuVariantClassifier) {
+  EXPECT_TRUE(machine::is_gpu_variant("ops-cuda"));
+  EXPECT_TRUE(machine::is_gpu_variant("manual-acc-gpu"));
+  EXPECT_TRUE(machine::is_gpu_variant("ops-acc"));
+  EXPECT_FALSE(machine::is_gpu_variant("manual-acc-cpu"));
+  EXPECT_FALSE(machine::is_gpu_variant("ops-tiled"));
+}
+
+// --- roofline properties ------------------------------------------------------
+
+Counters stream_counters(std::int64_t bytes, std::int64_t flops = 0) {
+  Counters c;
+  c.bytes_read = bytes / 2;
+  c.bytes_written = bytes - c.bytes_read;
+  c.flops = flops;
+  return c;
+}
+
+TEST(Roofline, TimeScalesLinearlyInBytes) {
+  const EfficiencyProfile prof{.bw_fraction = 0.8};
+  const auto& m = machine::xeon_e5_2660v4();
+  const double t1 = machine::project_time(stream_counters(1'000'000'000), m, prof).total();
+  const double t2 = machine::project_time(stream_counters(2'000'000'000), m, prof).total();
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(Roofline, HigherBandwidthMachineIsFaster) {
+  const EfficiencyProfile prof{.bw_fraction = 0.8};
+  const Counters c = stream_counters(10'000'000'000LL);
+  const double xeon = machine::project_time(c, machine::xeon_e5_2660v4(), prof).total();
+  const double knl = machine::project_time(c, machine::knl_7210(), prof).total();
+  const double p100 = machine::project_time(c, machine::tesla_p100(), prof).total();
+  EXPECT_GT(xeon, knl);
+  EXPECT_GT(knl, p100);
+}
+
+TEST(Roofline, LaunchOverheadAdds) {
+  const EfficiencyProfile prof{.bw_fraction = 0.8, .launch_multiplier = 2.0};
+  const auto& m = machine::tesla_p100();
+  Counters c = stream_counters(1'000'000);
+  c.kernel_launches = 1000;
+  const auto t = machine::project_time(c, m, prof);
+  EXPECT_NEAR(t.launch_s, 1000 * m.launch_overhead_us * 2.0 * 1e-6, 1e-12);
+  EXPECT_GT(t.total(), t.stream_s);
+}
+
+TEST(Roofline, StreamTermIsMaxOfMemoryAndCompute) {
+  EfficiencyProfile prof{.bw_fraction = 1.0, .compute_fraction = 1.0};
+  const auto& m = machine::xeon_e5_2660v4();
+  // Memory-bound: huge bytes, few flops.
+  auto mem = machine::project_time(stream_counters(1'000'000'000, 10), m, prof);
+  EXPECT_DOUBLE_EQ(mem.stream_s, mem.memory_s);
+  // Compute-bound: few bytes, huge flops.
+  auto comp = machine::project_time(stream_counters(10, 10'000'000'000LL), m, prof);
+  EXPECT_DOUBLE_EQ(comp.stream_s, comp.compute_s);
+}
+
+TEST(Roofline, MessagesAndPcieCharged) {
+  EfficiencyProfile prof{.bw_fraction = 0.8};
+  Counters c = stream_counters(1'000'000);
+  c.messages = 100;
+  c.message_bytes = 1'000'000;
+  const auto cpu = machine::project_time(c, machine::xeon_e5_2660v4(), prof);
+  EXPECT_GT(cpu.message_s, 0.0);
+  Counters g = stream_counters(1'000'000);
+  g.h2d_bytes = 100'000'000;
+  const auto gpu = machine::project_time(g, machine::tesla_p100(), prof);
+  EXPECT_NEAR(gpu.pcie_s, 100'000'000 / (12.0 * 1e9), 1e-9);
+}
+
+TEST(Roofline, KnlMcdramSpillDegradesBandwidth) {
+  const EfficiencyProfile prof{.bw_fraction = 1.0};
+  const Counters c = stream_counters(10'000'000'000LL);
+  const auto& knl = machine::knl_7210();
+  const double fits =
+      machine::project_time(c, knl, prof, std::int64_t(8) << 30).total();
+  const double spills =
+      machine::project_time(c, knl, prof, std::int64_t(64) << 30).total();
+  EXPECT_GT(spills, fits * 1.5);  // mostly-DDR traffic is much slower
+  // No spill rule on the Xeon.
+  const auto& xeon = machine::xeon_e5_2660v4();
+  EXPECT_DOUBLE_EQ(
+      machine::project_time(c, xeon, prof, std::int64_t(64) << 30).total(),
+      machine::project_time(c, xeon, prof, 0).total());
+}
+
+TEST(Roofline, AchievedRatesConsistent) {
+  const EfficiencyProfile prof{.bw_fraction = 0.5};
+  const Counters c = stream_counters(1'000'000'000, 500);
+  const auto& m = machine::knl_7210();
+  const auto t = machine::project_time(c, m, prof);
+  // Pure streaming: achieved bandwidth equals bw_fraction * peak.
+  EXPECT_NEAR(t.achieved_bw_gbs(c), m.peak_bw_gbs * 0.5, 1e-6);
+}
+
+TEST(Roofline, ScaleCountersFollowsRules) {
+  Counters c;
+  c.bytes_read = 1000;
+  c.bytes_written = 500;
+  c.flops = 100;
+  c.kernel_launches = 10;
+  c.messages = 4;
+  c.message_bytes = 400;
+  c.solver_iterations = 20;
+  const Counters s = machine::scale_counters(c, /*cells=*/4.0,
+                                             /*iters=*/2.0, /*perimeter=*/2.0);
+  EXPECT_EQ(s.bytes_read, 8000);    // cells x iters
+  EXPECT_EQ(s.bytes_written, 4000);
+  EXPECT_EQ(s.flops, 800);
+  EXPECT_EQ(s.kernel_launches, 20);  // iters
+  EXPECT_EQ(s.messages, 8);
+  EXPECT_EQ(s.message_bytes, 1600);  // perimeter x iters
+  EXPECT_EQ(s.solver_iterations, 40);
+}
+
+TEST(HostMachine, MeasuredModelIsSane) {
+  const MachineModel& host = machine::host_machine();
+  EXPECT_EQ(host.id, "host");
+  EXPECT_GE(host.cores, 1);
+  EXPECT_GT(host.peak_bw_gbs, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,346 @@
+// Unit and integration tests for miniops: dats, par_loops, stencils,
+// dirty-bit halo maintenance, reductions, device contexts, and MPI
+// decomposition equivalence against the sequential engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "minimpi/comm.hpp"
+#include "miniops/miniops.hpp"
+
+namespace {
+
+using ops::Acc;
+using ops::AccessMode;
+using ops::arg_dat;
+using ops::arg_gbl;
+using ops::Context;
+using ops::ContextOptions;
+using ops::Range;
+using ops::Stencil;
+
+TEST(Stencil, ExtentsComputed) {
+  EXPECT_EQ(Stencil::point().max_extent(), 0);
+  EXPECT_TRUE(Stencil::point().is_point());
+  const Stencil& s5 = Stencil::star5();
+  EXPECT_EQ(s5.xlo(), -1);
+  EXPECT_EQ(s5.xhi(), 1);
+  EXPECT_EQ(s5.ylo(), -1);
+  EXPECT_EQ(s5.yhi(), 1);
+  const Stencil s2 = Stencil::star(2);
+  EXPECT_EQ(s2.max_extent(), 2);
+  EXPECT_EQ(s2.points().size(), 9u);
+}
+
+TEST(Range, IntersectAndCells) {
+  const Range a{0, 10, 0, 5};
+  const Range b{5, 20, 2, 9};
+  const Range c = a.intersect(b);
+  EXPECT_EQ(c.x0, 5);
+  EXPECT_EQ(c.x1, 10);
+  EXPECT_EQ(c.y0, 2);
+  EXPECT_EQ(c.y1, 5);
+  EXPECT_EQ(c.cells(), 15);
+  EXPECT_TRUE((Range{3, 3, 0, 4}).empty());
+}
+
+TEST(Dat, PaddedStorageAndHaloAccess) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 8, 6);
+  ops::Dat& d = ctx.decl_dat(block, "f", 2);
+  EXPECT_EQ(d.local_nx(), 8);
+  EXPECT_EQ(d.padded_nx(), 12);
+  d.at(-2, -2) = 1.5;
+  d.at(9, 7) = 2.5;
+  EXPECT_DOUBLE_EQ(d.at(-2, -2), 1.5);
+  EXPECT_DOUBLE_EQ(d.at(9, 7), 2.5);
+}
+
+TEST(ParLoop, WritesRange) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 6, 4);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  ops::par_loop(
+      ctx, "fill", Range{1, 5, 1, 3}, 0,
+      [](Acc a) { a(0, 0) = 7.0; }, arg_dat(d, AccessMode::kWrite));
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(d.at(4, 2), 7.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);  // outside range untouched
+  EXPECT_DOUBLE_EQ(d.at(5, 3), 0.0);
+}
+
+TEST(ParLoop, StencilReadsNeighbours) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 5, 5);
+  ops::Dat& src = ctx.decl_dat(block, "src", 1);
+  ops::Dat& dst = ctx.decl_dat(block, "dst", 1);
+  for (int j = 0; j < 5; ++j) {
+    for (int i = 0; i < 5; ++i) src.at(i, j) = i + 10 * j;
+  }
+  src.set_halo_dirty(true);
+  ops::par_loop(
+      ctx, "blur", Range{1, 4, 1, 4}, 4,
+      [](Acc in, Acc out) {
+        out(0, 0) = in(-1, 0) + in(1, 0) + in(0, -1) + in(0, 1);
+      },
+      arg_dat(src, AccessMode::kRead, Stencil::star5()),
+      arg_dat(dst, AccessMode::kWrite));
+  // (2,2): (1+20)+(3+20)+(2+10)+(2+30) = 88
+  EXPECT_DOUBLE_EQ(dst.at(2, 2), 88.0);
+}
+
+TEST(ParLoop, GlobalReductionSumAndMax) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 10, 10);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  for (int j = 0; j < 10; ++j) {
+    for (int i = 0; i < 10; ++i) d.at(i, j) = i + j;
+  }
+  double sum = 0.0, mx = 0.0;
+  ops::par_loop(
+      ctx, "reduce", Range{0, 10, 0, 10}, 2,
+      [](Acc a, double& s, double& m) {
+        s += a(0, 0);
+        if (a(0, 0) > m) m = a(0, 0);
+      },
+      arg_dat(d, AccessMode::kRead), arg_gbl(sum),
+      arg_gbl(mx, ops::ReduceOp::kMax));
+  EXPECT_DOUBLE_EQ(sum, 900.0);  // sum over i+j for 10x10
+  EXPECT_DOUBLE_EQ(mx, 18.0);
+}
+
+TEST(ParLoop, ThreadedMatchesSequential) {
+  const auto run = [](bool pooled) {
+    ContextOptions o;
+    o.use_pool = pooled;
+    Context ctx(o);
+    ops::Block& block = ctx.decl_block("b", 64, 64);
+    ops::Dat& d = ctx.decl_dat(block, "f", 1);
+    ops::par_loop(
+        ctx, "init", Range{0, 64, 0, 64}, 1,
+        [](Acc a) { a(0, 0) = 1.0; }, arg_dat(d, AccessMode::kWrite));
+    double sum = 0.0;
+    ops::par_loop(
+        ctx, "sum", Range{0, 64, 0, 64}, 1,
+        [](Acc a, double& s) { s += a(0, 0); }, arg_dat(d, AccessMode::kRead),
+        arg_gbl(sum));
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(false), run(true));
+}
+
+TEST(Halo, ReflectiveBoundaryFills) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 4, 4);
+  ops::Dat& d = ctx.decl_dat(block, "f", 2);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) d.at(i, j) = 1.0 + i + 10 * j;
+  }
+  ctx.update_halo({&d}, 2);
+  EXPECT_DOUBLE_EQ(d.at(-1, 0), d.at(0, 0));
+  EXPECT_DOUBLE_EQ(d.at(-2, 2), d.at(1, 2));
+  EXPECT_DOUBLE_EQ(d.at(4, 1), d.at(3, 1));
+  EXPECT_DOUBLE_EQ(d.at(2, -1), d.at(2, 0));
+  EXPECT_DOUBLE_EQ(d.at(2, 5), d.at(2, 2));
+  // Corner: mirrored through both passes.
+  EXPECT_DOUBLE_EQ(d.at(-1, -1), d.at(0, 0));
+  EXPECT_FALSE(d.halo_dirty());
+}
+
+TEST(Halo, UpdateDepthBeyondHaloThrows) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 4, 4);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  EXPECT_THROW(ctx.update_halo({&d}, 2), tl::Error);
+}
+
+TEST(Halo, DirtyBitAutoExchangeBeforeStencilRead) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 4, 4);
+  ops::Dat& src = ctx.decl_dat(block, "src", 1);
+  ops::Dat& dst = ctx.decl_dat(block, "dst", 1);
+  ops::par_loop(
+      ctx, "init", Range{0, 4, 0, 4}, 0, [](Acc a) { a(0, 0) = 3.0; },
+      arg_dat(src, AccessMode::kWrite));
+  EXPECT_TRUE(src.halo_dirty());
+  // Stencil read must self-heal the halo (reflection): edge cells see 3.0
+  // neighbours, not stale zeros.
+  ops::par_loop(
+      ctx, "blur", Range{0, 4, 0, 4}, 4,
+      [](Acc in, Acc out) {
+        out(0, 0) = in(-1, 0) + in(1, 0) + in(0, -1) + in(0, 1);
+      },
+      arg_dat(src, AccessMode::kRead, Stencil::star5()),
+      arg_dat(dst, AccessMode::kWrite));
+  EXPECT_FALSE(src.halo_dirty());
+  EXPECT_DOUBLE_EQ(dst.at(0, 0), 12.0);
+}
+
+// --- MPI decomposition --------------------------------------------------------
+
+double checksum_distributed(int ranks, int nx, int ny) {
+  double result = 0.0;
+  std::mutex m;
+  minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+    ContextOptions o;
+    o.comm = &comm;
+    Context ctx(o);
+    ops::Block& block = ctx.decl_block("b", nx, ny);
+    ops::Dat& u = ctx.decl_dat(block, "u", 2);
+    ops::Dat& w = ctx.decl_dat(block, "w", 2);
+    // Paint with global coordinates.
+    for (int j = 0; j < u.local_ny(); ++j) {
+      for (int i = 0; i < u.local_nx(); ++i) {
+        u.at(i, j) = std::sin(0.1 * (u.local_x0() + i)) +
+                     std::cos(0.2 * (u.local_y0() + j));
+      }
+    }
+    u.set_halo_dirty(true);
+    // Two stencil sweeps with an explicit halo update between them, then a
+    // global checksum.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      ctx.update_halo({&u}, 1);
+      ops::par_loop(
+          ctx, "sweep", Range{0, nx, 0, ny}, 5,
+          [](Acc in, Acc out) {
+            out(0, 0) = 0.2 * (in(0, 0) + in(-1, 0) + in(1, 0) + in(0, -1) +
+                               in(0, 1));
+          },
+          arg_dat(u, AccessMode::kRead, Stencil::star5()),
+          arg_dat(w, AccessMode::kWrite));
+      ops::par_loop(
+          ctx, "copy", Range{0, nx, 0, ny}, 0,
+          [](Acc in, Acc out) { out(0, 0) = in(0, 0); },
+          arg_dat(w, AccessMode::kRead), arg_dat(u, AccessMode::kWrite));
+    }
+    double sum = 0.0;
+    ops::par_loop(
+        ctx, "checksum", Range{0, nx, 0, ny}, 1,
+        [](Acc a, double& s) { s += a(0, 0); }, arg_dat(u, AccessMode::kRead),
+        arg_gbl(sum));
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      result = sum;
+    }
+  });
+  return result;
+}
+
+class OpsMpiTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpsMpiTest, DecomposedStencilMatchesSequential) {
+  const double seq = checksum_distributed(1, 33, 17);
+  const double par = checksum_distributed(GetParam(), 33, 17);
+  EXPECT_NEAR(par, seq, 1e-10 * std::fabs(seq));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, OpsMpiTest, ::testing::Values(2, 3, 4, 6));
+
+TEST(OpsMpi, PartitionCoversBlock) {
+  minimpi::run_world(6, [](minimpi::Comm& comm) {
+    ContextOptions o;
+    o.comm = &comm;
+    Context ctx(o);
+    ops::Block& block = ctx.decl_block("b", 20, 11);
+    const auto part = ctx.partition_of(block);
+    EXPECT_GT(part.nx, 0);
+    EXPECT_GT(part.ny, 0);
+    const long local = static_cast<long>(part.nx) * part.ny;
+    const long total = comm.allreduce(local, minimpi::ReduceOp::kSum);
+    EXPECT_EQ(total, 220);
+  });
+}
+
+TEST(OpsMpi, ClipToLocalHandlesPhysicalHalo) {
+  minimpi::run_world(2, [](minimpi::Comm& comm) {
+    ContextOptions o;
+    o.comm = &comm;
+    Context ctx(o);
+    ops::Block& block = ctx.decl_block("b", 10, 10);
+    ops::Dat& d = ctx.decl_dat(block, "f", 2);
+    // A range spilling into the global halo: only boundary ranks own the
+    // spill, and interior edges do not double-execute.
+    const ops::Range global{-2, 12, 0, 10};
+    const ops::Range local = ctx.clip_to_local(global, d);
+    long cells = local.cells();
+    cells = comm.allreduce(cells, minimpi::ReduceOp::kSum);
+    EXPECT_EQ(cells, 14L * 10L);
+  });
+}
+
+// --- device context -------------------------------------------------------------
+
+TEST(OpsDevice, LoopsRunOnDeviceWithCoherence) {
+  ContextOptions o;
+  o.device = &simgpu::default_device();
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 16, 16);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  ops::par_loop(
+      ctx, "fill", Range{0, 16, 0, 16}, 0, [](Acc a) { a(0, 0) = 2.5; },
+      arg_dat(d, AccessMode::kWrite));
+  EXPECT_TRUE(d.host_stale());
+  ctx.fetch_to_host(d);
+  EXPECT_FALSE(d.host_stale());
+  EXPECT_DOUBLE_EQ(d.at(7, 7), 2.5);
+}
+
+TEST(OpsDevice, ReductionOnDevice) {
+  ContextOptions o;
+  o.device = &simgpu::default_device();
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 32, 32);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  ops::par_loop(
+      ctx, "fill", Range{0, 32, 0, 32}, 0, [](Acc a) { a(0, 0) = 1.0; },
+      arg_dat(d, AccessMode::kWrite));
+  double sum = 0.0;
+  ops::par_loop(
+      ctx, "sum", Range{0, 32, 0, 32}, 1,
+      [](Acc a, double& s) { s += a(0, 0); }, arg_dat(d, AccessMode::kRead),
+      arg_gbl(sum));
+  EXPECT_DOUBLE_EQ(sum, 1024.0);
+}
+
+TEST(OpsDevice, HaloReflectOnDevice) {
+  ContextOptions o;
+  o.device = &simgpu::default_device();
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 8, 8);
+  ops::Dat& d = ctx.decl_dat(block, "f", 2);
+  ops::par_loop(
+      ctx, "fill", Range{0, 8, 0, 8}, 0, [](Acc a) { a(0, 0) = 4.0; },
+      arg_dat(d, AccessMode::kWrite));
+  ctx.update_halo({&d}, 2);
+  ctx.fetch_to_host(d);
+  EXPECT_DOUBLE_EQ(d.at(-1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(d.at(8, 3), 4.0);
+  EXPECT_DOUBLE_EQ(d.at(3, -2), 4.0);
+}
+
+TEST(Context, RejectsDeviceWithComm) {
+  minimpi::run_world(2, [](minimpi::Comm& comm) {
+    ContextOptions o;
+    o.comm = &comm;
+    o.device = &simgpu::default_device();
+    EXPECT_THROW(Context ctx(o), tl::Error);
+  });
+}
+
+TEST(Context, LoopsExecutedCounter) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 4, 4);
+  ops::Dat& d = ctx.decl_dat(block, "f", 1);
+  ops::par_loop(
+      ctx, "a", Range{0, 4, 0, 4}, 0, [](Acc x) { x(0, 0) = 1; },
+      arg_dat(d, AccessMode::kWrite));
+  ops::par_loop(
+      ctx, "b", Range{0, 4, 0, 4}, 0, [](Acc x) { x(0, 0) = 2; },
+      arg_dat(d, AccessMode::kWrite));
+  EXPECT_EQ(ctx.loops_executed(), 2);
+}
+
+}  // namespace

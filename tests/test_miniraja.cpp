@@ -1,0 +1,121 @@
+// Unit tests for miniraja: forall across policies, nested kernels, and the
+// portable reducer objects.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "miniraja/miniraja.hpp"
+#include "simgpu/device.hpp"
+
+namespace {
+
+template <typename Policy>
+class PolicyTest : public ::testing::Test {};
+
+using Policies = ::testing::Types<raja::seq_exec, raja::omp_parallel_for_exec,
+                                  raja::simgpu_exec>;
+TYPED_TEST_SUITE(PolicyTest, Policies);
+
+TYPED_TEST(PolicyTest, ForallCoversSegment) {
+  std::vector<std::atomic<int>> hits(500);
+  raja::forall<TypeParam>(raja::RangeSegment(100, 500), [&](long i) {
+    ASSERT_GE(i, 100);
+    ASSERT_LT(i, 500);
+    hits[static_cast<std::size_t>(i)]++;
+  });
+  for (long i = 0; i < 100; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 0);
+  for (long i = 100; i < 500; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TYPED_TEST(PolicyTest, Kernel2DNestedCoverage) {
+  std::vector<std::atomic<int>> hits(12 * 9);
+  raja::kernel_2d<TypeParam>(raja::RangeSegment(0, 9), raja::RangeSegment(0, 12),
+                             [&](long j, long i) {
+                               hits[static_cast<std::size_t>(j * 12 + i)]++;
+                             });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TYPED_TEST(PolicyTest, ReduceSumInLoop) {
+  raja::ReduceSum<double> sum(10.0);  // initial value participates
+  raja::forall<TypeParam>(raja::RangeSegment(0, 1000),
+                          [=](long i) { sum += static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(sum.get(), 10.0 + 1000.0 * 999.0 / 2.0);
+}
+
+TYPED_TEST(PolicyTest, ReduceMinMax) {
+  std::vector<double> values(777);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 37) % 1000) - 500.0;
+  }
+  raja::ReduceMin<double> mn(1e30);
+  raja::ReduceMax<double> mx(-1e30);
+  const double* p = values.data();
+  raja::forall<TypeParam>(raja::RangeSegment(0, 777), [=](long i) {
+    mn.min(p[i]);
+    mx.max(p[i]);
+  });
+  double expect_min = 1e30, expect_max = -1e30;
+  for (const double v : values) {
+    expect_min = std::min(expect_min, v);
+    expect_max = std::max(expect_max, v);
+  }
+  EXPECT_DOUBLE_EQ(mn.get(), expect_min);
+  EXPECT_DOUBLE_EQ(mx.get(), expect_max);
+}
+
+TYPED_TEST(PolicyTest, MultipleReducersInOneLoop) {
+  raja::ReduceSum<double> even(0.0), odd(0.0);
+  raja::forall<TypeParam>(raja::RangeSegment(0, 100), [=](long i) {
+    if (i % 2 == 0) {
+      even += 1.0;
+    } else {
+      odd += 1.0;
+    }
+  });
+  EXPECT_DOUBLE_EQ(even.get(), 50.0);
+  EXPECT_DOUBLE_EQ(odd.get(), 50.0);
+}
+
+TEST(RangeSegment, Accessors) {
+  const raja::RangeSegment seg(3, 11);
+  EXPECT_EQ(seg.begin(), 3);
+  EXPECT_EQ(seg.end(), 11);
+  EXPECT_EQ(seg.size(), 8);
+}
+
+TEST(Reducer, ImplicitConversionToValue) {
+  raja::ReduceSum<double> sum(0.0);
+  raja::forall<raja::seq_exec>(raja::RangeSegment(0, 10),
+                               [=](long) { sum += 2.0; });
+  const double v = sum;
+  EXPECT_DOUBLE_EQ(v, 20.0);
+}
+
+TEST(Reducer, IndependentInstancesDoNotInterfere) {
+  raja::ReduceSum<double> a(0.0);
+  {
+    raja::ReduceSum<double> b(0.0);
+    raja::forall<raja::omp_parallel_for_exec>(raja::RangeSegment(0, 64),
+                                              [=](long) {
+                                                a += 1.0;
+                                                b += 2.0;
+                                              });
+    EXPECT_DOUBLE_EQ(b.get(), 128.0);
+  }
+  EXPECT_DOUBLE_EQ(a.get(), 64.0);
+}
+
+TEST(Forall, DeviceWritesDeviceMemory) {
+  simgpu::Device& dev = simgpu::default_device();
+  double* d = static_cast<double*>(dev.allocate(100 * sizeof(double)));
+  raja::forall<raja::simgpu_exec>(raja::RangeSegment(0, 100), [=](long i) {
+    d[i] = static_cast<double>(i) * 1.5;
+  });
+  std::vector<double> host(100);
+  dev.memcpy_d2h(host.data(), d, 100 * sizeof(double));
+  EXPECT_DOUBLE_EQ(host[40], 60.0);
+  dev.deallocate(d);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the Pennycook metric, the Table III report builder and the
+// embedded paper reference data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ppmetric/paper_data.hpp"
+#include "ppmetric/pennycook.hpp"
+#include "ppmetric/report.hpp"
+
+namespace {
+
+using ppm::pennycook;
+
+std::vector<std::optional<double>> effs(std::initializer_list<double> vs) {
+  std::vector<std::optional<double>> out;
+  for (const double v : vs) out.emplace_back(v);
+  return out;
+}
+
+TEST(Pennycook, EqualEfficienciesPassThrough) {
+  const auto e = effs({0.8, 0.8, 0.8});
+  EXPECT_NEAR(pennycook(e), 0.8, 1e-12);
+}
+
+TEST(Pennycook, HarmonicMeanLiesBetweenMinAndMax) {
+  const auto e = effs({0.5, 1.0});
+  const double p = pennycook(e);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LT(p, 1.0);
+  EXPECT_NEAR(p, 2.0 / (1.0 / 0.5 + 1.0 / 1.0), 1e-12);
+}
+
+TEST(Pennycook, DominatedBySmallValues) {
+  // One bad platform drags the harmonic mean towards it — the property that
+  // makes Kokkos' 23.6% KNL bandwidth collapse its CPU score in the paper.
+  const auto good = effs({0.9, 0.9});
+  const auto dragged = effs({0.9, 0.1});
+  EXPECT_LT(pennycook(dragged), 0.2);
+  EXPECT_GT(pennycook(good), 0.89);
+}
+
+TEST(Pennycook, ZeroWhenUnsupported) {
+  std::vector<std::optional<double>> e{0.9, std::nullopt, 0.8};
+  EXPECT_DOUBLE_EQ(pennycook(e), 0.0);
+  std::vector<std::optional<double>> z{0.9, 0.0};
+  EXPECT_DOUBLE_EQ(pennycook(z), 0.0);
+}
+
+TEST(Pennycook, OrderInvariant) {
+  const auto a = effs({0.3, 0.6, 0.9});
+  const auto b = effs({0.9, 0.3, 0.6});
+  EXPECT_DOUBLE_EQ(pennycook(a), pennycook(b));
+}
+
+TEST(Pennycook, SinglePlatformIsIdentity) {
+  const auto e = effs({0.42});
+  EXPECT_DOUBLE_EQ(pennycook(e), 0.42);
+}
+
+TEST(Pennycook, EmptySetThrows) {
+  std::vector<std::optional<double>> e;
+  EXPECT_THROW(pennycook(e), tl::Error);
+}
+
+TEST(Efficiencies, Helpers) {
+  EXPECT_DOUBLE_EQ(ppm::application_efficiency(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(ppm::application_efficiency(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ppm::architecture_efficiency(60.0, 120.0), 0.5);
+  EXPECT_DOUBLE_EQ(ppm::architecture_efficiency(60.0, 0.0), 0.0);
+}
+
+// --- table builder ----------------------------------------------------------------
+
+std::vector<ppm::VariantResult> synthetic_results() {
+  // Two frameworks on two CPUs + one GPU; framework "b" unsupported on the GPU.
+  return {
+      {"a-omp", "cpu1", 10.0, 80.0, 1.0, 100.0, 1000.0},
+      {"a-mpi", "cpu1", 8.0, 90.0, 1.2, 100.0, 1000.0},
+      {"a-omp", "cpu2", 20.0, 50.0, 0.5, 200.0, 2000.0},
+      {"a-cuda", "gpu", 4.0, 300.0, 5.0, 500.0, 5000.0},
+      {"b-omp", "cpu1", 16.0, 40.0, 0.9, 100.0, 1000.0},
+      {"b-omp", "cpu2", 10.0, 120.0, 1.0, 200.0, 2000.0},
+  };
+}
+
+TEST(Table3, BestVariantRepresentsFramework) {
+  const auto rows = ppm::build_table3(synthetic_results(), {"cpu1", "cpu2"},
+                                      {"gpu"});
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& a = rows[0];
+  EXPECT_EQ(a.framework, "a");
+  // cpu1: best overall time 8.0 (a-mpi); a's best is also 8.0 -> app eff 1.
+  EXPECT_DOUBLE_EQ(a.per_machine.at("cpu1").app, 1.0);
+  // arch bw: max(80, 90)/100.
+  EXPECT_DOUBLE_EQ(a.per_machine.at("cpu1").arch_bw, 0.9);
+  // cpu2: best overall 10.0 (b-omp); a took 20 -> 0.5.
+  EXPECT_DOUBLE_EQ(a.per_machine.at("cpu2").app, 0.5);
+}
+
+TEST(Table3, UnsupportedMachineZeroesMetric) {
+  const auto rows = ppm::build_table3(synthetic_results(), {"cpu1", "cpu2"},
+                                      {"gpu"});
+  const auto& b = rows[1];
+  EXPECT_EQ(b.framework, "b");
+  EXPECT_FALSE(b.per_machine.at("gpu").supported);
+  EXPECT_GT(b.p_cpu_app, 0.0);
+  EXPECT_DOUBLE_EQ(b.p_all_app, 0.0);  // paper's "0% if not portable" rule
+}
+
+TEST(Table3, MetricsMatchHandComputation) {
+  const auto rows = ppm::build_table3(synthetic_results(), {"cpu1", "cpu2"},
+                                      {"gpu"});
+  const auto& a = rows[0];
+  const double e1 = 1.0, e2 = 0.5, eg = 1.0;
+  EXPECT_NEAR(a.p_cpu_app, 2.0 / (1 / e1 + 1 / e2), 1e-12);
+  EXPECT_NEAR(a.p_all_app, 3.0 / (1 / e1 + 1 / e2 + 1 / eg), 1e-12);
+}
+
+TEST(Table3, RenderProducesRowPerFramework) {
+  const auto rows = ppm::build_table3(synthetic_results(), {"cpu1", "cpu2"},
+                                      {"gpu"});
+  const tl::Table table = ppm::render_table3(rows, {"cpu1", "cpu2"}, {"gpu"});
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| a"), std::string::npos);
+  EXPECT_NE(md.find("-"), std::string::npos);  // unsupported cells dashed
+}
+
+// --- paper data -------------------------------------------------------------------
+
+TEST(PaperData, TableThreeTranscription) {
+  const auto& rows = ppm::paper::table3();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].framework, "manual");
+  // Headline numbers from the abstract: OPS 70.81%, RAJA 76.77%.
+  EXPECT_NEAR(rows[1].p_all_app, 0.7081, 1e-9);
+  EXPECT_NEAR(rows[3].p_all_app, 0.7677, 1e-9);
+  // Manual achieves 100% app efficiency on the Xeon and P100.
+  EXPECT_DOUBLE_EQ(rows[0].xeon_app, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].p100_app, 1.0);
+}
+
+TEST(PaperData, MetricInternallyConsistent) {
+  // Recomputing P from the per-machine efficiencies must reproduce the
+  // published P columns (they used the same harmonic mean).
+  for (const auto& row : ppm::paper::table3()) {
+    const auto p_cpu =
+        pennycook(std::vector<std::optional<double>>{row.xeon_app, row.knl_app});
+    EXPECT_NEAR(p_cpu, row.p_cpu_app, 2e-3) << row.framework;
+    const auto p_all = pennycook(std::vector<std::optional<double>>{
+        row.xeon_app, row.knl_app, row.p100_app});
+    EXPECT_NEAR(p_all, row.p_all_app, 2e-3) << row.framework;
+  }
+}
+
+TEST(PaperData, MemoryBoundSignature) {
+  // §V-A: compute efficiency barely 5%, bandwidth mostly > 50%.
+  for (const auto& row : ppm::paper::table3()) {
+    EXPECT_LT(row.xeon_com, 0.06);
+    EXPECT_LT(row.knl_com, 0.06);
+    EXPECT_LT(row.p100_com, 0.06);
+  }
+  EXPECT_GT(ppm::paper::table3()[0].knl_bw, 0.5);
+}
+
+TEST(PaperData, ShapeClaimsAndGapsPresent) {
+  EXPECT_GE(ppm::paper::shape_claims().size(), 10u);
+  ASSERT_EQ(ppm::paper::gpu_cpu_gaps().size(), 2u);
+  EXPECT_EQ(ppm::paper::gpu_cpu_gaps()[0].mesh, 1000);
+  EXPECT_NEAR(ppm::paper::gpu_cpu_gaps()[1].percent, 50.57, 1e-9);
+}
+
+}  // namespace

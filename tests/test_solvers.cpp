@@ -1,0 +1,325 @@
+// Numerical tests for the solver layer: operator properties (symmetry,
+// positive-definiteness), convergence of all four solvers, cross-solver
+// solution agreement, and the tridiagonal eigenvalue estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/solvers/eigen.hpp"
+#include "core/solvers/solver.hpp"
+
+namespace {
+
+using tea::FieldId;
+
+tl::ProblemConfig small_problem(int n = 32) {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = n;
+  cfg.problem().y_cells = n;
+  cfg.problem().end_step = 1;
+  cfg.problem().eps = 1e-12;
+  return cfg.problem();
+}
+
+/// Backend prepared to the point where a solve can start.
+struct Prepared {
+  std::unique_ptr<tea::ManualHostBackend> backend;
+  tl::ProblemConfig cfg;
+};
+
+Prepared prepare(int n = 32) {
+  Prepared p;
+  p.cfg = small_problem(n);
+  p.backend =
+      std::make_unique<tea::ManualHostBackend>("serial", nullptr, nullptr);
+  p.backend->setup(p.cfg);
+  const double dt = p.cfg.initial_timestep;
+  p.backend->set_rx_ry(dt / (p.cfg.dx() * p.cfg.dx()),
+                       dt / (p.cfg.dy() * p.cfg.dy()));
+  p.backend->compute_coefficients(p.cfg.coefficient);
+  p.backend->init_u_u0();
+  return p;
+}
+
+/// Fill a field with seeded pseudo-random values in [lo, hi).
+void randomize(tea::ManualHostBackend& b, FieldId f, std::uint64_t seed,
+               double lo = -1.0, double hi = 1.0) {
+  tl::Rng rng(seed);
+  auto v = b.store().view(f);
+  const auto& g = b.geom();
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) v(i, j) = rng.uniform(lo, hi);
+  }
+}
+
+TEST(Operator, IsSymmetric) {
+  // <Ax, y> == <x, Ay> for random x, y (with reflected halos).
+  auto p = prepare(24);
+  auto& b = *p.backend;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    randomize(b, FieldId::kP, seed);
+    randomize(b, FieldId::kZ, seed + 100);
+    b.update_halo({FieldId::kP, FieldId::kZ}, 1);
+    b.apply_operator(FieldId::kP, FieldId::kW);   // w = A x
+    const double ax_y = b.dot(FieldId::kW, FieldId::kZ);
+    b.apply_operator(FieldId::kZ, FieldId::kW);   // w = A y
+    const double x_ay = b.dot(FieldId::kP, FieldId::kW);
+    EXPECT_NEAR(ax_y, x_ay, 1e-9 * std::max(1.0, std::fabs(ax_y)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Operator, IsPositiveDefinite) {
+  auto p = prepare(24);
+  auto& b = *p.backend;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    randomize(b, FieldId::kP, seed);
+    b.update_halo({FieldId::kP}, 1);
+    b.apply_operator(FieldId::kP, FieldId::kW);
+    const double xax = b.dot(FieldId::kP, FieldId::kW);
+    const double xx = b.dot(FieldId::kP, FieldId::kP);
+    EXPECT_GT(xax, 0.0);
+    // A = I + L with L positive semidefinite: <x,Ax> >= <x,x>.
+    EXPECT_GE(xax, xx * (1.0 - 1e-12));
+  }
+}
+
+TEST(Operator, IdentityPlusDiffusionOnConstantField) {
+  // A applied to a constant field returns the same constant (reflective
+  // boundaries make the diffusion term vanish).
+  auto p = prepare(16);
+  auto& b = *p.backend;
+  auto v = b.store().view(FieldId::kP);
+  const auto& g = b.geom();
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) v(i, j) = 3.75;
+  }
+  b.update_halo({FieldId::kP}, 1);
+  b.apply_operator(FieldId::kP, FieldId::kW);
+  auto w = b.store().view(FieldId::kW);
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) {
+      ASSERT_NEAR(w(i, j), 3.75, 1e-12) << i << "," << j;
+    }
+  }
+}
+
+class SolverKindTest : public ::testing::TestWithParam<tl::SolverKind> {};
+
+TEST_P(SolverKindTest, ConvergesAndReducesResidual) {
+  auto p = prepare(32);
+  auto& b = *p.backend;
+  tea::SolveOptions o;
+  o.eps = 1e-10;
+  o.max_iters = 20000;
+  const auto stats = tea::solve(b, GetParam(), o);
+  EXPECT_TRUE(stats.converged) << tl::to_string(GetParam());
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_LE(stats.final_rr, o.eps * stats.initial_rr * (1.0 + 1e-9));
+}
+
+TEST_P(SolverKindTest, SolutionSatisfiesSystem) {
+  auto p = prepare(24);
+  auto& b = *p.backend;
+  tea::SolveOptions o;
+  o.eps = 1e-14;
+  o.max_iters = 50000;
+  const auto stats = tea::solve(b, GetParam(), o);
+  ASSERT_TRUE(stats.converged);
+  // Recompute the true residual r = u0 - A u and compare with ||u0||.
+  b.update_halo({FieldId::kU}, 1);
+  b.compute_residual();
+  const double rr = b.dot(FieldId::kR, FieldId::kR);
+  const double bb = b.dot(FieldId::kU0, FieldId::kU0);
+  EXPECT_LE(std::sqrt(rr), 1e-6 * std::sqrt(bb));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverKindTest,
+                         ::testing::Values(tl::SolverKind::kJacobi,
+                                           tl::SolverKind::kCg,
+                                           tl::SolverKind::kCheby,
+                                           tl::SolverKind::kPpcg));
+
+TEST(Cg, ResidualDecreasesMonotonically) {
+  // Track rr across restarts of increasing iteration budget; CG's residual
+  // norm in the A-energy sense decreases, and for this SPD system the
+  // l2 residual at the checked points should shrink as the budget grows.
+  std::vector<double> finals;
+  for (const int budget : {4, 8, 12, 16, 24}) {
+    auto p = prepare(32);
+    tea::SolveOptions o;
+    o.eps = 0.0;  // never converge early
+    o.max_iters = budget;
+    const auto stats = tea::solve_cg(*p.backend, o);
+    EXPECT_EQ(stats.iterations, budget);
+    finals.push_back(stats.final_rr);
+  }
+  for (std::size_t k = 1; k < finals.size(); ++k) {
+    EXPECT_LT(finals[k], finals[k - 1]);
+  }
+}
+
+TEST(Cg, FasterThanJacobiInIterations) {
+  auto pj = prepare(32);
+  auto pc = prepare(32);
+  tea::SolveOptions o;
+  o.eps = 1e-10;
+  o.max_iters = 50000;
+  const auto jac = tea::solve_jacobi(*pj.backend, o);
+  const auto cg = tea::solve_cg(*pc.backend, o);
+  ASSERT_TRUE(jac.converged);
+  ASSERT_TRUE(cg.converged);
+  EXPECT_LT(cg.iterations, jac.iterations);
+}
+
+TEST(Solvers, AllProduceSameTemperatureField) {
+  // Solve with each method and compare u pointwise.
+  std::vector<std::vector<double>> solutions;
+  for (const auto kind :
+       {tl::SolverKind::kCg, tl::SolverKind::kJacobi, tl::SolverKind::kCheby,
+        tl::SolverKind::kPpcg}) {
+    auto p = prepare(20);
+    tea::SolveOptions o;
+    o.eps = 1e-14;
+    o.max_iters = 100000;
+    const auto stats = tea::solve(*p.backend, kind, o);
+    ASSERT_TRUE(stats.converged);
+    std::vector<double> u;
+    auto v = p.backend->store().view(FieldId::kU);
+    for (int j = 0; j < 20; ++j) {
+      for (int i = 0; i < 20; ++i) u.push_back(v(i, j));
+    }
+    solutions.push_back(std::move(u));
+  }
+  for (std::size_t s = 1; s < solutions.size(); ++s) {
+    for (std::size_t k = 0; k < solutions[0].size(); ++k) {
+      EXPECT_NEAR(solutions[s][k], solutions[0][k],
+                  1e-5 * std::max(1.0, std::fabs(solutions[0][k])))
+          << "solver " << s << " cell " << k;
+    }
+  }
+}
+
+TEST(Solvers, TrivialRhsConvergesImmediately) {
+  auto p = prepare(16);
+  auto& b = *p.backend;
+  // Zero the initial condition: r = 0 instantly.
+  b.scale_copy(FieldId::kU, FieldId::kU, 0.0);
+  b.scale_copy(FieldId::kU0, FieldId::kU0, 0.0);
+  tea::SolveOptions o;
+  const auto stats = tea::solve_cg(b, o);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(Solvers, NonConvergenceReported) {
+  auto p = prepare(48);
+  tea::SolveOptions o;
+  o.eps = 1e-30;
+  o.max_iters = 3;  // hopeless budget
+  const auto stats = tea::solve_cg(*p.backend, o);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 3);
+}
+
+TEST(Ppcg, InnerStepsAccounted) {
+  auto p = prepare(24);
+  tea::SolveOptions o;
+  o.eps = 1e-10;
+  o.ppcg_inner_steps = 4;
+  o.cheby_cg_presteps = 8;
+  const auto stats = tea::solve_ppcg(*p.backend, o);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_GT(stats.inner_iterations, 0);
+  EXPECT_EQ(stats.inner_iterations % 4, 0);
+}
+
+// --- eigen estimation ------------------------------------------------------------
+
+TEST(Eigen, DiagonalMatrixBoundsExact) {
+  const std::vector<double> diag{1.0, 5.0, 3.0, 9.0};
+  const std::vector<double> off{0.0, 0.0, 0.0};
+  const auto b = tea::tridiag_eigen_bounds(diag, off);
+  EXPECT_NEAR(b.lambda_min, 1.0, 1e-6);
+  EXPECT_NEAR(b.lambda_max, 9.0, 1e-6);
+}
+
+TEST(Eigen, KnownTridiagonal) {
+  // The N=4 second-difference matrix [2,-1] has eigenvalues
+  // 2 - 2cos(k pi / 5), k=1..4.
+  const std::vector<double> diag{2, 2, 2, 2};
+  const std::vector<double> off{-1, -1, -1};
+  const auto b = tea::tridiag_eigen_bounds(diag, off);
+  const double pi = std::acos(-1.0);
+  EXPECT_NEAR(b.lambda_min, 2 - 2 * std::cos(pi / 5.0), 1e-6);
+  EXPECT_NEAR(b.lambda_max, 2 - 2 * std::cos(4 * pi / 5.0), 1e-6);
+}
+
+TEST(Eigen, SingleEntry) {
+  const std::vector<double> diag{4.2};
+  const auto b = tea::tridiag_eigen_bounds(diag, {});
+  EXPECT_DOUBLE_EQ(b.lambda_min, 4.2);
+  EXPECT_DOUBLE_EQ(b.lambda_max, 4.2);
+}
+
+TEST(Eigen, EmptyThrows) {
+  EXPECT_THROW(tea::tridiag_eigen_bounds({}, {}), tl::Error);
+}
+
+TEST(Eigen, CgScalarBoundsEncloseOperatorAction) {
+  // Estimate bounds from real CG scalars and verify the Rayleigh quotient of
+  // random vectors lies inside them.
+  auto p = prepare(24);
+  auto& b = *p.backend;
+  tea::SolveOptions o;
+  o.eps = 1e-30;
+  o.max_iters = 25;
+  (void)tea::solve_cg(b, o);  // leaves alphas/betas unavailable; redo manually
+
+  // Re-prepare and run the estimation path via the Chebyshev solver's
+  // presteps by checking the bounds it derives are sane: lambda_min >= 0.5
+  // (A = I + L) and lambda_max within a small factor of the Gershgorin bound.
+  auto p2 = prepare(24);
+  auto& b2 = *p2.backend;
+  b2.update_halo({FieldId::kU}, 1);
+  b2.compute_residual();
+  b2.copy_field(FieldId::kR, FieldId::kP);
+  double rro = b2.dot(FieldId::kR, FieldId::kR);
+  std::vector<double> alphas, betas;
+  for (int it = 0; it < 20; ++it) {
+    b2.update_halo({FieldId::kP}, 1);
+    b2.apply_operator(FieldId::kP, FieldId::kW);
+    const double pw = b2.dot(FieldId::kP, FieldId::kW);
+    if (pw == 0.0) break;
+    const double alpha = rro / pw;
+    b2.axpy(FieldId::kU, alpha, FieldId::kP);
+    b2.axpy(FieldId::kR, -alpha, FieldId::kW);
+    const double rrn = b2.dot(FieldId::kR, FieldId::kR);
+    alphas.push_back(alpha);
+    betas.push_back(rrn / rro);
+    b2.zaxpy(FieldId::kP, rrn / rro, FieldId::kR);
+    rro = rrn;
+  }
+  const auto bounds = tea::bounds_from_cg_scalars(alphas, betas);
+  EXPECT_GE(bounds.lambda_min, 0.5);
+  EXPECT_GT(bounds.lambda_max, bounds.lambda_min);
+
+  // Rayleigh quotients of random vectors must lie within the (safety-
+  // factored) bounds.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    randomize(b2, FieldId::kP, seed);
+    b2.update_halo({FieldId::kP}, 1);
+    b2.apply_operator(FieldId::kP, FieldId::kW);
+    const double xax = b2.dot(FieldId::kP, FieldId::kW);
+    const double xx = b2.dot(FieldId::kP, FieldId::kP);
+    const double rayleigh = xax / xx;
+    EXPECT_GE(rayleigh, bounds.lambda_min * 0.5);
+    EXPECT_LE(rayleigh, bounds.lambda_max * 1.5);
+  }
+}
+
+}  // namespace

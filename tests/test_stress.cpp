@@ -1,0 +1,198 @@
+// Concurrency stress and robustness tests: pools and mailboxes under
+// contention, device memory exhaustion behaviour, large-world collectives,
+// repeated construction/teardown, and boundary meshes (1-wide, tall-thin).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+#include "minimpi/comm.hpp"
+#include "simgpu/device.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+TEST(Stress, PoolSurvivesManySmallRegions) {
+  tlp::ThreadPool pool(8);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 2000; ++rep) {
+    pool.parallel_for(0, 64, [&](long lo, long hi) { total += hi - lo; });
+  }
+  EXPECT_EQ(total.load(), 2000L * 64);
+}
+
+TEST(Stress, PoolsConstructedAndDestroyedRepeatedly) {
+  for (int rep = 0; rep < 50; ++rep) {
+    tlp::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_region([&](int, int) { count++; });
+    ASSERT_EQ(count.load(), 4);
+  }
+}
+
+TEST(Stress, ConcurrentReducesAreIndependent) {
+  // Two pools reducing simultaneously from different threads must not
+  // interfere (regression guard for shared thread-id slots).
+  tlp::ThreadPool outer(2);
+  std::vector<double> results(2, 0.0);
+  outer.parallel_region([&](int tid, int) {
+    tlp::ThreadPool inner(3);
+    results[static_cast<std::size_t>(tid)] = inner.parallel_reduce<double>(
+        0, 10000, 0.0,
+        [&](long lo, long hi) {
+          double acc = 0;
+          for (long i = lo; i < hi; ++i) acc += tid + 1;
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  });
+  EXPECT_DOUBLE_EQ(results[0], 10000.0);
+  EXPECT_DOUBLE_EQ(results[1], 20000.0);
+}
+
+TEST(Stress, MailboxManyToOneFanIn) {
+  minimpi::run_world(8, [](minimpi::Comm& comm) {
+    constexpr int kMessages = 200;
+    if (comm.rank() == 0) {
+      long sum = 0;
+      for (int k = 0; k < kMessages * 7; ++k) {
+        sum += comm.recv_value<int>(minimpi::kAnySource, 9);
+      }
+      EXPECT_EQ(sum, 7L * kMessages * (kMessages - 1) / 2);
+    } else {
+      for (int k = 0; k < kMessages; ++k) comm.send_value(k, 0, 9);
+    }
+  });
+}
+
+TEST(Stress, CollectiveStormStaysOrdered) {
+  minimpi::run_world(6, [](minimpi::Comm& comm) {
+    for (int round = 0; round < 100; ++round) {
+      const double v = comm.allreduce(static_cast<double>(round),
+                                      minimpi::ReduceOp::kSum);
+      ASSERT_DOUBLE_EQ(v, 6.0 * round);
+      const auto all = comm.allgather(comm.rank() * 1000 + round);
+      ASSERT_EQ(all.size(), 6u);
+      ASSERT_EQ(all[3], 3000 + round);
+    }
+  });
+}
+
+TEST(Stress, DeviceAllocationChurn) {
+  simgpu::Device dev(std::size_t(8) << 20);
+  std::vector<void*> live;
+  for (int rep = 0; rep < 500; ++rep) {
+    live.push_back(dev.allocate(1024 * (1 + rep % 7)));
+    if (live.size() > 10) {
+      dev.deallocate(live.front());
+      live.erase(live.begin());
+    }
+  }
+  for (void* p : live) dev.deallocate(p);
+  EXPECT_EQ(dev.bytes_allocated(), 0u);
+}
+
+TEST(Stress, DeviceRecoversAfterOom) {
+  simgpu::Device dev(1 << 16);
+  void* a = dev.allocate(1 << 15);
+  EXPECT_THROW(dev.allocate(1 << 15 | 1), tl::DeviceError);
+  dev.deallocate(a);
+  void* b = dev.allocate(1 << 15);
+  EXPECT_NE(b, nullptr);
+  dev.deallocate(b);
+}
+
+// --- boundary meshes ---------------------------------------------------------------
+
+tl::ProblemConfig mesh_problem(int nx, int ny) {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = nx;
+  cfg.problem().y_cells = ny;
+  cfg.problem().end_step = 1;
+  cfg.problem().eps = 1e-10;
+  return cfg.problem();
+}
+
+class OddMeshTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::string>> {};
+
+TEST_P(OddMeshTest, ConvergesAndMatchesSerial) {
+  const auto& [nx, ny, backend] = GetParam();
+  const auto cfg = mesh_problem(nx, ny);
+  const auto ref = tea::run_simulation("serial", cfg);
+  tea::RunOptions o;
+  o.ranks = 3;  // deliberately awkward for decomposition
+  const auto run = tea::run_simulation(backend, cfg, o);
+  ASSERT_TRUE(ref.all_converged());
+  EXPECT_TRUE(run.all_converged()) << backend << " " << nx << "x" << ny;
+  EXPECT_NEAR(run.final_summary.temp, ref.final_summary.temp,
+              1e-7 * std::fabs(ref.final_summary.temp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OddMeshTest,
+    ::testing::Combine(::testing::Values(5, 31), ::testing::Values(7, 64),
+                       ::testing::Values("manual-mpi", "ops-tiled",
+                                         "manual-cuda")),
+    [](const auto& info) {
+      std::string name = std::get<2>(info.param) + "_" +
+                         std::to_string(std::get<0>(info.param)) + "x" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Robustness, MoreRanksThanRows) {
+  // 8 ranks on a 16x4 mesh: some ranks own very few rows.
+  const auto cfg = mesh_problem(16, 4);
+  const auto ref = tea::run_simulation("serial", cfg);
+  tea::RunOptions o;
+  o.ranks = 8;
+  const auto run = tea::run_simulation("manual-mpi", cfg, o);
+  EXPECT_TRUE(run.all_converged());
+  EXPECT_NEAR(run.final_summary.temp, ref.final_summary.temp,
+              1e-8 * std::fabs(ref.final_summary.temp));
+}
+
+TEST(Robustness, RepeatedRunsAreDeterministic) {
+  const auto cfg = mesh_problem(40, 40);
+  const auto a = tea::run_simulation("ops-omp", cfg);
+  const auto b = tea::run_simulation("ops-omp", cfg);
+  EXPECT_EQ(a.total_iterations, b.total_iterations);
+  EXPECT_DOUBLE_EQ(a.final_summary.temp, b.final_summary.temp);
+  EXPECT_DOUBLE_EQ(a.final_summary.ie, b.final_summary.ie);
+}
+
+TEST(Robustness, BackToBackGpuBackendsShareDevice) {
+  // The global simulated device must be reusable across backends without
+  // leaking allocations between runs.
+  const auto cfg = mesh_problem(32, 32);
+  const std::size_t before = simgpu::default_device().bytes_allocated();
+  for (const char* id : {"manual-cuda", "kokkos-cuda", "raja-cuda",
+                         "ops-cuda", "manual-cuda"}) {
+    const auto run = tea::run_simulation(id, cfg);
+    ASSERT_TRUE(run.all_converged()) << id;
+  }
+  EXPECT_EQ(simgpu::default_device().bytes_allocated(), before);
+}
+
+TEST(Robustness, TinyMeshOnEveryBackendFamily) {
+  const auto cfg = mesh_problem(3, 3);
+  const auto ref = tea::run_simulation("serial", cfg);
+  for (const char* id : {"manual-omp", "manual-cuda", "ops-omp",
+                         "kokkos-omp", "raja-omp"}) {
+    const auto run = tea::run_simulation(id, cfg);
+    EXPECT_TRUE(run.all_converged()) << id;
+    EXPECT_NEAR(run.final_summary.temp, ref.final_summary.temp,
+                1e-8 * std::fabs(ref.final_summary.temp))
+        << id;
+  }
+}
+
+}  // namespace

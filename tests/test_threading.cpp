@@ -1,0 +1,222 @@
+// Unit and property tests for tlp: fork-join pool, scheduling policies,
+// reductions, barriers, exception propagation, thread ids.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "threading/barrier.hpp"
+#include "threading/schedule.hpp"
+#include "threading/thread_id.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+TEST(StaticPartition, CoversRangeExactlyOnce) {
+  for (const long n : {0L, 1L, 7L, 100L, 101L}) {
+    for (const int threads : {1, 2, 3, 8}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      for (int t = 0; t < threads; ++t) {
+        const auto r = tlp::static_partition(0, n, t, threads);
+        for (long i = r.begin; i < r.end; ++i) hits[static_cast<std::size_t>(i)]++;
+      }
+      for (const int h : hits) EXPECT_EQ(h, 1) << "n=" << n << " p=" << threads;
+    }
+  }
+}
+
+TEST(StaticPartition, BalancedWithinOne) {
+  const auto r0 = tlp::static_partition(0, 10, 0, 3);
+  const auto r1 = tlp::static_partition(0, 10, 1, 3);
+  const auto r2 = tlp::static_partition(0, 10, 2, 3);
+  EXPECT_EQ(r0.end - r0.begin, 4);
+  EXPECT_EQ(r1.end - r1.begin, 3);
+  EXPECT_EQ(r2.end - r2.begin, 3);
+}
+
+TEST(ThreadPool, ParallelRegionRunsEveryThreadOnce) {
+  tlp::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  pool.parallel_region([&](int tid, int n) {
+    EXPECT_EQ(n, 4);
+    counts[static_cast<std::size_t>(tid)]++;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RegionReusableAcrossGenerations) {
+  tlp::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.parallel_region([&](int, int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+class ScheduleTest : public ::testing::TestWithParam<
+                         std::tuple<tlp::Schedule, int, long>> {};
+
+TEST_P(ScheduleTest, ParallelForTouchesEachIndexOnce) {
+  const auto [sched, threads, n] = GetParam();
+  tlp::ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  tlp::ForOptions opts;
+  opts.schedule = sched;
+  pool.parallel_for(
+      0, n,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+      },
+      opts);
+  for (long i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ScheduleTest, ReduceMatchesSerialSum) {
+  const auto [sched, threads, n] = GetParam();
+  tlp::ThreadPool pool(threads);
+  tlp::ForOptions opts;
+  opts.schedule = sched;
+  const double sum = pool.parallel_reduce<double>(
+      0, n, 0.0,
+      [](long lo, long hi) {
+        double acc = 0;
+        for (long i = lo; i < hi; ++i) acc += static_cast<double>(i);
+        return acc;
+      },
+      [](double a, double b) { return a + b; }, opts);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ScheduleTest,
+    ::testing::Combine(::testing::Values(tlp::Schedule::kStatic,
+                                         tlp::Schedule::kDynamic,
+                                         tlp::Schedule::kGuided),
+                       ::testing::Values(1, 2, 7),
+                       ::testing::Values(0L, 1L, 1000L)));
+
+TEST(ThreadPool, StaticReduceIsDeterministic) {
+  tlp::ThreadPool pool(6);
+  std::vector<double> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto run = [&] {
+    return pool.parallel_reduce<double>(
+        0, static_cast<long>(values.size()), 0.0,
+        [&](long lo, long hi) {
+          double acc = 0;
+          for (long i = lo; i < hi; ++i) acc += values[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 10; ++rep) EXPECT_EQ(run(), first);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  tlp::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_region([](int tid, int) {
+    if (tid == 2) throw tl::Error("worker boom");
+  }),
+               tl::Error);
+  // Pool must stay usable after the failure.
+  std::atomic<int> count{0};
+  pool.parallel_region([&](int, int) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  tlp::ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](long, long) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  tlp::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_region([&](int tid, int n) {
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, NestedPoolsWork) {
+  // Hybrid backends run a pool per minimpi rank: emulate two sibling pools
+  // driven from worker threads of an outer pool.
+  tlp::ThreadPool outer(2);
+  std::atomic<long> total{0};
+  outer.parallel_region([&](int, int) {
+    tlp::ThreadPool inner(3);
+    inner.parallel_for(0, 300, [&](long lo, long hi) {
+      total += hi - lo;
+    });
+  });
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, DefaultThreadsPositive) {
+  EXPECT_GE(tlp::default_threads(), 1);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 6;
+  tlp::Barrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  tlp::ThreadPool pool(kThreads);
+  pool.parallel_region([&](int, int) {
+    for (int phase = 0; phase < 5; ++phase) {
+      phase_counter++;
+      barrier.arrive_and_wait();
+      // After the barrier every participant of this phase has incremented.
+      EXPECT_GE(phase_counter.load(), (phase + 1) * kThreads);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), 5 * kThreads);
+}
+
+TEST(Barrier, RejectsNonPositiveCount) {
+  EXPECT_THROW(tlp::Barrier(0), tl::Error);
+}
+
+TEST(ThreadId, StablePerThreadAndDistinct) {
+  const int mine = tlp::current_thread_id();
+  EXPECT_EQ(tlp::current_thread_id(), mine);
+  std::set<int> ids;
+  std::mutex m;
+  tlp::ThreadPool pool(8);
+  pool.parallel_region([&](int, int) {
+    std::lock_guard<std::mutex> lock(m);
+    ids.insert(tlp::current_thread_id());
+  });
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(ThreadPool, GuidedChunksShrink) {
+  tlp::ThreadPool pool(4);
+  std::vector<long> chunk_sizes;
+  std::mutex m;
+  tlp::ForOptions opts;
+  opts.schedule = tlp::Schedule::kGuided;
+  pool.parallel_for(
+      0, 10000,
+      [&](long lo, long hi) {
+        std::lock_guard<std::mutex> lock(m);
+        chunk_sizes.push_back(hi - lo);
+      },
+      opts);
+  ASSERT_GT(chunk_sizes.size(), 1u);
+  const long covered = std::accumulate(chunk_sizes.begin(), chunk_sizes.end(), 0L);
+  EXPECT_EQ(covered, 10000);
+}
+
+}  // namespace

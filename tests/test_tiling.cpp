@@ -1,0 +1,334 @@
+// Property tests for the lazy cache-blocking tiling executor: exact-once
+// coverage with dependency skew, equivalence of tiled vs untiled execution on
+// random loop chains (including read-modify-write loops), and the
+// DRAM-traffic accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "minimpi/comm.hpp"
+#include "miniops/miniops.hpp"
+
+namespace {
+
+using ops::Acc;
+using ops::AccessMode;
+using ops::arg_dat;
+using ops::arg_gbl;
+using ops::Context;
+using ops::ContextOptions;
+using ops::Range;
+using ops::Stencil;
+
+/// Run a randomized chain of loops (axpy-like RMW, stencil blur, copies) on
+/// fields of an nx-by-ny block, and return a checksum.  `tiled` toggles the
+/// lazy executor; `tile_rows` forces small tiles so skew logic is exercised.
+double run_random_chain(bool tiled, int tile_rows, std::uint64_t seed, int nx,
+                        int ny, int chain_len) {
+  ContextOptions o;
+  o.tiled = tiled;
+  o.tile.tile_rows = tile_rows;
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", nx, ny);
+  constexpr int kFields = 4;
+  std::vector<ops::Dat*> f;
+  for (int k = 0; k < kFields; ++k) {
+    f.push_back(&ctx.decl_dat(block, "f" + std::to_string(k), 2));
+  }
+  // Deterministic init.
+  for (int k = 0; k < kFields; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        f[static_cast<std::size_t>(k)]->at(i, j) =
+            std::sin(0.1 * i + 0.2 * j + k);
+      }
+    }
+    f[static_cast<std::size_t>(k)]->set_halo_dirty(true);
+  }
+  ctx.update_halo({f[0], f[1], f[2], f[3]}, 2);
+
+  tl::Rng rng(seed);
+  const Range interior{0, nx, 0, ny};
+  for (int step = 0; step < chain_len; ++step) {
+    const int kind = static_cast<int>(rng.next_below(3));
+    const auto a = static_cast<std::size_t>(rng.next_below(kFields));
+    auto b = static_cast<std::size_t>(rng.next_below(kFields));
+    if (b == a) b = (b + 1) % kFields;
+    switch (kind) {
+      case 0: {  // RMW axpy: fb += 0.5 * fa
+        ops::par_loop(
+            ctx, "axpy", interior, 2,
+            [](Acc x, Acc y) { y(0, 0) += 0.5 * x(0, 0); },
+            arg_dat(*f[a], AccessMode::kRead),
+            arg_dat(*f[b], AccessMode::kReadWrite));
+        break;
+      }
+      case 1: {  // copy
+        ops::par_loop(
+            ctx, "copy", interior, 0,
+            [](Acc x, Acc y) { y(0, 0) = x(0, 0); },
+            arg_dat(*f[a], AccessMode::kRead),
+            arg_dat(*f[b], AccessMode::kWrite));
+        break;
+      }
+      default: {  // stencil blur (forces halo maintenance / skew)
+        ops::par_loop(
+            ctx, "blur", interior, 5,
+            [](Acc x, Acc y) {
+              y(0, 0) = 0.2 * (x(0, 0) + x(-1, 0) + x(1, 0) + x(0, -1) +
+                               x(0, 1));
+            },
+            arg_dat(*f[a], AccessMode::kRead, Stencil::star5()),
+            arg_dat(*f[b], AccessMode::kWrite));
+        break;
+      }
+    }
+  }
+  ctx.flush();
+
+  double sum = 0.0;
+  for (int k = 0; k < kFields; ++k) {
+    double s = 0.0;
+    ops::par_loop(
+        ctx, "sum", interior, 1, [](Acc x, double& acc) { acc += x(0, 0); },
+        arg_dat(*f[static_cast<std::size_t>(k)], AccessMode::kRead),
+        arg_gbl(s));
+    sum += s * (k + 1);
+  }
+  return sum;
+}
+
+class TiledChainEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TiledChainEquivalence, TiledMatchesUntiled) {
+  const auto [seed, tile_rows] = GetParam();
+  const double flat = run_random_chain(false, 0, seed, 37, 29, 12);
+  const double tiled = run_random_chain(true, tile_rows, seed, 37, 29, 12);
+  EXPECT_NEAR(tiled, flat, 1e-9 * std::max(1.0, std::fabs(flat)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, TiledChainEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 42u, 1234u),
+                       ::testing::Values(4, 8, 64)));
+
+TEST(TiledExecution, LongPointwiseChainStaysQueued) {
+  ContextOptions o;
+  o.tiled = true;
+  o.tile.tile_rows = 8;
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 16, 64);
+  ops::Dat& a = ctx.decl_dat(block, "a", 2);
+  ops::Dat& b = ctx.decl_dat(block, "b", 2);
+  const Range interior{0, 16, 0, 64};
+  for (int k = 0; k < 6; ++k) {
+    ops::par_loop(
+        ctx, "axpy", interior, 2,
+        [](Acc x, Acc y) { y(0, 0) += 0.25 * x(0, 0) + 1.0; },
+        arg_dat(a, AccessMode::kRead), arg_dat(b, AccessMode::kReadWrite));
+  }
+  // Nothing ran yet: the chain is queued.
+  EXPECT_EQ(ctx.loops_executed(), 0);
+  ctx.flush();
+  EXPECT_EQ(ctx.loops_executed(), 6);
+  EXPECT_EQ(ctx.flushes(), 1);
+  EXPECT_DOUBLE_EQ(b.at(3, 3), 6.0);
+}
+
+TEST(TiledExecution, ReductionForcesFlush) {
+  ContextOptions o;
+  o.tiled = true;
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 8, 8);
+  ops::Dat& a = ctx.decl_dat(block, "a", 1);
+  ops::par_loop(
+      ctx, "fill", Range{0, 8, 0, 8}, 0, [](Acc x) { x(0, 0) = 2.0; },
+      arg_dat(a, AccessMode::kWrite));
+  double sum = 0.0;
+  ops::par_loop(
+      ctx, "sum", Range{0, 8, 0, 8}, 1,
+      [](Acc x, double& s) { s += x(0, 0); }, arg_dat(a, AccessMode::kRead),
+      arg_gbl(sum));
+  EXPECT_DOUBLE_EQ(sum, 128.0);  // implies the fill was flushed first
+}
+
+TEST(TiledExecution, MaxChainForcesFlush) {
+  ContextOptions o;
+  o.tiled = true;
+  o.tile.max_chain = 4;
+  Context ctx(o);
+  ops::Block& block = ctx.decl_block("b", 8, 8);
+  ops::Dat& a = ctx.decl_dat(block, "a", 1);
+  for (int k = 0; k < 4; ++k) {
+    ops::par_loop(
+        ctx, "inc", Range{0, 8, 0, 8}, 1, [](Acc x) { x(0, 0) += 1.0; },
+        arg_dat(a, AccessMode::kReadWrite));
+  }
+  EXPECT_GE(ctx.flushes(), 1);
+  EXPECT_EQ(ctx.loops_executed(), 4);
+}
+
+// --- plan-level properties -----------------------------------------------------
+
+std::vector<ops::LoopRecord> make_chain(ops::Dat& a, ops::Dat& b, int ny,
+                                        int stencil_reach) {
+  // loop0 writes a (point); loop1 reads a with +stencil_reach rows, writes b.
+  std::vector<ops::LoopRecord> chain(2);
+  chain[0].name = "w_a";
+  chain[0].local_range = ops::Range{0, a.local_nx(), 0, ny};
+  chain[0].flops_per_cell = 1;
+  chain[0].dats.push_back({&a, AccessMode::kWrite, 0, 0, 0, 0});
+  chain[1].name = "r_a_w_b";
+  chain[1].local_range = ops::Range{0, a.local_nx(), 0, ny};
+  chain[1].flops_per_cell = 1;
+  chain[1].dats.push_back(
+      {&a, AccessMode::kRead, -stencil_reach, stencil_reach, -1, 1});
+  chain[1].dats.push_back({&b, AccessMode::kWrite, 0, 0, 0, 0});
+  return chain;
+}
+
+TEST(TilePlan, PartitionsEveryLoopExactly) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 16, 100);
+  ops::Dat& a = ctx.decl_dat(block, "a", 2);
+  ops::Dat& b = ctx.decl_dat(block, "b", 2);
+  const auto chain = make_chain(a, b, 100, 1);
+  ops::TileConfig cfg;
+  cfg.tile_rows = 16;
+  const ops::TilePlan plan(chain, cfg, 16);
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    int covered = 0;
+    int prev_end = 0;
+    for (int t = 0; t < plan.num_tiles(); ++t) {
+      const auto s = plan.slice(t, static_cast<int>(k));
+      EXPECT_EQ(s.y_begin, prev_end);
+      covered += s.y_end - s.y_begin;
+      prev_end = s.y_end;
+    }
+    EXPECT_EQ(covered, 100);
+  }
+}
+
+TEST(TilePlan, WriterSkewsAheadOfStencilReader) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 16, 100);
+  ops::Dat& a = ctx.decl_dat(block, "a", 2);
+  ops::Dat& b = ctx.decl_dat(block, "b", 2);
+  for (const int reach : {1, 2}) {
+    const auto chain = make_chain(a, b, 100, reach);
+    ops::TileConfig cfg;
+    cfg.tile_rows = 20;
+    const ops::TilePlan plan(chain, cfg, 16);
+    for (int t = 0; t + 1 < plan.num_tiles(); ++t) {
+      const auto writer = plan.slice(t, 0);
+      const auto reader = plan.slice(t, 1);
+      // The writer must have produced every row the reader's stencil needs.
+      EXPECT_GE(writer.y_end, reader.y_end + reach) << "tile " << t;
+    }
+  }
+}
+
+TEST(TilePlan, TiledTrafficBelowUntiled) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 64, 512);
+  ops::Dat& a = ctx.decl_dat(block, "a", 2);
+  ops::Dat& b = ctx.decl_dat(block, "b", 2);
+  // Chain reusing the same two dats repeatedly: tiling should cut DRAM
+  // traffic substantially.
+  std::vector<ops::LoopRecord> chain;
+  for (int k = 0; k < 8; ++k) {
+    ops::LoopRecord l;
+    l.name = "l" + std::to_string(k);
+    l.local_range = ops::Range{0, 64, 0, 512};
+    l.flops_per_cell = 2;
+    l.dats.push_back({&a, AccessMode::kRead, 0, 0, 0, 0});
+    l.dats.push_back({&b, AccessMode::kReadWrite, 0, 0, 0, 0});
+    chain.push_back(std::move(l));
+  }
+  ops::TileConfig cfg;
+  cfg.tile_rows = 32;
+  const ops::TilePlan plan(chain, cfg, 64);
+  const auto tiled = plan.traffic(chain);
+  const auto flat = ops::untiled_traffic(chain);
+  EXPECT_LT(tiled.bytes_read + tiled.bytes_written,
+            flat.bytes_read + flat.bytes_written);
+  const double reuse = plan.reuse_factor(chain);
+  EXPECT_GT(reuse, 0.0);
+  EXPECT_LT(reuse, 0.5);  // 8 loops over 2 dats: large reuse
+  EXPECT_EQ(tiled.flops, flat.flops);  // tiling never changes flops
+}
+
+TEST(TilePlan, AutoTileRowsRespectsCacheBudget) {
+  Context ctx;
+  ops::Block& block = ctx.decl_block("b", 1024, 4096);
+  ops::Dat& a = ctx.decl_dat(block, "a", 2);
+  ops::Dat& b = ctx.decl_dat(block, "b", 2);
+  const auto chain = make_chain(a, b, 4096, 1);
+  ops::TileConfig cfg;  // auto rows
+  cfg.cache_bytes = 1 << 20;
+  const ops::TilePlan plan(chain, cfg, a.padded_nx());
+  // 2 dats x padded_nx x 8B per row; budget 1 MiB with 2x slack.
+  const std::size_t row_bytes = 2 * static_cast<std::size_t>(a.padded_nx()) * 8;
+  EXPECT_LE(static_cast<std::size_t>(plan.tile_rows()) * row_bytes,
+            cfg.cache_bytes);
+  EXPECT_GE(plan.tile_rows(), 8);
+}
+
+TEST(TilePlan, MpiTiledMatchesSerialTeaLikeChain) {
+  // Distributed + tiled context running a stencil/axpy mix must agree with
+  // the sequential engine (this is the ops-tiled configuration).
+  const auto run = [](int ranks, bool tiled) {
+    double result = 0.0;
+    std::mutex m;
+    minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+      ContextOptions o;
+      o.comm = &comm;
+      o.tiled = tiled;
+      o.tile.tile_rows = 8;
+      Context ctx(o);
+      ops::Block& block = ctx.decl_block("b", 40, 24);
+      ops::Dat& u = ctx.decl_dat(block, "u", 2);
+      ops::Dat& w = ctx.decl_dat(block, "w", 2);
+      for (int j = 0; j < u.local_ny(); ++j) {
+        for (int i = 0; i < u.local_nx(); ++i) {
+          u.at(i, j) = 0.01 * (u.local_x0() + i) - 0.02 * (u.local_y0() + j);
+        }
+      }
+      u.set_halo_dirty(true);
+      const Range interior{0, 40, 0, 24};
+      for (int it = 0; it < 3; ++it) {
+        ctx.update_halo({&u}, 1);
+        ops::par_loop(
+            ctx, "blur", interior, 5,
+            [](Acc x, Acc y) {
+              y(0, 0) = x(0, 0) + 0.1 * (x(-1, 0) + x(1, 0) + x(0, -1) +
+                                         x(0, 1) - 4.0 * x(0, 0));
+            },
+            arg_dat(u, AccessMode::kRead, Stencil::star5()),
+            arg_dat(w, AccessMode::kWrite));
+        ops::par_loop(
+            ctx, "accum+copy", interior, 2,
+            [](Acc x, Acc y) { y(0, 0) = 0.5 * y(0, 0) + 0.5 * x(0, 0); },
+            arg_dat(w, AccessMode::kRead), arg_dat(u, AccessMode::kReadWrite));
+      }
+      double sum = 0.0;
+      ops::par_loop(
+          ctx, "sum", interior, 1, [](Acc x, double& s) { s += x(0, 0); },
+          arg_dat(u, AccessMode::kRead), arg_gbl(sum));
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(m);
+        result = sum;
+      }
+    });
+    return result;
+  };
+  const double serial = run(1, false);
+  EXPECT_NEAR(run(4, true), serial, 1e-10 * std::max(1.0, std::fabs(serial)));
+  EXPECT_NEAR(run(3, true), serial, 1e-10 * std::max(1.0, std::fabs(serial)));
+}
+
+}  // namespace
