@@ -1,0 +1,78 @@
+// span.hpp — minimal C++17 stand-in for std::span, covering the subset this
+// repo uses: (pointer, size) and vector construction, const-qualification
+// conversion, element access, iteration, and subspan slicing.  Kept in
+// tl:: so the tree builds with -std=c++17 on any mainstream compiler.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace tl {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using size_type = std::size_t;
+  using pointer = T*;
+  using reference = T&;
+  using iterator = T*;
+
+  constexpr span() noexcept : data_(nullptr), size_(0) {}
+  constexpr span(T* data, size_type size) noexcept : data_(data), size_(size) {}
+  constexpr span(T* first, T* last) noexcept
+      : data_(first), size_(static_cast<size_type>(last - first)) {}
+
+  template <std::size_t N>
+  constexpr span(element_type (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  // Implicit from a vector of the (possibly const-stripped) element type,
+  // mirroring std::span's range constructor for the common case.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  span(std::vector<U>& v) noexcept : data_(v.data()), size_(v.size()) {}
+
+  template <typename U, typename = std::enable_if_t<
+                            std::is_convertible_v<const U (*)[], T (*)[]>>>
+  span(const std::vector<U>& v) noexcept : data_(v.data()), size_(v.size()) {}
+
+  // span<T> -> span<const T>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr span(const span<U>& other) noexcept
+      : data_(other.data()), size_(other.size()) {}
+
+  constexpr pointer data() const noexcept { return data_; }
+  constexpr size_type size() const noexcept { return size_; }
+  constexpr size_type size_bytes() const noexcept { return size_ * sizeof(T); }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr reference operator[](size_type i) const { return data_[i]; }
+  constexpr reference front() const { return data_[0]; }
+  constexpr reference back() const { return data_[size_ - 1]; }
+
+  constexpr iterator begin() const noexcept { return data_; }
+  constexpr iterator end() const noexcept { return data_ + size_; }
+
+  constexpr span first(size_type n) const { return span(data_, n); }
+  constexpr span last(size_type n) const { return span(data_ + (size_ - n), n); }
+  constexpr span subspan(size_type offset, size_type count) const {
+    return span(data_ + offset, count);
+  }
+  constexpr span subspan(size_type offset) const {
+    return span(data_ + offset, size_ - offset);
+  }
+
+ private:
+  pointer data_;
+  size_type size_;
+};
+
+template <typename U>
+span(std::vector<U>&) -> span<U>;
+template <typename U>
+span(const std::vector<U>&) -> span<const U>;
+
+}  // namespace tl

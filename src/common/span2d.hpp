@@ -44,7 +44,7 @@ public:
   }
   constexpr bool empty() const noexcept { return size() == 0; }
 
-  /// Implicit const-qualification, mirroring std::span semantics.
+  /// Implicit const-qualification, mirroring tl::span semantics.
   constexpr operator Span2D<const T>() const noexcept {
     return Span2D<const T>(data_, nx_, ny_);
   }

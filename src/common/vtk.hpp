@@ -3,15 +3,16 @@
 // VisIt.
 #pragma once
 
-#include <span>
 #include <string>
 #include <vector>
+
+#include "common/span.hpp"
 
 namespace tl {
 
 struct VtkField {
   std::string name;
-  std::span<const double> values;  // nx*ny cell values, row-major
+  span<const double> values;  // nx*ny cell values, row-major
 };
 
 /// Write an nx-by-ny cell-centred dataset with spacing (dx, dy) and the

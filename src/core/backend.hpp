@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <span>
+#include "common/span.hpp"
 #include <string>
 
 #include "common/config.hpp"
@@ -117,7 +117,7 @@ public:
 
   /// Copy the locally-owned interior of `f` into `out` (row-major,
   /// nx*ny values), synchronising from the device where needed.
-  virtual void read_field(FieldId f, std::span<double> out) = 0;
+  virtual void read_field(FieldId f, tl::span<double> out) = 0;
 
 protected:
   double rx_ = 0.0;

@@ -342,7 +342,7 @@ public:
     return LocalExtent{0, 0, nx_, ny_, nx_, ny_};
   }
 
-  void read_field(FieldId f, std::span<double> out) override {
+  void read_field(FieldId f, tl::span<double> out) override {
     auto host = kk::create_mirror_view(fields_[static_cast<std::size_t>(f)]);
     kk::deep_copy(host, fields_[static_cast<std::size_t>(f)]);
     for (int j = 0; j < ny_; ++j) {

@@ -1,7 +1,7 @@
 #include "core/backends/manual_acc.hpp"
 
 #include <cmath>
-#include <span>
+#include "common/span.hpp"
 
 #include "core/backends/ref_kernels.hpp"
 #include "core/problem.hpp"
@@ -55,7 +55,7 @@ void ManualAccBackend::setup(const tl::ProblemConfig& cfg) {
   const std::size_t padded = static_cast<std::size_t>(geom_.padded_cells());
   for (int f = 0; f < kNumFields; ++f) {
     const auto fid = static_cast<FieldId>(f);
-    std::span<double> span(store_->padded(fid), padded);
+    tl::span<double> span(store_->padded(fid), padded);
     const bool scratch = fid == FieldId::kP || fid == FieldId::kW ||
                          fid == FieldId::kZ || fid == FieldId::kSd ||
                          fid == FieldId::kRInner || fid == FieldId::kR;
@@ -300,7 +300,7 @@ std::int64_t ManualAccBackend::working_set_bytes() const {
   return static_cast<std::int64_t>(kNumFields) * geom_.padded_cells() * 8;
 }
 
-void ManualAccBackend::read_field(FieldId f, std::span<double> out) {
+void ManualAccBackend::read_field(FieldId f, tl::span<double> out) {
   sync_host(f);
   ConstCellView v = store_->cview(f);
   for (int j = 0; j < geom_.ny; ++j) {
@@ -312,7 +312,7 @@ void ManualAccBackend::read_field(FieldId f, std::span<double> out) {
 
 void ManualAccBackend::sync_host(FieldId f) {
   const std::size_t padded = static_cast<std::size_t>(geom_.padded_cells());
-  region_->update_host(std::span<double>(store_->padded(f), padded));
+  region_->update_host(tl::span<double>(store_->padded(f), padded));
 }
 
 }  // namespace tea

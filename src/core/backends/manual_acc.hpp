@@ -49,7 +49,7 @@ public:
   LocalExtent local_extent() const override {
     return LocalExtent{0, 0, geom_.nx, geom_.ny, geom_.gnx, geom_.gny};
   }
-  void read_field(FieldId f, std::span<double> out) override;
+  void read_field(FieldId f, tl::span<double> out) override;
 
   /// Sync the region's device copy of `f` back to the host store (`update
   /// host` directive); no-op on the host target.

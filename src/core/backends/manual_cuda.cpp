@@ -292,7 +292,7 @@ std::int64_t ManualCudaBackend::working_set_bytes() const {
   return static_cast<std::int64_t>(kNumFields) * geom_.padded_cells() * 8;
 }
 
-void ManualCudaBackend::read_field(FieldId f, std::span<double> out) {
+void ManualCudaBackend::read_field(FieldId f, tl::span<double> out) {
   const std::size_t padded = static_cast<std::size_t>(geom_.padded_cells());
   std::vector<double> stage(padded);
   fields_[static_cast<std::size_t>(f)]->download(stage);
@@ -309,7 +309,7 @@ void ManualCudaBackend::read_field(FieldId f, std::span<double> out) {
 void ManualCudaBackend::download_field(FieldId f, FieldStore& host) const {
   const auto& buf = fields_[static_cast<std::size_t>(f)];
   const std::size_t padded = static_cast<std::size_t>(geom_.padded_cells());
-  buf->download(std::span<double>(host.padded(f), padded));
+  buf->download(tl::span<double>(host.padded(f), padded));
 }
 
 }  // namespace tea

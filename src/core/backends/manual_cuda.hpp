@@ -41,7 +41,7 @@ public:
   LocalExtent local_extent() const override {
     return LocalExtent{0, 0, geom_.nx, geom_.ny, geom_.gnx, geom_.gny};
   }
-  void read_field(FieldId f, std::span<double> out) override;
+  void read_field(FieldId f, tl::span<double> out) override;
 
   /// Download one field's interior into a host FieldStore (tests use this to
   /// compare against the reference backend).

@@ -368,7 +368,7 @@ FieldSummary ManualHostBackend::field_summary() {
   }
   if (comm_ != nullptr) {
     double vals[4] = {s.vol, s.mass, s.ie, s.temp};
-    comm_->allreduce(std::span<double>(vals), minimpi::ReduceOp::kSum);
+    comm_->allreduce(tl::span<double>(vals), minimpi::ReduceOp::kSum);
     s = FieldSummary{vals[0], vals[1], vals[2], vals[3]};
   }
   charge_kernel(geom(), ref::kCostSummary, comm_, /*is_reduction=*/true);
@@ -400,7 +400,7 @@ tea::Backend::LocalExtent ManualHostBackend::local_extent() const {
   return LocalExtent{g.x0, g.y0, g.nx, g.ny, g.gnx, g.gny};
 }
 
-void ManualHostBackend::read_field(FieldId f, std::span<double> out) {
+void ManualHostBackend::read_field(FieldId f, tl::span<double> out) {
   const PartitionGeom& g = geom();
   TL_REQUIRE(out.size() >= static_cast<std::size_t>(g.cells()),
              "read_field buffer too small");

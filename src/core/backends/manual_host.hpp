@@ -52,7 +52,7 @@ public:
     return comm_ == nullptr || comm_->rank() == 0;
   }
   LocalExtent local_extent() const override;
-  void read_field(FieldId f, std::span<double> out) override;
+  void read_field(FieldId f, tl::span<double> out) override;
 
   const PartitionGeom& geom() const { return store_->geom(); }
   FieldStore& store() { return *store_; }

@@ -283,7 +283,7 @@ tea::Backend::LocalExtent OpsBackend::local_extent() const {
                      gnx_, gny_};
 }
 
-void OpsBackend::read_field(FieldId f, std::span<double> out) {
+void OpsBackend::read_field(FieldId f, tl::span<double> out) {
   ctx_->flush();
   ctx_->fetch_to_host(dat(f));
   const ops::Dat& d = dat(f);

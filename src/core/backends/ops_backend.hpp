@@ -50,7 +50,7 @@ public:
     return ctx_->comm() == nullptr || ctx_->comm()->rank() == 0;
   }
   LocalExtent local_extent() const override;
-  void read_field(FieldId f, std::span<double> out) override;
+  void read_field(FieldId f, tl::span<double> out) override;
 
   ops::Context& context() { return *ctx_; }
   /// Host view of a dat's value at local interior cell (i, j) (tests;

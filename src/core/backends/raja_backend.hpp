@@ -381,7 +381,7 @@ public:
     return LocalExtent{0, 0, nx_, ny_, nx_, ny_};
   }
 
-  void read_field(FieldId f, std::span<double> out) override {
+  void read_field(FieldId f, tl::span<double> out) override {
     const std::size_t padded = static_cast<std::size_t>(pnx_) * pny_;
     std::vector<double> stage(padded);
     if constexpr (Storage::on_device) {

@@ -35,10 +35,10 @@ void exchange_and_reflect(CellView f, const PartitionGeom& geom,
           buf[static_cast<std::size_t>(j) * depth + k] = f(k, j);
         }
       }
-      comm->send(std::span<const double>(buf), cart->left(), kTagToLeft);
+      comm->send(tl::span<const double>(buf), cart->left(), kTagToLeft);
     }
     if (cart->right() != minimpi::kProcNull) {
-      comm->recv(std::span<double>(in), cart->right(), kTagToLeft);
+      comm->recv(tl::span<double>(in), cart->right(), kTagToLeft);
       for (int j = 0; j < ny; ++j) {
         for (int k = 0; k < depth; ++k) {
           f(nx + k, j) = in[static_cast<std::size_t>(j) * depth + k];
@@ -49,10 +49,10 @@ void exchange_and_reflect(CellView f, const PartitionGeom& geom,
           buf[static_cast<std::size_t>(j) * depth + k] = f(nx - depth + k, j);
         }
       }
-      comm->send(std::span<const double>(buf), cart->right(), kTagToRight);
+      comm->send(tl::span<const double>(buf), cart->right(), kTagToRight);
     }
     if (cart->left() != minimpi::kProcNull) {
-      comm->recv(std::span<double>(in), cart->left(), kTagToRight);
+      comm->recv(tl::span<double>(in), cart->left(), kTagToRight);
       for (int j = 0; j < ny; ++j) {
         for (int k = 0; k < depth; ++k) {
           f(-depth + k, j) = in[static_cast<std::size_t>(j) * depth + k];
@@ -72,10 +72,10 @@ void exchange_and_reflect(CellView f, const PartitionGeom& geom,
           buf[static_cast<std::size_t>(k) * row_w + i] = f(row_lo + i, k);
         }
       }
-      comm->send(std::span<const double>(buf), cart->down(), kTagToDown);
+      comm->send(tl::span<const double>(buf), cart->down(), kTagToDown);
     }
     if (cart->up() != minimpi::kProcNull) {
-      comm->recv(std::span<double>(in), cart->up(), kTagToDown);
+      comm->recv(tl::span<double>(in), cart->up(), kTagToDown);
       for (int k = 0; k < depth; ++k) {
         for (int i = 0; i < row_w; ++i) {
           f(row_lo + i, ny + k) = in[static_cast<std::size_t>(k) * row_w + i];
@@ -87,10 +87,10 @@ void exchange_and_reflect(CellView f, const PartitionGeom& geom,
               f(row_lo + i, ny - depth + k);
         }
       }
-      comm->send(std::span<const double>(buf), cart->up(), kTagToUp);
+      comm->send(tl::span<const double>(buf), cart->up(), kTagToUp);
     }
     if (cart->down() != minimpi::kProcNull) {
-      comm->recv(std::span<double>(in), cart->down(), kTagToUp);
+      comm->recv(tl::span<double>(in), cart->down(), kTagToUp);
       for (int k = 0; k < depth; ++k) {
         for (int i = 0; i < row_w; ++i) {
           f(row_lo + i, -depth + k) = in[static_cast<std::size_t>(k) * row_w + i];

@@ -12,7 +12,7 @@ namespace {
 
 /// Number of eigenvalues of the tridiagonal strictly less than x (Sturm
 /// sequence / LDL^T inertia count).
-int count_below(std::span<const double> d, std::span<const double> e,
+int count_below(tl::span<const double> d, tl::span<const double> e,
                 double x) {
   int count = 0;
   double q = 1.0;
@@ -29,7 +29,7 @@ int count_below(std::span<const double> d, std::span<const double> e,
   return count;
 }
 
-double bisect_for_count(std::span<const double> d, std::span<const double> e,
+double bisect_for_count(tl::span<const double> d, tl::span<const double> e,
                         int target_count, double lo, double hi) {
   // Smallest x such that count_below(x) >= target_count.
   for (int iter = 0; iter < 200 && hi - lo > 1e-13 * std::max(1.0, std::fabs(hi));
@@ -46,8 +46,8 @@ double bisect_for_count(std::span<const double> d, std::span<const double> e,
 
 }  // namespace
 
-EigenBounds tridiag_eigen_bounds(std::span<const double> diag,
-                                 std::span<const double> offdiag) {
+EigenBounds tridiag_eigen_bounds(tl::span<const double> diag,
+                                 tl::span<const double> offdiag) {
   TL_REQUIRE(!diag.empty(), "eigen bounds of empty matrix");
   TL_REQUIRE(offdiag.size() + 1 == diag.size() || diag.size() == 1,
              "offdiag size must be diag size - 1");
@@ -70,8 +70,8 @@ EigenBounds tridiag_eigen_bounds(std::span<const double> diag,
   return b;
 }
 
-EigenBounds bounds_from_cg_scalars(std::span<const double> alphas,
-                                   std::span<const double> betas) {
+EigenBounds bounds_from_cg_scalars(tl::span<const double> alphas,
+                                   tl::span<const double> betas) {
   TL_REQUIRE(!alphas.empty(), "need at least one CG step for eigen bounds");
   const std::size_t n = alphas.size();
   std::vector<double> diag(n);

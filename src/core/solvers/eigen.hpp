@@ -5,7 +5,7 @@
 // standard estimation TeaLeaf performs (tl_cheby_cg_presteps).
 #pragma once
 
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 namespace tea {
@@ -18,15 +18,15 @@ struct EigenBounds {
 /// Extremal eigenvalues of the symmetric tridiagonal matrix with diagonal
 /// `diag` and off-diagonal `offdiag` (size diag.size()-1), via Sturm-sequence
 /// bisection.  Throws tl::Error on empty input.
-EigenBounds tridiag_eigen_bounds(std::span<const double> diag,
-                                 std::span<const double> offdiag);
+EigenBounds tridiag_eigen_bounds(tl::span<const double> diag,
+                                 tl::span<const double> offdiag);
 
 /// Assemble the Lanczos tridiagonal from CG's step scalars:
 ///   T(k,k)   = 1/alpha_k + beta_{k-1}/alpha_{k-1}
 ///   T(k,k+1) = sqrt(beta_k)/alpha_k
 /// and return safety-factored bounds (TeaLeaf widens by ~5% to keep the
 /// Chebyshev ellipse enclosing the spectrum).
-EigenBounds bounds_from_cg_scalars(std::span<const double> alphas,
-                                   std::span<const double> betas);
+EigenBounds bounds_from_cg_scalars(tl::span<const double> alphas,
+                                   tl::span<const double> betas);
 
 }  // namespace tea

@@ -26,7 +26,7 @@ DataRegion::~DataRegion() {
   }
 }
 
-double* DataRegion::map(std::span<const double> host, bool copy_in,
+double* DataRegion::map(tl::span<const double> host, bool copy_in,
                         bool copy_out) {
   double* host_ptr = const_cast<double*>(host.data());
   if (target_ == Target::kHost) return host_ptr;
@@ -54,25 +54,25 @@ DataRegion::Mapping& DataRegion::mapping_for(const double* host) {
   return it->second;
 }
 
-double* DataRegion::copyin(std::span<const double> host) {
+double* DataRegion::copyin(tl::span<const double> host) {
   return map(host, /*copy_in=*/true, /*copy_out=*/false);
 }
 
-double* DataRegion::copy(std::span<double> host) {
+double* DataRegion::copy(tl::span<double> host) {
   return map(host, /*copy_in=*/true, /*copy_out=*/true);
 }
 
-double* DataRegion::create(std::span<double> host) {
+double* DataRegion::create(tl::span<double> host) {
   return map(host, /*copy_in=*/false, /*copy_out=*/false);
 }
 
-void DataRegion::update_host(std::span<double> host) {
+void DataRegion::update_host(tl::span<double> host) {
   if (target_ == Target::kHost) return;
   const Mapping& m = mapping_for(host.data());
   device_->memcpy_d2h(m.host, m.device, m.count * sizeof(double));
 }
 
-void DataRegion::update_device(std::span<const double> host) {
+void DataRegion::update_device(tl::span<const double> host) {
   if (target_ == Target::kHost) return;
   const Mapping& m = mapping_for(host.data());
   device_->memcpy_h2d(m.device, m.host, m.count * sizeof(double));

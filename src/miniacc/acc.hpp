@@ -14,7 +14,7 @@
 
 #include <functional>
 #include <map>
-#include <span>
+#include "common/span.hpp"
 #include <string>
 
 #include "simgpu/device.hpp"
@@ -44,16 +44,16 @@ public:
   // host pointer on kHost, the device copy on kDevice. ---
 
   /// copyin: present on device for the region, not copied back.
-  double* copyin(std::span<const double> host);
+  double* copyin(tl::span<const double> host);
   /// copy: copied in now and back out at region exit.
-  double* copy(std::span<double> host);
+  double* copy(tl::span<double> host);
   /// create: device scratch, never copied either way.
-  double* create(std::span<double> host);
+  double* create(tl::span<double> host);
 
   /// update host(x) directive: refresh the host copy mid-region.
-  void update_host(std::span<double> host);
+  void update_host(tl::span<double> host);
   /// update device(x) directive.
-  void update_device(std::span<const double> host);
+  void update_device(tl::span<const double> host);
 
   // --- loop constructs -------------------------------------------------------
 
@@ -79,7 +79,7 @@ private:
     bool copy_out = false;
   };
 
-  double* map(std::span<const double> host, bool copy_in, bool copy_out);
+  double* map(tl::span<const double> host, bool copy_in, bool copy_out);
   Mapping& mapping_for(const double* host);
   tlp::ThreadPool& pool();
 

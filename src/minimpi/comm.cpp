@@ -72,7 +72,7 @@ Status Comm::wait(Request& request) {
   return st;
 }
 
-std::vector<Status> Comm::waitall(std::span<Request> requests) {
+std::vector<Status> Comm::waitall(tl::span<Request> requests) {
   std::vector<Status> statuses;
   statuses.reserve(requests.size());
   for (Request& r : requests) statuses.push_back(wait(r));

@@ -6,14 +6,14 @@
 // Usage:
 //   minimpi::run_world(4, [](minimpi::Comm& comm) {
 //     std::vector<double> halo(n);
-//     comm.send(std::span(halo), comm.rank() ^ 1, /*tag=*/0);
+//     comm.send(tl::span<const double>(halo), comm.rank() ^ 1, /*tag=*/0);
 //     ...
 //   });
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 #include "minimpi/mailbox.hpp"
@@ -54,12 +54,12 @@ public:
   // --- point-to-point -----------------------------------------------------
 
   template <typename T>
-  void send(std::span<const T> data, int dest, Tag tag) {
+  void send(tl::span<const T> data, int dest, Tag tag) {
     send_bytes(data.data(), data.size_bytes(), dest, tag);
   }
 
   template <typename T>
-  Status recv(std::span<T> data, int source, Tag tag) {
+  Status recv(tl::span<T> data, int source, Tag tag) {
     return recv_bytes(data.data(), data.size_bytes(), source, tag);
   }
 
@@ -76,7 +76,7 @@ public:
   }
 
   template <typename T>
-  Request isend(std::span<const T> data, int dest, Tag tag) {
+  Request isend(tl::span<const T> data, int dest, Tag tag) {
     // Eager protocol: data is copied into the destination mailbox now, so the
     // request is born complete (legal per MPI buffered-send semantics).
     send_bytes(data.data(), data.size_bytes(), dest, tag);
@@ -84,13 +84,13 @@ public:
   }
 
   template <typename T>
-  Request irecv(std::span<T> data, int source, Tag tag) {
+  Request irecv(tl::span<T> data, int source, Tag tag) {
     return Request::pending_recv(this, data.data(), data.size_bytes(), source,
                                  tag);
   }
 
   Status wait(Request& request);
-  std::vector<Status> waitall(std::span<Request> requests);
+  std::vector<Status> waitall(tl::span<Request> requests);
 
   /// Non-blocking probe for a matching incoming message.
   bool iprobe(int source, Tag tag, Status* status = nullptr);
@@ -102,7 +102,7 @@ public:
   void barrier();
 
   template <typename T>
-  void bcast(std::span<T> data, int root);
+  void bcast(tl::span<T> data, int root);
 
   template <typename T>
   T reduce(const T& value, ReduceOp op, int root);
@@ -113,7 +113,7 @@ public:
   /// Element-wise vector allreduce (used for multi-field reductions such as
   /// TeaLeaf's field summary).
   template <typename T>
-  void allreduce(std::span<T> values, ReduceOp op);
+  void allreduce(tl::span<T> values, ReduceOp op);
 
   template <typename T>
   std::vector<T> gather(const T& value, int root);
@@ -122,7 +122,7 @@ public:
   std::vector<T> allgather(const T& value);
 
   template <typename T>
-  T scatter(std::span<const T> values, int root);
+  T scatter(tl::span<const T> values, int root);
 
   // Internal: raw byte transport (public for Request).
   void send_bytes(const void* data, std::size_t bytes, int dest, Tag tag);
@@ -148,7 +148,7 @@ void run_world(int size, const std::function<void(Comm&)>& rank_main);
 // --- template implementations ----------------------------------------------
 
 template <typename T>
-void Comm::bcast(std::span<T> data, int root) {
+void Comm::bcast(tl::span<T> data, int root) {
   const Tag tag = next_collective_tag();
   const int n = size();
   // Binomial tree rooted at `root`: relative rank r receives from
@@ -200,13 +200,13 @@ T Comm::reduce(const T& value, ReduceOp op, int root) {
 template <typename T>
 T Comm::allreduce(const T& value, ReduceOp op) {
   T result = reduce(value, op, /*root=*/0);
-  std::span<T> one(&result, 1);
+  tl::span<T> one(&result, 1);
   bcast(one, /*root=*/0);
   return result;
 }
 
 template <typename T>
-void Comm::allreduce(std::span<T> values, ReduceOp op) {
+void Comm::allreduce(tl::span<T> values, ReduceOp op) {
   const Tag tag = next_collective_tag();
   const int n = size();
   std::vector<T> incoming(values.size());
@@ -246,12 +246,12 @@ template <typename T>
 std::vector<T> Comm::allgather(const T& value) {
   std::vector<T> out = gather(value, /*root=*/0);
   out.resize(static_cast<std::size_t>(size()));
-  bcast(std::span<T>(out), /*root=*/0);
+  bcast(tl::span<T>(out), /*root=*/0);
   return out;
 }
 
 template <typename T>
-T Comm::scatter(std::span<const T> values, int root) {
+T Comm::scatter(tl::span<const T> values, int root) {
   const Tag tag = next_collective_tag();
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {

@@ -166,10 +166,10 @@ void Context::exchange_internal(Dat& dat, int depth) {
     for (int j = 0; j < ny; ++j) {
       for (int k = 0; k < depth; ++k) buf[static_cast<std::size_t>(j) * depth + k] = dat.at(k, j);
     }
-    comm.send(std::span<const double>(buf), cart.left(), kTagToLeft);
+    comm.send(tl::span<const double>(buf), cart.left(), kTagToLeft);
   }
   if (cart.right() != minimpi::kProcNull) {
-    comm.recv(std::span<double>(in), cart.right(), kTagToLeft);
+    comm.recv(tl::span<double>(in), cart.right(), kTagToLeft);
     for (int j = 0; j < ny; ++j) {
       for (int k = 0; k < depth; ++k) dat.at(nx + k, j) = in[static_cast<std::size_t>(j) * depth + k];
     }
@@ -178,10 +178,10 @@ void Context::exchange_internal(Dat& dat, int depth) {
         buf[static_cast<std::size_t>(j) * depth + k] = dat.at(nx - depth + k, j);
       }
     }
-    comm.send(std::span<const double>(buf), cart.right(), kTagToRight);
+    comm.send(tl::span<const double>(buf), cart.right(), kTagToRight);
   }
   if (cart.left() != minimpi::kProcNull) {
-    comm.recv(std::span<double>(in), cart.left(), kTagToRight);
+    comm.recv(tl::span<double>(in), cart.left(), kTagToRight);
     for (int j = 0; j < ny; ++j) {
       for (int k = 0; k < depth; ++k) {
         dat.at(-depth + k, j) = in[static_cast<std::size_t>(j) * depth + k];
@@ -202,10 +202,10 @@ void Context::exchange_internal(Dat& dat, int depth) {
         buf[static_cast<std::size_t>(k) * row_width + i] = dat.at(row_lo + i, k);
       }
     }
-    comm.send(std::span<const double>(buf), cart.down(), kTagToDown);
+    comm.send(tl::span<const double>(buf), cart.down(), kTagToDown);
   }
   if (cart.up() != minimpi::kProcNull) {
-    comm.recv(std::span<double>(in), cart.up(), kTagToDown);
+    comm.recv(tl::span<double>(in), cart.up(), kTagToDown);
     for (int k = 0; k < depth; ++k) {
       for (int i = 0; i < row_width; ++i) {
         dat.at(row_lo + i, ny + k) = in[static_cast<std::size_t>(k) * row_width + i];
@@ -217,10 +217,10 @@ void Context::exchange_internal(Dat& dat, int depth) {
             dat.at(row_lo + i, ny - depth + k);
       }
     }
-    comm.send(std::span<const double>(buf), cart.up(), kTagToUp);
+    comm.send(tl::span<const double>(buf), cart.up(), kTagToUp);
   }
   if (cart.down() != minimpi::kProcNull) {
-    comm.recv(std::span<double>(in), cart.down(), kTagToUp);
+    comm.recv(tl::span<double>(in), cart.down(), kTagToUp);
     for (int k = 0; k < depth; ++k) {
       for (int i = 0; i < row_width; ++i) {
         dat.at(row_lo + i, -depth + k) = in[static_cast<std::size_t>(k) * row_width + i];
@@ -360,7 +360,7 @@ void Context::ensure_on_device(Dat& dat) {
   auto& buf = dat.device_buffer(*options_.device);
   if (dat.device_stale()) {
     const tl::Span2D<const double> host = dat.padded_span();
-    buf.upload(std::span<const double>(host.data(), dat.padded_cells()));
+    buf.upload(tl::span<const double>(host.data(), dat.padded_cells()));
     dat.set_device_stale(false);
   }
 }
@@ -369,7 +369,7 @@ void Context::fetch_to_host(Dat& dat) {
   if (!is_device() || !dat.has_device() || !dat.host_stale()) return;
   auto& buf = dat.device_buffer(*options_.device);
   tl::Span2D<double> host = dat.padded_span();
-  buf.download(std::span<double>(host.data(), dat.padded_cells()));
+  buf.download(tl::span<double>(host.data(), dat.padded_cells()));
   dat.set_host_stale(false);
 }
 

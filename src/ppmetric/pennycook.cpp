@@ -4,7 +4,7 @@
 
 namespace ppm {
 
-double pennycook(std::span<const std::optional<double>> efficiencies) {
+double pennycook(tl::span<const std::optional<double>> efficiencies) {
   TL_REQUIRE(!efficiencies.empty(), "pennycook metric over an empty set");
   double inv_sum = 0.0;
   for (const std::optional<double>& e : efficiencies) {

@@ -10,14 +10,14 @@
 #pragma once
 
 #include <optional>
-#include <span>
+#include "common/span.hpp"
 
 namespace ppm {
 
 /// Harmonic-mean metric over per-platform efficiencies in (0, 1].  Returns 0
 /// if any platform is unsupported (nullopt) or has non-positive efficiency;
 /// the set must be non-empty.
-double pennycook(std::span<const std::optional<double>> efficiencies);
+double pennycook(tl::span<const std::optional<double>> efficiencies);
 
 /// Application efficiency: best time on the platform / this time.
 double application_efficiency(double best_time_s, double time_s);

@@ -2,7 +2,7 @@
 // with explicit upload/download (cudaMemcpy discipline).
 #pragma once
 
-#include <span>
+#include "common/span.hpp"
 
 #include "common/error.hpp"
 #include "common/span2d.hpp"
@@ -45,12 +45,12 @@ public:
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
 
-  void upload(std::span<const T> host) {
+  void upload(tl::span<const T> host) {
     TL_REQUIRE(host.size() <= count_, "upload larger than device buffer");
     device_->memcpy_h2d(data_, host.data(), host.size_bytes());
   }
 
-  void download(std::span<T> host) const {
+  void download(tl::span<T> host) const {
     TL_REQUIRE(host.size() <= count_, "download larger than device buffer");
     device_->memcpy_d2h(host.data(), data_, host.size_bytes());
   }

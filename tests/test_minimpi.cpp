@@ -33,9 +33,9 @@ TEST(P2P, VectorPayloadRoundTrips) {
     std::vector<double> data(1000);
     if (comm.rank() == 0) {
       std::iota(data.begin(), data.end(), 0.5);
-      comm.send(std::span<const double>(data), 1, 1);
+      comm.send(tl::span<const double>(data), 1, 1);
     } else {
-      const auto st = comm.recv(std::span<double>(data), 0, 1);
+      const auto st = comm.recv(tl::span<double>(data), 0, 1);
       EXPECT_EQ(st.count<double>(), 1000u);
       EXPECT_EQ(st.source, 0);
       EXPECT_EQ(st.tag, 1);
@@ -77,7 +77,7 @@ TEST(P2P, AnySourceAndAnyTag) {
       int sum = 0;
       for (int k = 0; k < 2; ++k) {
         int v = 0;
-        const auto st = comm.recv(std::span<int>(&v, 1), minimpi::kAnySource,
+        const auto st = comm.recv(tl::span<int>(&v, 1), minimpi::kAnySource,
                                   minimpi::kAnyTag);
         EXPECT_EQ(st.tag, st.source * 100);
         sum += v;
@@ -90,8 +90,8 @@ TEST(P2P, AnySourceAndAnyTag) {
 TEST(P2P, ProcNullIsNoop) {
   minimpi::run_world(1, [](Comm& comm) {
     double v = 5.0;
-    comm.send(std::span<const double>(&v, 1), minimpi::kProcNull, 0);
-    const auto st = comm.recv(std::span<double>(&v, 1), minimpi::kProcNull, 0);
+    comm.send(tl::span<const double>(&v, 1), minimpi::kProcNull, 0);
+    const auto st = comm.recv(tl::span<double>(&v, 1), minimpi::kProcNull, 0);
     EXPECT_EQ(st.bytes, 0u);
     EXPECT_DOUBLE_EQ(v, 5.0);  // untouched
   });
@@ -110,9 +110,9 @@ TEST(P2P, IsendIrecvWaitall) {
     std::vector<double> out(64, static_cast<double>(comm.rank()));
     std::vector<double> in(64, -1.0);
     std::vector<minimpi::Request> reqs;
-    reqs.push_back(comm.irecv(std::span<double>(in), peer, 0));
-    reqs.push_back(comm.isend(std::span<const double>(out), peer, 0));
-    comm.waitall(std::span<minimpi::Request>(reqs));
+    reqs.push_back(comm.irecv(tl::span<double>(in), peer, 0));
+    reqs.push_back(comm.isend(tl::span<const double>(out), peer, 0));
+    comm.waitall(tl::span<minimpi::Request>(reqs));
     EXPECT_DOUBLE_EQ(in[0], static_cast<double>(peer));
     for (const auto& r : reqs) EXPECT_TRUE(r.done());
   });
@@ -149,7 +149,7 @@ TEST_P(CollectiveTest, BcastFromEveryRoot) {
   minimpi::run_world(n, [n](Comm& comm) {
     for (int root = 0; root < n; ++root) {
       std::vector<long> data(16, comm.rank() == root ? root * 1000 : -1);
-      comm.bcast(std::span<long>(data), root);
+      comm.bcast(tl::span<long>(data), root);
       for (const long v : data) EXPECT_EQ(v, root * 1000);
     }
   });
@@ -185,7 +185,7 @@ TEST_P(CollectiveTest, VectorAllreduceElementwise) {
   minimpi::run_world(n, [n](Comm& comm) {
     double vals[3] = {1.0, static_cast<double>(comm.rank()),
                       static_cast<double>(comm.rank() * comm.rank())};
-    comm.allreduce(std::span<double>(vals), ReduceOp::kSum);
+    comm.allreduce(tl::span<double>(vals), ReduceOp::kSum);
     EXPECT_DOUBLE_EQ(vals[0], static_cast<double>(n));
     EXPECT_DOUBLE_EQ(vals[1], n * (n - 1) / 2.0);
   });
@@ -215,7 +215,7 @@ TEST_P(CollectiveTest, ScatterDistributesRootValues) {
       values.resize(static_cast<std::size_t>(n));
       for (int r = 0; r < n; ++r) values[static_cast<std::size_t>(r)] = r * r;
     }
-    const int mine = comm.scatter(std::span<const int>(values), /*root=*/0);
+    const int mine = comm.scatter(tl::span<const int>(values), /*root=*/0);
     EXPECT_EQ(mine, comm.rank() * comm.rank());
   });
 }
