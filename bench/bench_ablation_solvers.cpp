@@ -1,17 +1,19 @@
 // bench_ablation_solvers — TeaLeaf's solver menu (the background work of
 // Martineau et al. the paper builds on compares CG, Chebyshev and PPCG):
 // iterations and host time per solver on the same problem, on the reference
-// backend and one framework backend.
+// backend and one framework backend.  Cells are fetched-or-measured through
+// the shared result store, so re-running the bench re-measures nothing.
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/registry.hpp"
 
 int main() {
+  const int samples = bench::HarnessOptions::from_env(1000).samples;
   std::printf("== Ablation: solver comparison (256^2, 2 steps, eps 1e-12) ==\n");
   tl::Table table({"solver", "backend", "outer iters", "inner iters",
-                   "host s", "converged"});
+                   "host s (med)", "converged"});
 
   for (const auto solver :
        {tl::SolverKind::kJacobi, tl::SolverKind::kCg, tl::SolverKind::kCheby,
@@ -24,14 +26,13 @@ int main() {
       cfg.problem().eps = 1e-12;
       cfg.problem().max_iters = 100000;
       cfg.problem().solver = solver;
-      const auto run = tea::run_simulation(backend, cfg.problem());
-      long inner = 0;
-      for (const auto& s : run.steps) inner += s.solve.inner_iterations;
+      const auto row = bench::measure(backend, cfg.problem(), {},
+                                      "ablation-solvers", samples);
       table.add_row({tl::to_string(solver), backend,
-                     std::to_string(run.total_iterations),
-                     std::to_string(inner),
-                     tl::Table::num(run.wall_seconds, 3),
-                     run.all_converged() ? "yes" : "NO"});
+                     std::to_string(row.iterations),
+                     std::to_string(row.inner_iterations),
+                     tl::Table::num(row.timing.median_s, 3),
+                     row.converged ? "yes" : "NO"});
     }
   }
   std::printf("%s\n", table.to_ascii().c_str());
@@ -39,5 +40,6 @@ int main() {
       "Expected shape: Jacobi needs orders of magnitude more sweeps than the "
       "Krylov solvers; PPCG trades inner smoothing steps for fewer outer "
       "iterations (fewer global reductions).\n");
+  bench::print_store_stats();
   return 0;
 }

@@ -1,14 +1,15 @@
 // bench_ablation_threads — thread-scaling ablation.  The paper selects "the
 // optimal number of threads" per OpenMP measurement; this bench shows the
 // real scaling curve of the manual-omp variant on this host, plus the
-// rank-count scaling of manual-mpi.
+// rank-count scaling of manual-mpi.  Every (variant, threads/ranks) cell is
+// one store row, so repeated runs and other benches reuse the measurements.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
 
+#include "bench/harness.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/registry.hpp"
 
 int main() {
   tl::Config cfg = tl::Config::default_config();
@@ -18,36 +19,42 @@ int main() {
   cfg.problem().eps = 1e-12;
 
   const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int samples = bench::HarnessOptions::from_env(1000).samples;
+  const char* deck = "ablation-threads";
 
   std::printf("== Ablation: host thread/rank scaling (%d hardware threads) ==\n",
               hw);
-  tl::Table table({"variant", "threads/ranks", "host s", "speedup"});
+  tl::Table table({"variant", "threads/ranks", "host s (med)", "speedup"});
 
   double serial_s = 0.0;
   {
-    const auto run = tea::run_simulation("serial", cfg.problem());
-    serial_s = run.wall_seconds;
+    const auto row =
+        bench::measure("serial", cfg.problem(), {}, deck, samples);
+    serial_s = row.timing.median_s;
     table.add_row({"serial", "1", tl::Table::num(serial_s, 3), "1.00"});
   }
 
   for (int threads = 1; threads <= hw; threads *= 2) {
     tea::RunOptions o;
     o.threads = threads;
-    const auto run = tea::run_simulation("manual-omp", cfg.problem(), o);
+    const auto row =
+        bench::measure("manual-omp", cfg.problem(), o, deck, samples);
     table.add_row({"manual-omp", std::to_string(threads),
-                   tl::Table::num(run.wall_seconds, 3),
-                   tl::Table::num(serial_s / run.wall_seconds, 2)});
+                   tl::Table::num(row.timing.median_s, 3),
+                   tl::Table::num(serial_s / row.timing.median_s, 2)});
   }
 
   for (int ranks = 1; ranks <= std::min(hw, 16); ranks *= 2) {
     tea::RunOptions o;
     o.ranks = ranks;
-    const auto run = tea::run_simulation("manual-mpi", cfg.problem(), o);
+    const auto row =
+        bench::measure("manual-mpi", cfg.problem(), o, deck, samples);
     table.add_row({"manual-mpi", std::to_string(ranks),
-                   tl::Table::num(run.wall_seconds, 3),
-                   tl::Table::num(serial_s / run.wall_seconds, 2)});
+                   tl::Table::num(row.timing.median_s, 3),
+                   tl::Table::num(serial_s / row.timing.median_s, 2)});
   }
 
   std::printf("%s\n", table.to_ascii().c_str());
+  bench::print_store_stats();
   return 0;
 }

@@ -9,12 +9,12 @@
 //    spans whole iterations and intermediate fields stay cache-resident.
 // The bench sweeps tile sizes on both solvers and reports real host time,
 // the measured DRAM-traffic ratio (the mechanism), and the projected KNL
-// time.
+// time.  Each (solver, tile shape, ranks) cell is one result-store row.
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/registry.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/roofline.hpp"
 
@@ -30,15 +30,16 @@ tl::ProblemConfig problem(tl::SolverKind solver) {
   return cfg.problem();
 }
 
-double project_knl(const tea::RunResult& r) {
+double project_knl(const results::ResultRow& r) {
   return machine::project_time(r.counters, machine::knl_7210(), "ops-tiled",
                                r.working_set_bytes)
       .total();
 }
 
-void sweep(tl::SolverKind solver) {
+void sweep(tl::SolverKind solver, int samples) {
   std::printf("-- solver: %s --\n", tl::to_string(solver));
-  tl::Table table({"configuration", "host s", "bytes moved (GB)",
+  const char* deck = "ablation-tiling";
+  tl::Table table({"configuration", "host s (med)", "bytes moved (GB)",
                    "traffic vs untiled", "knl proj s"});
 
   // Single-rank runs isolate the cache-blocking mechanism (with ranks the
@@ -46,10 +47,10 @@ void sweep(tl::SolverKind solver) {
   tea::RunOptions untiled_opts;
   untiled_opts.ranks = 1;
   const auto untiled =
-      tea::run_simulation("ops-mpi", problem(solver), untiled_opts);
+      bench::measure("ops-mpi", problem(solver), untiled_opts, deck, samples);
   const double base_bytes =
       static_cast<double>(untiled.counters.total_bytes());
-  table.add_row({"untiled (1 rank)", tl::Table::num(untiled.wall_seconds, 3),
+  table.add_row({"untiled (1 rank)", tl::Table::num(untiled.timing.median_s, 3),
                  tl::Table::num(base_bytes / 1e9, 2), "1.00",
                  tl::Table::num(project_knl(untiled), 2)});
 
@@ -57,12 +58,13 @@ void sweep(tl::SolverKind solver) {
     tea::RunOptions o;
     o.ranks = 1;
     o.tile.tile_rows = tile_rows;
-    const auto run = tea::run_simulation("ops-tiled", problem(solver), o);
+    const auto run =
+        bench::measure("ops-tiled", problem(solver), o, deck, samples);
     const double bytes = static_cast<double>(run.counters.total_bytes());
     const std::string label =
         tile_rows == 0 ? "tiled, auto rows"
                        : "tiled, rows=" + std::to_string(tile_rows);
-    table.add_row({label, tl::Table::num(run.wall_seconds, 3),
+    table.add_row({label, tl::Table::num(run.timing.median_s, 3),
                    tl::Table::num(bytes / 1e9, 2),
                    tl::Table::num(bytes / base_bytes, 2),
                    tl::Table::num(project_knl(run), 2)});
@@ -72,9 +74,9 @@ void sweep(tl::SolverKind solver) {
   tea::RunOptions mpi_opts;
   mpi_opts.ranks = 4;
   const auto mpi_tiled =
-      tea::run_simulation("ops-tiled", problem(solver), mpi_opts);
+      bench::measure("ops-tiled", problem(solver), mpi_opts, deck, samples);
   table.add_row(
-      {"tiled, 4 ranks", tl::Table::num(mpi_tiled.wall_seconds, 3),
+      {"tiled, 4 ranks", tl::Table::num(mpi_tiled.timing.median_s, 3),
        tl::Table::num(static_cast<double>(mpi_tiled.counters.total_bytes()) / 1e9, 2),
        tl::Table::num(static_cast<double>(mpi_tiled.counters.total_bytes()) / base_bytes, 2),
        tl::Table::num(project_knl(mpi_tiled), 2)});
@@ -86,8 +88,9 @@ void sweep(tl::SolverKind solver) {
 
 int main() {
   std::printf("== Ablation: OPS cache-blocking tiling ==\n\n");
-  sweep(tl::SolverKind::kCg);
-  sweep(tl::SolverKind::kCheby);
+  const int samples = bench::HarnessOptions::from_env(1000).samples;
+  sweep(tl::SolverKind::kCg, samples);
+  sweep(tl::SolverKind::kCheby, samples);
   std::printf(
       "Chained Chebyshev smoothing tiles across whole iterations (halo\n"
       "reflections are queued as skewable loops), cutting DRAM traffic;\n"
@@ -95,5 +98,6 @@ int main() {
       "gain — which is why the paper pairs tiling with MPI rather than\n"
       "relying on it alone.  Correctness of every chain shape is enforced\n"
       "by tests/test_tiling.cpp.\n");
+  bench::print_store_stats();
   return 0;
 }

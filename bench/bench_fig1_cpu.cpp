@@ -1,7 +1,8 @@
 // bench_fig1_cpu — reproduces Fig. 1a: wall time of 10 time-marching steps of
 // TeaLeaf on the 1000^2 mesh for the ten CPU implementations, on the Xeon
 // E5-2660 v4 and the KNL 7210 (projected from instrumented host execution;
-// see bench/harness.hpp and DESIGN.md §4).
+// see bench/harness.hpp and DESIGN.md §4).  Measurement goes through the
+// shared result store: after `tea_sweep run`, this binary is a pure query.
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -12,6 +13,7 @@ int main() {
       bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
   bench::print_figure("Fig. 1a — 1000^2 dataset (CPU systems)", rows, options);
   const int failures = bench::check_shapes(rows, {}, 1000);
+  bench::print_store_stats();
   std::printf("fig1_cpu shape failures: %d\n", failures);
   return 0;
 }

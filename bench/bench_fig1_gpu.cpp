@@ -1,6 +1,7 @@
 // bench_fig1_gpu — reproduces Fig. 1b: the six GPU-targeting implementations
 // on the Tesla P100 at 1000^2, plus the §IV-C observation that the best GPU
-// time is only ~3% ahead of the best CPU time at this size.
+// time is only ~3% ahead of the best CPU time at this size.  Both variant
+// groups resolve through the shared result store (one sweep, many benches).
 #include <cmath>
 #include <cstdio>
 
@@ -23,6 +24,7 @@ int main() {
   const double gap = 100.0 * (best_cpu - best_gpu) / best_cpu;
   std::printf("best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 3.04%%)\n",
               best_cpu, best_gpu, gap);
+  bench::print_store_stats();
   std::printf("fig1_gpu shape failures: %d\n", failures);
   return 0;
 }

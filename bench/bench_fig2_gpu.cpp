@@ -23,6 +23,7 @@ int main() {
   std::printf(
       "best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 50.57%%)\n",
       best_cpu, best_gpu, gap);
+  bench::print_store_stats();
   std::printf("fig2_gpu shape failures: %d\n", failures);
   return 0;
 }

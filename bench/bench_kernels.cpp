@@ -2,6 +2,12 @@
 // kernels across representative substrates (serial rows, tlp pool, simulated
 // GPU, miniops par_loop).  Supports the paper's §IV-C analysis of where the
 // cycles go: the 5-point operator and the dot products dominate.
+//
+// This is the one bench outside the shared result store: google-benchmark
+// owns the measurement protocol (adaptive iteration counts per kernel), which
+// has no stable (variant, problem, RunOptions) identity to key a store row
+// on.  Whole-solve timings all live in BENCH_results.json; see
+// docs/BENCHMARKS.md.
 #include <benchmark/benchmark.h>
 
 #include <memory>

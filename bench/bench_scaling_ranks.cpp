@@ -2,14 +2,15 @@
 // difference between single node and distributed memory systems".  Strong-
 // scaling sweep of the distributed variants over rank counts on this host,
 // with parallel efficiency and message statistics, plus a modeled multi-node
-// projection using the machine layer's message-cost terms.
+// projection using the machine layer's message-cost terms.  Every
+// (variant, ranks) cell is one shared-store row.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
 
+#include "bench/harness.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/registry.hpp"
 
 int main() {
   tl::Config cfg = tl::Config::default_config();
@@ -20,23 +21,26 @@ int main() {
 
   const int hw =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int samples = bench::HarnessOptions::from_env(1000).samples;
 
   std::printf("== Strong scaling over ranks (384^2, 2 steps, CG) ==\n");
-  tl::Table table({"variant", "ranks", "host s", "efficiency", "messages",
-                   "msg GB"});
+  tl::Table table({"variant", "ranks", "host s (med)", "efficiency",
+                   "messages", "msg GB"});
 
   for (const char* variant : {"manual-mpi", "ops-mpi", "ops-tiled"}) {
     double base_s = 0.0;
     for (int ranks = 1; ranks <= std::min(hw, 16); ranks *= 2) {
       tea::RunOptions o;
       o.ranks = ranks;
-      const auto run = tea::run_simulation(variant, cfg.problem(), o);
-      if (ranks == 1) base_s = run.wall_seconds;
-      const double eff = base_s / (run.wall_seconds * ranks);
+      const auto row = bench::measure(variant, cfg.problem(), o,
+                                      "scaling-ranks", samples);
+      if (ranks == 1) base_s = row.timing.median_s;
+      const double eff = base_s / (row.timing.median_s * ranks);
       table.add_row(
-          {variant, std::to_string(ranks), tl::Table::num(run.wall_seconds, 3),
-           tl::Table::num(eff, 2), std::to_string(run.counters.messages),
-           tl::Table::num(static_cast<double>(run.counters.message_bytes) / 1e9,
+          {variant, std::to_string(ranks),
+           tl::Table::num(row.timing.median_s, 3), tl::Table::num(eff, 2),
+           std::to_string(row.counters.messages),
+           tl::Table::num(static_cast<double>(row.counters.message_bytes) / 1e9,
                           3)});
     }
   }
@@ -47,5 +51,6 @@ int main() {
       "added bandwidth; per-message costs grow with rank count while the\n"
       "per-rank stream shrinks — the surface-to-volume trade the paper's\n"
       "future-work section targets.\n");
+  bench::print_store_stats();
   return 0;
 }

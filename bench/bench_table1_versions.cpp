@@ -7,6 +7,7 @@
 
 #include "common/table.hpp"
 #include "core/registry.hpp"
+#include "results/compare.hpp"
 
 namespace {
 
@@ -77,5 +78,21 @@ int main() {
   }
   std::printf("registry provides %zu backends; Table I versions missing: %d\n",
               available.size(), missing);
-  return missing == 0 ? 0 : 1;
+
+  // And that the sweep's variant matrix (what `tea_sweep run` measures and
+  // the figure benches query) covers exactly this inventory.
+  auto sweep_variants = results::cpu_variants();
+  for (const auto& id : results::gpu_variants()) sweep_variants.push_back(id);
+  int not_swept = 0;
+  for (const VersionInfo& v : kVersions) {
+    bool found = false;
+    for (const auto& id : sweep_variants) found |= id == v.id;
+    if (!found) {
+      std::printf("MISSING from sweep matrix: %s\n", v.id);
+      ++not_swept;
+    }
+  }
+  std::printf("sweep matrix covers %zu variants; Table I versions missing: %d\n",
+              sweep_variants.size(), not_swept);
+  return missing == 0 && not_swept == 0 ? 0 : 1;
 }

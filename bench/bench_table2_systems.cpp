@@ -1,8 +1,10 @@
 // bench_table2_systems — reproduces Table II: the single-node systems used
 // for the study, as modeled by the machine layer (plus the measured host the
-// benches actually execute on).
+// benches actually execute on, which is the platform every result-store row
+// records).
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "machine/machine_model.hpp"
 
@@ -21,5 +23,9 @@ int main() {
                    tl::Table::num(m->mem_capacity_gb, 0)});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  std::printf(
+      "host '%s' is the measurement platform recorded in %s (%zu rows)\n",
+      machine::host_machine().id.c_str(), bench::store_path().c_str(),
+      bench::shared_store().size());
   return 0;
 }

@@ -2,14 +2,14 @@
 // efficiency (compute %, bandwidth %) and application efficiency on the Xeon,
 // the KNL and the P100 at 4000^2, and the Pennycook performance-portability
 // metric over {CPU} and {CPU ∪ GPU}.  Prints our table, the paper's, and the
-// per-cell deltas.
-#include <cmath>
+// per-cell deltas.  The join itself lives in results::compare_to_paper and is
+// shared with `tea_sweep compare`, which renders the same table from stored
+// JSON alone.
 #include <cstdio>
 
 #include "bench/harness.hpp"
 #include "machine/machine_model.hpp"
-#include "ppmetric/paper_data.hpp"
-#include "ppmetric/report.hpp"
+#include "results/compare.hpp"
 
 namespace {
 
@@ -29,14 +29,6 @@ std::vector<ppm::VariantResult> collect(
   return out;
 }
 
-double find_paper(const std::string& framework,
-                  double ppm::paper::Table3Row::*member) {
-  for (const auto& row : ppm::paper::table3()) {
-    if (row.framework == framework) return row.*member;
-  }
-  return -1.0;
-}
-
 }  // namespace
 
 int main() {
@@ -50,59 +42,26 @@ int main() {
   std::vector<ppm::VariantResult> results = collect(cpu_rows);
   for (auto& r : collect(gpu_rows)) results.push_back(r);
 
-  const auto table_rows =
-      ppm::build_table3(results, {"xeon", "knl"}, {"p100"});
-  const tl::Table ours =
-      ppm::render_table3(table_rows, {"xeon", "knl"}, {"p100"});
+  const results::PaperComparison cmp =
+      results::compare_to_paper(results, {"xeon", "knl"}, {"p100"});
 
   std::printf("== Table III (ours, projected, 4000^2) ==\n%s\n",
-              ours.to_ascii().c_str());
+              cmp.ours.to_ascii().c_str());
 
   // Paper side-by-side and deltas on the headline P columns.
-  std::printf("== P(app) comparison vs paper ==\n");
-  tl::Table cmp({"framework", "P(CPU) ours", "P(CPU) paper", "P(all) ours",
-                 "P(all) paper", "delta(all)"});
-  double worst_delta = 0.0;
-  for (const auto& row : table_rows) {
-    const double paper_cpu =
-        find_paper(row.framework, &ppm::paper::Table3Row::p_cpu_app);
-    const double paper_all =
-        find_paper(row.framework, &ppm::paper::Table3Row::p_all_app);
-    if (paper_cpu < 0.0) continue;
-    const double delta = 100.0 * (row.p_all_app - paper_all);
-    worst_delta = std::max(worst_delta, std::fabs(delta));
-    cmp.add_row({row.framework, tl::Table::num(100 * row.p_cpu_app, 2),
-                 tl::Table::num(100 * paper_cpu, 2),
-                 tl::Table::num(100 * row.p_all_app, 2),
-                 tl::Table::num(100 * paper_all, 2),
-                 tl::Table::num(delta, 2)});
-  }
-  std::printf("%s\n", cmp.to_ascii().c_str());
+  std::printf("== P(app) comparison vs paper ==\n%s\n",
+              cmp.versus.to_ascii().c_str());
 
   // The ordering the paper's §V-B concludes with (app efficiency, CPU∪GPU):
   // manual > raja > ops > kokkos.
-  const auto p_all = [&](const std::string& fw) {
-    for (const auto& row : table_rows) {
-      if (row.framework == fw) return row.p_all_app;
-    }
-    return -1.0;
-  };
-  const bool ordering_ok = p_all("manual") > p_all("raja") &&
-                           p_all("raja") > p_all("ops") &&
-                           p_all("ops") > p_all("kokkos");
   std::printf("P(app, CPU∪GPU) ordering manual > raja > ops > kokkos: %s\n",
-              ordering_ok ? "PASS" : "FAIL");
+              cmp.ordering_ok ? "PASS" : "FAIL");
 
   // Memory-bound signature (paper §V-A): compute eff. tiny, BW eff. >= 50%
   // for the best frameworks.
-  bool memory_bound = true;
-  for (const auto& row : table_rows) {
-    for (const auto& [mid, eff] : row.per_machine) {
-      if (eff.supported && eff.arch_compute > 0.10) memory_bound = false;
-    }
-  }
   std::printf("memory-bound signature (compute eff. < 10%% everywhere): %s\n",
-              memory_bound ? "PASS" : "FAIL");
-  std::printf("worst |delta| on P(all,app): %.2f points\n", worst_delta);
+              cmp.memory_bound ? "PASS" : "FAIL");
+  std::printf("worst |delta| on P(all,app): %.2f points\n", cmp.worst_delta);
+  bench::print_store_stats();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "bench/harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,6 +8,7 @@
 #include "core/registry.hpp"
 #include "machine/efficiency.hpp"
 #include "ppmetric/paper_data.hpp"
+#include "results/compare.hpp"
 
 namespace bench {
 
@@ -26,91 +28,127 @@ HarnessOptions HarnessOptions::from_env(int paper_mesh) {
     const int v = std::atoi(s);
     if (v > 0) o.bench_steps = v;
   }
+  if (const char* s = std::getenv("TEA_BENCH_SAMPLES")) {
+    const int v = std::atoi(s);
+    if (v > 0) o.samples = v;
+  }
   return o;
 }
 
-std::vector<std::string> cpu_variants() {
-  return {"manual-omp", "manual-mpi", "manual-hybrid", "manual-acc-cpu",
-          "ops-omp",    "ops-mpi",    "ops-hybrid",    "ops-tiled",
-          "kokkos-omp", "raja-omp"};
-}
+std::vector<std::string> cpu_variants() { return results::cpu_variants(); }
 
-std::vector<std::string> gpu_variants() {
-  return {"manual-cuda", "manual-acc-gpu", "ops-cuda",
-          "ops-acc",     "kokkos-cuda",    "raja-cuda"};
-}
+std::vector<std::string> gpu_variants() { return results::gpu_variants(); }
 
 namespace {
 
-tl::ProblemConfig bench_problem(const HarnessOptions& o) {
-  tl::Config cfg = tl::Config::default_config();
-  cfg.problem().x_cells = o.bench_mesh;
-  cfg.problem().y_cells = o.bench_mesh;
-  cfg.problem().end_step = o.bench_steps;
-  cfg.problem().eps = o.eps;
-  cfg.problem().solver = tl::SolverKind::kCg;
-  return cfg.problem();
+struct StoreSession {
+  std::string path;
+  results::ResultStore store;
+  std::size_t synced_rows = 0;
+
+  StoreSession() {
+    const char* env = std::getenv("TEA_RESULTS");
+    path = env && *env ? env : "BENCH_results.json";
+    store = results::ResultStore::load(path);
+    synced_rows = store.size();
+  }
+};
+
+StoreSession& session() {
+  static StoreSession s;
+  return s;
 }
 
 }  // namespace
 
+std::string store_path() { return session().path; }
+
+results::ResultStore& shared_store() { return session().store; }
+
+void sync_store() {
+  StoreSession& s = session();
+  // New rows are appended by cache misses; a same-size store means nothing
+  // new was measured since the last sync.
+  if (s.store.size() == s.synced_rows) return;
+  s.store.save(s.path);
+  s.synced_rows = s.store.size();
+}
+
+void print_store_stats() {
+  const StoreSession& s = session();
+  std::printf("result store %s: %zu rows, %d cache hits, %d measured\n",
+              s.path.c_str(), s.store.size(), s.store.hits(),
+              s.store.misses());
+}
+
+results::ResultRow measure(const std::string& variant,
+                           const tl::ProblemConfig& problem,
+                           const tea::RunOptions& run_options,
+                           const std::string& deck_label, int samples) {
+  results::MeasureSpec spec;
+  spec.variant = variant;
+  spec.deck_label = deck_label;
+  spec.problem = problem;
+  spec.options = run_options;
+  spec.samples = samples;
+  results::ResultRow row = results::measure(shared_store(), spec);
+  sync_store();
+  return row;
+}
+
 std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
                                        const std::vector<std::string>& machines,
                                        const HarnessOptions& options) {
-  const tl::ProblemConfig problem = bench_problem(options);
+  const tl::ProblemConfig problem =
+      results::bench_problem(options.bench_mesh, options.bench_steps,
+                             options.eps);
   tea::RunOptions run_options;
   run_options.ranks = options.ranks;
 
-  std::vector<VariantTimes> rows;
-  long reference_iterations = 0;
+  // Fetch-or-measure every cell through the shared store.
+  results::ResultStore& store = shared_store();
+  std::vector<results::ResultRow> rows;
+  std::vector<bool> cached;
+  const std::string deck_label =
+      "bench-" + std::to_string(options.bench_mesh);
   for (const std::string& variant : variants) {
-    VariantTimes row;
-    row.variant = variant;
-    row.measured = tea::run_simulation(variant, problem, run_options);
-    row.host_seconds = row.measured.wall_seconds;
-
-    // Normalise to a common iteration count (the first variant's).  The
-    // paper compiled every build with -fp-model strict to keep convergence
-    // paths comparable; our device backends' reduction orders differ at the
-    // ULP level, which CG's tail can amplify into a few percent of extra
-    // iterations — numerical luck, not programming-model cost.
-    if (reference_iterations == 0) {
-      reference_iterations = row.measured.total_iterations;
-    }
-    const double iter_norm =
-        row.measured.total_iterations > 0
-            ? static_cast<double>(reference_iterations) /
-                  static_cast<double>(row.measured.total_iterations)
-            : 1.0;
-
-    // Scale the measured counters to the paper's mesh and step count.  CG
-    // iterations grow ~ linearly with mesh width at fixed relative eps
-    // (sqrt of the Laplacian condition number), so:
-    const double width_ratio =
-        static_cast<double>(options.paper_mesh) / options.bench_mesh;
-    const double cells_ratio = width_ratio * width_ratio;
-    const double step_ratio =
-        static_cast<double>(options.paper_steps) / options.bench_steps;
-    const double iter_ratio = width_ratio * step_ratio * iter_norm;
-    const machine::Counters scaled = machine::scale_counters(
-        row.measured.counters, cells_ratio, iter_ratio, width_ratio);
-    row.projected_iterations = scaled.solver_iterations;
-    const auto ws = static_cast<std::int64_t>(
-        static_cast<double>(row.measured.working_set_bytes) * cells_ratio);
-
-    for (const std::string& mid : machines) {
-      const machine::MachineModel& m = machine::machine_by_id(mid);
-      if (!machine::supported(variant, m)) continue;
-      const machine::TimeBreakdown t =
-          machine::project_time(scaled, m, variant, ws);
-      row.machines.push_back(mid);
-      row.seconds.push_back(t.total());
-      row.achieved_bw_gbs.push_back(t.achieved_bw_gbs(scaled));
-      row.achieved_gflops.push_back(t.achieved_gflops(scaled));
-    }
-    rows.push_back(std::move(row));
+    results::MeasureSpec spec;
+    spec.variant = variant;
+    spec.deck_label = deck_label;
+    spec.problem = problem;
+    spec.options = run_options;
+    spec.samples = options.samples;
+    const int misses_before = store.misses();
+    rows.push_back(results::measure(store, spec));
+    cached.push_back(store.misses() == misses_before);
   }
-  return rows;
+  sync_store();
+
+  // Scale the stored counters to the paper's mesh and step count and project
+  // through the machine models.
+  results::ProjectionSpec spec;
+  spec.paper_mesh = options.paper_mesh;
+  spec.paper_steps = options.paper_steps;
+  spec.machines = machines;
+  const auto projected = results::project_rows(rows, spec);
+
+  std::vector<VariantTimes> out;
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    const results::ProjectedVariant& pv = projected[i];
+    VariantTimes vt;
+    vt.variant = pv.row.variant;
+    vt.timing = pv.row.timing;
+    vt.host_seconds = pv.row.timing.median_s;
+    vt.measured_iterations = pv.row.iterations;
+    vt.projected_iterations = pv.projected_iterations;
+    vt.from_cache = cached[i];
+    vt.machines = pv.machines;
+    vt.seconds = pv.seconds;
+    vt.achieved_bw_gbs = pv.bw_gbs;
+    vt.achieved_gflops = pv.gflops;
+    out.push_back(std::move(vt));
+  }
+  return out;
 }
 
 void print_figure(const std::string& title,
@@ -123,24 +161,40 @@ void print_figure(const std::string& title,
       options.bench_mesh, options.bench_mesh, options.bench_steps,
       options.paper_mesh, options.paper_mesh, options.paper_steps);
 
-  std::vector<std::string> headers{"version", "host s", "iters(proj)"};
-  if (!rows.empty()) {
-    for (const std::string& m : rows.front().machines) {
-      headers.push_back(m + " s");
-      headers.push_back(m + " GB/s");
+  // Machine columns: the first-seen-order union across rows, so a variant
+  // unsupported on some machine (e.g. manual-acc-cpu on the KNL) neither
+  // shrinks the table nor shifts other rows' columns.
+  std::vector<std::string> machines;
+  for (const VariantTimes& row : rows) {
+    for (const std::string& m : row.machines) {
+      if (std::find(machines.begin(), machines.end(), m) == machines.end()) {
+        machines.push_back(m);
+      }
     }
+  }
+
+  std::vector<std::string> headers{"version", "host s", "±sd", "iters(proj)"};
+  for (const std::string& m : machines) {
+    headers.push_back(m + " s");
+    headers.push_back(m + " GB/s");
   }
   tl::Table table(headers);
   for (const VariantTimes& row : rows) {
     std::vector<std::string> cells{row.variant,
                                    tl::Table::num(row.host_seconds, 3),
+                                   tl::Table::num(row.timing.stddev_s, 3),
                                    std::to_string(row.projected_iterations)};
-    for (std::size_t k = 0; k < row.machines.size(); ++k) {
+    for (const std::string& m : machines) {
+      const auto it = std::find(row.machines.begin(), row.machines.end(), m);
+      if (it == row.machines.end()) {
+        cells.insert(cells.end(), {"-", "-"});
+        continue;
+      }
+      const auto k =
+          static_cast<std::size_t>(it - row.machines.begin());
       cells.push_back(tl::Table::num(row.seconds[k], 2));
       cells.push_back(tl::Table::num(row.achieved_bw_gbs[k], 1));
     }
-    // Unsupported machines leave the row ragged; pad.
-    while (cells.size() < headers.size()) cells.push_back("-");
     table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.to_ascii().c_str());

@@ -1,15 +1,20 @@
 // harness.hpp — shared machinery for the figure/table reproduction benches.
 //
-// Each bench (one binary per paper artefact) uses this to:
-//  1. run every relevant backend variant *for real* on this host at a bench
-//     mesh (default 256^2, 5 steps; TEA_BENCH_FULL=1 uses the paper's mesh
-//     and 10 steps outright),
-//  2. scale the instrumented execution counters to the paper's mesh/steps
+// Measurement is routed through the persistent result store (src/results):
+// each bench (one binary per paper artefact) asks the store for its slice of
+// the (variant × problem) matrix, and only cells the store has never seen are
+// actually executed.  Run `tea_sweep run` once and every figure/table bench
+// becomes a pure query over BENCH_results.json.  For each cell the harness:
+//  1. runs the backend variant *for real* on this host at a bench mesh
+//     (default 256^2, 5 steps; TEA_BENCH_FULL=1 uses the paper's mesh and 10
+//     steps outright), timing TEA_BENCH_SAMPLES repetitions for min/median/
+//     stddev statistics — or fetches the stored row,
+//  2. scales the instrumented execution counters to the paper's mesh/steps
 //     (traffic ~ cells x iterations, CG iterations ~ mesh width at fixed
 //     relative tolerance),
-//  3. project wall times on the paper's three machines through the roofline
+//  3. projects wall times on the paper's three machines through the roofline
 //     models, and
-//  4. print the paper-layout table plus the §IV shape checks.
+//  4. prints the paper-layout table plus the §IV shape checks.
 #pragma once
 
 #include <string>
@@ -19,6 +24,8 @@
 #include "core/driver.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/roofline.hpp"
+#include "results/result_store.hpp"
+#include "results/sweep.hpp"
 
 namespace bench {
 
@@ -29,17 +36,22 @@ struct HarnessOptions {
   int bench_steps = 5;
   double eps = 1.0e-15;
   int ranks = 4;
+  int samples = 3;        // timed repetitions per cold measurement
 
-  /// Read TEA_BENCH_FULL / TEA_BENCH_MESH / TEA_BENCH_STEPS overrides.
+  /// Read TEA_BENCH_FULL / TEA_BENCH_MESH / TEA_BENCH_STEPS /
+  /// TEA_BENCH_SAMPLES overrides.
   static HarnessOptions from_env(int paper_mesh);
 };
 
-/// One variant's measured run plus its per-machine projections.
+/// One variant's measured (or store-cached) run plus its per-machine
+/// projections.
 struct VariantTimes {
   std::string variant;
-  tea::RunResult measured;                 // real host execution
-  double host_seconds = 0.0;
+  results::TimingStats timing;             // per-sample host statistics
+  double host_seconds = 0.0;               // = timing.median_s
+  long measured_iterations = 0;            // at the bench mesh
   long projected_iterations = 0;           // at the paper mesh
+  bool from_cache = false;                 // store hit (no execution)
   // Parallel arrays over the machines supplied to run_variants().
   std::vector<std::string> machines;
   std::vector<double> seconds;             // projected wall time
@@ -51,11 +63,31 @@ struct VariantTimes {
 std::vector<std::string> cpu_variants();
 std::vector<std::string> gpu_variants();
 
-/// Run `variants` and project onto `machines` (ids).  Skips
-/// variant/machine pairs the calibration marks unsupported.
+/// Path of the shared result store: $TEA_RESULTS, or BENCH_results.json in
+/// the working directory.
+std::string store_path();
+
+/// The process-wide shared store, loaded lazily from store_path().
+results::ResultStore& shared_store();
+
+/// Persist the shared store (no-op when nothing new was measured).
+void sync_store();
+
+/// Print the store session summary: path, rows, cache hits vs. measurements.
+void print_store_stats();
+
+/// Fetch-or-measure `variants` through the shared store and project onto
+/// `machines` (ids).  Skips variant/machine pairs the calibration marks
+/// unsupported.
 std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
                                        const std::vector<std::string>& machines,
                                        const HarnessOptions& options);
+
+/// Fetch-or-measure one ad-hoc cell (the ablation/scaling benches' path).
+results::ResultRow measure(const std::string& variant,
+                           const tl::ProblemConfig& problem,
+                           const tea::RunOptions& run_options,
+                           const std::string& deck_label, int samples = 3);
 
 /// Print the figure-style table: one row per variant, one projected-time
 /// column per machine, plus measured host time and iteration counts.

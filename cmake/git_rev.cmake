@@ -1,0 +1,24 @@
+# Script mode (cmake -P): regenerate ${OUT} with the repo's current short
+# revision.  Runs on every build via the tl_git_rev target so result rows
+# record the revision actually built, not the one present at configure time;
+# the file is only rewritten when the revision changes, so nothing recompiles
+# on ordinary rebuilds.
+execute_process(
+  COMMAND git rev-parse --short HEAD
+  WORKING_DIRECTORY ${SRC}
+  OUTPUT_VARIABLE TL_GIT_REV
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET
+  RESULT_VARIABLE TL_GIT_REV_RC)
+if(NOT TL_GIT_REV_RC EQUAL 0 OR TL_GIT_REV STREQUAL "")
+  set(TL_GIT_REV "unknown")
+endif()
+
+set(content "#define TL_GIT_REV \"${TL_GIT_REV}\"\n")
+set(old "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} old)
+endif()
+if(NOT content STREQUAL old)
+  file(WRITE ${OUT} "${content}")
+endif()

@@ -1,0 +1,188 @@
+#include "results/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/efficiency.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+#include "ppmetric/paper_data.hpp"
+
+namespace results {
+
+std::vector<std::string> cpu_variants() {
+  std::vector<std::string> out;
+  for (const std::string& v : machine::paper_variants()) {
+    if (!machine::is_gpu_variant(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> gpu_variants() {
+  std::vector<std::string> out;
+  for (const std::string& v : machine::paper_variants()) {
+    if (machine::is_gpu_variant(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<ProjectedVariant> project_rows(const std::vector<ResultRow>& rows,
+                                           const ProjectionSpec& spec) {
+  std::vector<ProjectedVariant> out;
+  long reference_iterations = 0;
+  for (const ResultRow& row : rows) {
+    ProjectedVariant pv;
+    pv.row = row;
+
+    if (reference_iterations == 0) reference_iterations = row.iterations;
+    const double iter_norm =
+        row.iterations > 0 ? static_cast<double>(reference_iterations) /
+                                 static_cast<double>(row.iterations)
+                           : 1.0;
+
+    // Traffic ~ cells x iterations; CG iterations ~ mesh width at fixed
+    // relative tolerance (sqrt of the Laplacian condition number).
+    const double width_ratio =
+        static_cast<double>(spec.paper_mesh) / std::max(1, row.mesh_x);
+    const double cells_ratio = width_ratio * width_ratio;
+    const double step_ratio =
+        static_cast<double>(spec.paper_steps) / std::max(1, row.steps);
+    const double iter_ratio = width_ratio * step_ratio * iter_norm;
+    const machine::Counters scaled = machine::scale_counters(
+        row.counters, cells_ratio, iter_ratio, width_ratio);
+    pv.projected_iterations = scaled.solver_iterations;
+    const auto ws = static_cast<std::int64_t>(
+        static_cast<double>(row.working_set_bytes) * cells_ratio);
+
+    for (const std::string& mid : spec.machines) {
+      const machine::MachineModel& m = machine::machine_by_id(mid);
+      if (!machine::supported(row.variant, m)) continue;
+      const machine::TimeBreakdown t =
+          machine::project_time(scaled, m, row.variant, ws);
+      pv.machines.push_back(mid);
+      pv.seconds.push_back(t.total());
+      pv.bw_gbs.push_back(t.achieved_bw_gbs(scaled));
+      pv.gflops.push_back(t.achieved_gflops(scaled));
+    }
+    out.push_back(std::move(pv));
+  }
+  return out;
+}
+
+std::vector<ResultRow> select_rows(const ResultStore& store,
+                                   const SweepConfig& config,
+                                   const std::vector<std::string>& variants,
+                                   std::vector<std::string>* missing) {
+  const std::vector<std::string>& wanted =
+      variants.empty() ? config.variants : variants;
+  std::vector<ResultRow> out;
+  for (const SweepProblem& sp : config.problems) {
+    for (const std::string& variant : wanted) {
+      const std::string key =
+          measurement_key(variant, sp.problem, config.options);
+      if (const ResultRow* row = store.find(key)) {
+        out.push_back(*row);
+      } else if (missing) {
+        missing->push_back(variant);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ppm::VariantResult> to_variant_results(
+    const std::vector<ProjectedVariant>& projected) {
+  std::vector<ppm::VariantResult> out;
+  for (const ProjectedVariant& pv : projected) {
+    for (std::size_t k = 0; k < pv.machines.size(); ++k) {
+      const machine::MachineModel& m = machine::machine_by_id(pv.machines[k]);
+      out.push_back(ppm::VariantResult{pv.row.variant, pv.machines[k],
+                                       pv.seconds[k], pv.bw_gbs[k],
+                                       pv.gflops[k], m.peak_bw_gbs,
+                                       m.peak_gflops});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double find_paper(const std::string& framework,
+                  double ppm::paper::Table3Row::*member) {
+  for (const auto& row : ppm::paper::table3()) {
+    if (row.framework == framework) return row.*member;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+PaperComparison compare_to_paper(const std::vector<ppm::VariantResult>& results,
+                                 const std::vector<std::string>& cpu_machines,
+                                 const std::vector<std::string>& gpu_machines) {
+  PaperComparison cmp{
+      ppm::build_table3(results, cpu_machines, gpu_machines),
+      tl::Table({""}),
+      tl::Table({"framework", "P(CPU) ours", "P(CPU) paper", "P(all) ours",
+                 "P(all) paper", "delta(all)"}),
+      0.0, false, false};
+  cmp.ours = ppm::render_table3(cmp.table_rows, cpu_machines, gpu_machines);
+
+  for (const auto& row : cmp.table_rows) {
+    const double paper_cpu =
+        find_paper(row.framework, &ppm::paper::Table3Row::p_cpu_app);
+    const double paper_all =
+        find_paper(row.framework, &ppm::paper::Table3Row::p_all_app);
+    if (paper_cpu < 0.0) continue;
+    const double delta = 100.0 * (row.p_all_app - paper_all);
+    cmp.worst_delta = std::max(cmp.worst_delta, std::fabs(delta));
+    cmp.versus.add_row({row.framework, tl::Table::num(100 * row.p_cpu_app, 2),
+                        tl::Table::num(100 * paper_cpu, 2),
+                        tl::Table::num(100 * row.p_all_app, 2),
+                        tl::Table::num(100 * paper_all, 2),
+                        tl::Table::num(delta, 2)});
+  }
+
+  // §V-B's concluding ordering on P(app, CPU∪GPU).
+  const auto p_all = [&](const std::string& fw) {
+    for (const auto& row : cmp.table_rows) {
+      if (row.framework == fw) return row.p_all_app;
+    }
+    return -1.0;
+  };
+  cmp.ordering_ok = p_all("manual") > p_all("raja") &&
+                    p_all("raja") > p_all("ops") &&
+                    p_all("ops") > p_all("kokkos");
+
+  // §V-A's memory-bound signature: compute efficiency tiny everywhere.
+  cmp.memory_bound = true;
+  for (const auto& row : cmp.table_rows) {
+    for (const auto& [mid, eff] : row.per_machine) {
+      if (eff.supported && eff.arch_compute > 0.10) cmp.memory_bound = false;
+    }
+  }
+  return cmp;
+}
+
+tl::Table render_rows(const ResultStore& store, const std::string& variant,
+                      const std::string& deck) {
+  tl::Table table({"variant", "deck", "mesh", "steps", "solver", "ranks",
+                   "threads", "tile", "min s", "median s", "stddev s", "iters",
+                   "conv", "git", "timestamp"});
+  for (const ResultRow& r : store.rows()) {
+    if (!variant.empty() && r.variant != variant) continue;
+    if (!deck.empty() && r.deck != deck) continue;
+    table.add_row({r.variant, r.deck,
+                   std::to_string(r.mesh_x) + "x" + std::to_string(r.mesh_y),
+                   std::to_string(r.steps), r.solver, std::to_string(r.ranks),
+                   std::to_string(r.threads), std::to_string(r.tile_rows),
+                   tl::Table::num(r.timing.min_s, 3),
+                   tl::Table::num(r.timing.median_s, 3),
+                   tl::Table::num(r.timing.stddev_s, 4),
+                   std::to_string(r.iterations), r.converged ? "yes" : "NO",
+                   r.git_rev, r.timestamp});
+  }
+  return table;
+}
+
+}  // namespace results

@@ -1,0 +1,81 @@
+// compare.hpp — query-time layers over the result store: scale stored
+// counters to the paper's meshes and project them through the roofline
+// models, join the projections against the paper's published Table III
+// numbers, and render store contents as tables.  This is what makes the
+// figure/table benches pure queries: they re-project stored counters instead
+// of re-measuring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "ppmetric/report.hpp"
+#include "results/result_store.hpp"
+#include "results/sweep.hpp"
+
+namespace results {
+
+/// The paper's Fig. 1/2 variant groupings (Table I order).
+std::vector<std::string> cpu_variants();
+std::vector<std::string> gpu_variants();
+
+struct ProjectionSpec {
+  int paper_mesh = 1000;
+  int paper_steps = 10;
+  std::vector<std::string> machines;  // project onto these model ids
+};
+
+/// One row's paper-mesh projections (parallel arrays over the supported
+/// subset of spec.machines, matching bench::VariantTimes layout).
+struct ProjectedVariant {
+  ResultRow row;
+  long projected_iterations = 0;
+  std::vector<std::string> machines;
+  std::vector<double> seconds;
+  std::vector<double> bw_gbs;
+  std::vector<double> gflops;
+};
+
+/// Scale each row's counters to the paper mesh/steps and project through the
+/// machine models.  Iteration counts are normalised to the first row's (the
+/// paper compiled all builds with -fp-model strict to keep convergence paths
+/// comparable; our device backends differ at the ULP level, which CG's tail
+/// amplifies — numerical luck, not programming-model cost).  Rows must share
+/// a mesh; a variant/machine pair the calibration marks unsupported gets no
+/// column.
+std::vector<ProjectedVariant> project_rows(const std::vector<ResultRow>& rows,
+                                           const ProjectionSpec& spec);
+
+/// Select the rows `config`'s matrix would produce, in matrix order,
+/// restricted to `variants` when non-empty.  Rows missing from the store are
+/// skipped; `missing` (when non-null) receives their variant ids.
+std::vector<ResultRow> select_rows(const ResultStore& store,
+                                   const SweepConfig& config,
+                                   const std::vector<std::string>& variants = {},
+                                   std::vector<std::string>* missing = nullptr);
+
+/// Flatten projections into the ppmetric result records.
+std::vector<ppm::VariantResult> to_variant_results(
+    const std::vector<ProjectedVariant>& projected);
+
+/// The Table III our-vs-paper join (shared by bench_table3_portability and
+/// `tea_sweep compare`).
+struct PaperComparison {
+  std::vector<ppm::FrameworkRow> table_rows;
+  tl::Table ours;    // our Table III render
+  tl::Table versus;  // framework | P(CPU) ours/paper | P(all) ours/paper | delta
+  double worst_delta = 0.0;  // worst |delta| on P(all, app), percentage points
+  bool ordering_ok = false;  // §V-B: manual > raja > ops > kokkos on P(all,app)
+  bool memory_bound = false; // §V-A: compute efficiency < 10% everywhere
+};
+PaperComparison compare_to_paper(const std::vector<ppm::VariantResult>& results,
+                                 const std::vector<std::string>& cpu_machines,
+                                 const std::vector<std::string>& gpu_machines);
+
+/// Render store rows (optionally filtered by variant and/or deck label) as
+/// an ASCII table for `tea_sweep query`.
+tl::Table render_rows(const ResultStore& store, const std::string& variant = "",
+                      const std::string& deck = "");
+
+}  // namespace results

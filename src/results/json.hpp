@@ -1,0 +1,89 @@
+// json.hpp — a minimal JSON document model for the results subsystem.
+//
+// The result store persists benchmark rows as versioned JSON
+// (BENCH_results.json); nothing else in the repo needs JSON, so this is a
+// deliberately small value type: null/bool/number/string/array/object,
+// recursive-descent parsing, and stable pretty-printing.  Object key order is
+// preserved so stored files diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace results {
+
+class Json {
+public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                  // NOLINT
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}               // NOLINT
+  Json(std::int64_t v)                                            // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)), int_(v),
+        integral_(true) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}             // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                   // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Parse a JSON document.  Throws tl::ConfigError on malformed input.
+  static Json parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; each throws tl::Error when the kind does not match.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Object lookup: null pointer when absent (or not an object).
+  const Json* get(const std::string& key) const;
+  /// Object lookup with a fallback for absent keys.
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Mutators (first call fixes the kind; mismatched kinds throw).
+  void push_back(Json v);
+  void set(const std::string& key, Json v);
+
+  /// Serialise. indent=0 renders compact single-line JSON; indent>0 pretty-
+  /// prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool integral_ = false;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace results

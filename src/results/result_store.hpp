@@ -1,0 +1,161 @@
+// result_store.hpp — the persistent benchmark result store.
+//
+// Every benchmark measurement in this repo is one *row*: a backend variant
+// executed on one problem with one set of run options, timed over N samples,
+// with the instrumentation counter delta and the native-mesh roofline
+// projections attached.  Rows are content-addressed: the key is a hash of
+// (variant id, canonical problem text, RunOptions), so re-requesting the same
+// measurement is a cache hit and the figure/table benches become pure queries
+// over a store populated by one shared sweep (see sweep.hpp).
+//
+// Stores persist as versioned JSON (`BENCH_results.json`); schema documented
+// in docs/BENCHMARKS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+#include "machine/instrumentation.hpp"
+
+namespace results {
+
+/// Bump when the JSON layout changes incompatibly.  Loading a file with a
+/// different major version throws.
+inline constexpr int kSchemaVersion = 1;
+
+/// Per-sample wall-clock statistics.  The harness used to keep a single
+/// hot-loop mean; the store keeps every sample so regression gates can reason
+/// about noise (min for gating, stddev for confidence).
+struct TimingStats {
+  std::vector<double> samples_s;
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double mean_s = 0.0;
+  double stddev_s = 0.0;
+
+  static TimingStats from_samples(std::vector<double> samples);
+};
+
+/// Roofline projection of one row onto one modeled machine, at the row's own
+/// mesh (scaling to paper meshes happens at query time; see compare.hpp).
+struct Projection {
+  std::string machine;
+  double seconds = 0.0;
+  double bw_gbs = 0.0;
+  double gflops = 0.0;
+};
+
+/// One stored measurement.
+struct ResultRow {
+  std::string key;        // content-addressed (see measurement_key)
+  std::string variant;    // backend id, e.g. "ops-tiled"
+  std::string platform;   // machine the samples ran on (host model id)
+  std::string deck;       // human label: deck name or "bench-<mesh>"
+  std::string deck_hash;  // canonical problem hash (see problem_hash)
+
+  int mesh_x = 0, mesh_y = 0, steps = 0;
+  std::string solver;
+  double eps = 0.0;
+
+  // RunOptions at measurement time (part of the key).
+  int threads = 0, ranks = 0, hybrid_threads = 0;
+  int tile_rows = 0, gpu_block_x = 0, gpu_block_y = 0;
+
+  TimingStats timing;
+  long iterations = 0;        // outer solver iterations, summed over steps
+  long inner_iterations = 0;  // Chebyshev/PPCG inner iterations
+  bool converged = false;
+  std::int64_t working_set_bytes = 0;
+  machine::Counters counters;
+  std::vector<Projection> projections;
+
+  // Provenance.
+  std::string toolchain;  // compiler flags the kernels were built with
+  std::string git_rev;
+  std::string timestamp;  // ISO-8601 UTC at measurement time
+};
+
+/// Canonical hash of a problem: every ProblemConfig field that affects the
+/// numerics participates (unlike tl::to_deck, which writes only the keys the
+/// upstream deck format has).
+std::string problem_hash(const tl::ProblemConfig& problem);
+
+/// Content-addressed key for (variant, problem, options).
+std::string measurement_key(const std::string& variant,
+                            const tl::ProblemConfig& problem,
+                            const tea::RunOptions& options);
+
+class ResultStore {
+public:
+  ResultStore() = default;
+
+  /// Load a store file; a missing file yields an empty store (first sweep).
+  /// Malformed JSON or a schema-version mismatch throws tl::ConfigError.
+  static ResultStore load(const std::string& path);
+  static ResultStore from_json(const std::string& text);
+
+  void save(const std::string& path) const;
+  std::string to_json() const;
+
+  const std::vector<ResultRow>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Uncounted lookup (queries, diffs).
+  const ResultRow* find(const std::string& key) const;
+
+  /// Counted lookup used by the measurement path: increments the session
+  /// cache-hit/miss counters that the zero-duplicate-measurement check reads.
+  const ResultRow* lookup(const std::string& key);
+
+  /// Insert `row`, replacing any existing row with the same key.
+  void put(ResultRow row);
+
+  /// Merge rows from `other`; rows in `other` win on key collisions (they
+  /// are assumed newer).  Returns the number of rows added or replaced.
+  std::size_t merge(const ResultStore& other);
+
+  /// Session cache statistics (not persisted).
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+
+private:
+  std::vector<ResultRow> rows_;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+/// Regression-gate verdict for one current row against a baseline store.
+enum class GateVerdict { kPass, kFail, kMissingBaseline };
+const char* to_string(GateVerdict v);
+
+struct GateResult {
+  std::string key;
+  std::string variant;
+  std::string deck;
+  GateVerdict verdict = GateVerdict::kPass;
+  double baseline_s = 0.0;  // baseline min-sample time
+  double current_s = 0.0;   // current min-sample time
+  double rel_delta = 0.0;   // (current - baseline) / baseline
+};
+
+struct GateReport {
+  std::vector<GateResult> results;
+  int passed = 0;
+  int failed = 0;
+  int missing = 0;
+
+  bool ok() const { return failed == 0; }
+};
+
+/// Compare every row of `current` against `baseline`: FAIL when the current
+/// min-sample time exceeds baseline by more than `rel_tolerance` (0.25 =
+/// +25%), MISSING-BASELINE when the baseline has no row for the key.
+/// Gating uses min-sample times, the noise-robust statistic.
+GateReport regression_gate(const ResultStore& baseline,
+                           const ResultStore& current, double rel_tolerance);
+
+}  // namespace results

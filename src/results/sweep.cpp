@@ -1,0 +1,156 @@
+#include "results/sweep.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+#include "machine/efficiency.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+
+// Generated at build time by cmake/git_rev.cmake (defines TL_GIT_REV).
+#if defined(__has_include)
+#if __has_include("tl_git_rev.h")
+#include "tl_git_rev.h"
+#endif
+#endif
+
+#ifndef TL_TOOLCHAIN_FLAGS
+#define TL_TOOLCHAIN_FLAGS "unknown"
+#endif
+#ifndef TL_GIT_REV
+#define TL_GIT_REV "unknown"
+#endif
+
+namespace results {
+
+tl::ProblemConfig bench_problem(int mesh, int steps, double eps) {
+  tl::Config cfg = tl::Config::default_config();
+  cfg.problem().x_cells = mesh;
+  cfg.problem().y_cells = mesh;
+  cfg.problem().end_step = steps;
+  cfg.problem().eps = eps;
+  cfg.problem().solver = tl::SolverKind::kCg;
+  return cfg.problem();
+}
+
+std::string toolchain_flags() { return TL_TOOLCHAIN_FLAGS; }
+
+std::string git_revision() { return TL_GIT_REV; }
+
+std::string utc_timestamp_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+ResultRow measure(ResultStore& store, const MeasureSpec& spec) {
+  const std::string key =
+      measurement_key(spec.variant, spec.problem, spec.options);
+  if (const ResultRow* cached = store.lookup(key)) return *cached;
+
+  const int samples = spec.samples > 0 ? spec.samples : 1;
+  std::vector<double> wall;
+  wall.reserve(static_cast<std::size_t>(samples));
+  tea::RunResult run;
+  for (int s = 0; s < samples; ++s) {
+    run = tea::run_simulation(spec.variant, spec.problem, spec.options);
+    wall.push_back(run.wall_seconds);
+  }
+
+  ResultRow row;
+  row.key = key;
+  row.variant = spec.variant;
+  row.platform = machine::host_machine().id;
+  row.deck = spec.deck_label;
+  row.deck_hash = problem_hash(spec.problem);
+  row.mesh_x = spec.problem.x_cells;
+  row.mesh_y = spec.problem.y_cells;
+  row.steps = spec.problem.end_step;
+  row.solver = tl::to_string(spec.problem.solver);
+  row.eps = spec.problem.eps;
+  row.threads = spec.options.threads;
+  row.ranks = spec.options.ranks;
+  row.hybrid_threads = spec.options.hybrid_threads;
+  row.tile_rows = spec.options.tile.tile_rows;
+  row.gpu_block_x = spec.options.gpu_block_x;
+  row.gpu_block_y = spec.options.gpu_block_y;
+  row.timing = TimingStats::from_samples(std::move(wall));
+  row.iterations = run.total_iterations;
+  for (const tea::StepResult& s : run.steps) {
+    row.inner_iterations += s.solve.inner_iterations;
+  }
+  row.converged = run.all_converged();
+  row.working_set_bytes = run.working_set_bytes;
+  row.counters = run.counters;
+
+  // Native-mesh projections on the paper machines where the variant is
+  // supported — a stored preview; the paper-mesh projections the figure
+  // benches need are recomputed from the counters at query time.
+  for (const machine::MachineModel* m : machine::paper_machines()) {
+    if (!machine::supported(spec.variant, *m)) continue;
+    const machine::TimeBreakdown t = machine::project_time(
+        row.counters, *m, spec.variant, row.working_set_bytes);
+    Projection p;
+    p.machine = m->id;
+    p.seconds = t.total();
+    p.bw_gbs = t.achieved_bw_gbs(row.counters);
+    p.gflops = t.achieved_gflops(row.counters);
+    row.projections.push_back(std::move(p));
+  }
+
+  row.toolchain = toolchain_flags();
+  row.git_rev = git_revision();
+  row.timestamp = utc_timestamp_now();
+  store.put(row);
+  return row;
+}
+
+SweepOutcome run_sweep(ResultStore& store, SweepConfig config) {
+  SweepOutcome outcome;
+  for (const SweepProblem& sp : config.problems) {
+    for (const std::string& variant : config.variants) {
+      MeasureSpec spec;
+      spec.variant = variant;
+      spec.deck_label = sp.label;
+      spec.problem = sp.problem;
+      spec.options = config.options;
+      spec.samples = config.samples;
+      const int misses_before = store.misses();
+      const ResultRow row = measure(store, spec);
+      const bool was_cached = store.misses() == misses_before;
+      ++(was_cached ? outcome.cached : outcome.measured);
+      if (config.verbose) {
+        std::printf("  [%s] %-16s %-12s median %.3fs (%d samples)\n",
+                    was_cached ? "cache" : " run ", variant.c_str(),
+                    sp.label.c_str(), row.timing.median_s,
+                    static_cast<int>(row.timing.samples_s.size()));
+      }
+    }
+  }
+  return outcome;
+}
+
+SweepConfig default_sweep(int mesh, int steps, int samples) {
+  SweepConfig config;
+  config.variants = machine::paper_variants();
+  config.problems.push_back(
+      {"bench-" + std::to_string(mesh), bench_problem(mesh, steps)});
+  config.options.ranks = 4;  // the harness default
+  config.samples = samples;
+  return config;
+}
+
+const std::vector<std::string>& sweep_deck_names() {
+  static const std::vector<std::string> names = {
+      "tea_bm_1", "tea_bm_2", "tea_circle", "tea_point"};
+  return names;
+}
+
+}  // namespace results

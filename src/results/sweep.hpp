@@ -1,0 +1,71 @@
+// sweep.hpp — the shared benchmark sweep: execute the (variant × problem)
+// measurement matrix once, through the result store's content-addressed
+// cache.  A measurement that is already stored is returned without running
+// anything (a cache hit), which is what lets all twelve bench binaries share
+// one sweep instead of re-measuring their slice of the matrix serially.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+#include "results/result_store.hpp"
+
+namespace results {
+
+/// One requested measurement.
+struct MeasureSpec {
+  std::string variant;
+  std::string deck_label = "custom";  // stored in the row's `deck` field
+  tl::ProblemConfig problem;
+  tea::RunOptions options;
+  int samples = 3;
+};
+
+/// The canonical figure/table bench problem (default TeaLeaf states on an
+/// n×n mesh, CG).  The harness and the sweep construct it through this one
+/// function so their store keys agree.
+tl::ProblemConfig bench_problem(int mesh, int steps, double eps = 1.0e-15);
+
+/// Provenance recorded into every new row.
+std::string toolchain_flags();   // compile flags of the kernel libraries
+std::string git_revision();      // short rev at configure time
+std::string utc_timestamp_now(); // ISO-8601, seconds resolution
+
+/// Fetch-or-measure one cell of the matrix.  On a cache hit the stored row
+/// is returned untouched; on a miss the simulation runs `samples` times and
+/// the new row (timing stats, counters, native-mesh projections on the
+/// paper machines, provenance) is inserted into `store`.
+ResultRow measure(ResultStore& store, const MeasureSpec& spec);
+
+struct SweepProblem {
+  std::string label;
+  tl::ProblemConfig problem;
+};
+
+struct SweepConfig {
+  std::vector<std::string> variants;
+  std::vector<SweepProblem> problems;
+  tea::RunOptions options;
+  int samples = 3;
+  bool verbose = false;  // log each cell as it is measured or hit
+};
+
+struct SweepOutcome {
+  int measured = 0;
+  int cached = 0;
+};
+
+/// Run the full matrix through `store`.
+SweepOutcome run_sweep(ResultStore& store, SweepConfig config);
+
+/// The default matrix behind the figure/table benches: the paper's sixteen
+/// variants on the canonical bench problem at `mesh`/`steps`.
+SweepConfig default_sweep(int mesh, int steps, int samples);
+
+/// Decks from examples/decks registered in the sweep matrix (used by
+/// `tea_sweep run --decks`).
+const std::vector<std::string>& sweep_deck_names();
+
+}  // namespace results

@@ -36,7 +36,7 @@ TEST(Decks, AllShippedDecksParse) {
     }) << entry.path();
     ++parsed;
   }
-  EXPECT_GE(parsed, 4);
+  EXPECT_GE(parsed, 6);
 }
 
 TEST(Decks, Bm1MatchesUpstreamShape) {
@@ -67,6 +67,96 @@ TEST(Decks, Bm1RunsEndToEnd) {
   EXPECT_NEAR(run.final_summary.mass, 8002.0, 1e-6);
   EXPECT_NEAR(run.final_summary.vol, 100.0, 1e-9);
   EXPECT_NEAR(run.final_summary.ie, 50.8, 1e-3);
+}
+
+// Expected painted totals, replicating the cell-centre painting rule in
+// src/core/problem.cpp: later states overwrite earlier ones where they cover
+// a cell's centre.
+struct PaintedTotals {
+  double mass = 0.0;
+  double ie = 0.0;
+};
+
+PaintedTotals expected_totals(const tl::ProblemConfig& p) {
+  PaintedTotals t;
+  const double dx = p.dx();
+  const double dy = p.dy();
+  for (int j = 0; j < p.y_cells; ++j) {
+    for (int i = 0; i < p.x_cells; ++i) {
+      const double cx = p.xmin + (i + 0.5) * dx;
+      const double cy = p.ymin + (j + 0.5) * dy;
+      double density = 0.0, energy = 0.0;
+      for (const tl::StateConfig& st : p.states) {
+        bool inside = st.index == 1;
+        switch (st.geometry) {
+          case tl::Geometry::kRectangle:
+            if (st.index > 1) {
+              inside = cx >= st.xmin && cx < st.xmax && cy >= st.ymin &&
+                       cy < st.ymax;
+            }
+            break;
+          case tl::Geometry::kCircle:
+            inside = std::hypot(cx - st.cx, cy - st.cy) <= st.radius;
+            break;
+          case tl::Geometry::kPoint:
+            inside = st.cx >= cx - 0.5 * dx && st.cx < cx + 0.5 * dx &&
+                     st.cy >= cy - 0.5 * dy && st.cy < cy + 0.5 * dy;
+            break;
+        }
+        if (inside) {
+          density = st.density;
+          energy = st.energy;
+        }
+      }
+      t.mass += density * dx * dy;
+      t.ie += density * energy * dx * dy;
+    }
+  }
+  return t;
+}
+
+TEST(Decks, CircleDeckConservesPaintedQuantities) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_circle.in").string());
+  EXPECT_EQ(cfg.problem().states[1].geometry, tl::Geometry::kCircle);
+  EXPECT_DOUBLE_EQ(cfg.problem().states[1].radius, 2.5);
+
+  const PaintedTotals expected = expected_totals(cfg.problem());
+  const auto run = tea::run_simulation("serial", cfg.problem());
+  ASSERT_TRUE(run.all_converged());
+  EXPECT_NEAR(run.final_summary.vol, 100.0, 1e-9);
+  // Density is never modified, so mass must match the painted mass exactly;
+  // internal energy is conserved by the reflective boundaries.
+  EXPECT_NEAR(run.final_summary.mass, expected.mass, 1e-6 * expected.mass);
+  EXPECT_NEAR(run.final_summary.ie, expected.ie, 1e-4 * expected.ie);
+  // The circle must actually paint: a pure state-1 mesh would weigh
+  // 100 * 100.0.
+  EXPECT_LT(expected.mass, 100.0 * 100.0);
+
+  // Cross-backend agreement on the same deck.
+  const auto ops = tea::run_simulation("ops-omp", cfg.problem());
+  ASSERT_TRUE(ops.all_converged());
+  EXPECT_NEAR(ops.final_summary.temp, run.final_summary.temp,
+              1e-7 * std::fabs(run.final_summary.temp));
+}
+
+TEST(Decks, PointDeckConservesPaintedQuantities) {
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_point.in").string());
+  EXPECT_EQ(cfg.problem().states[1].geometry, tl::Geometry::kPoint);
+
+  const tl::ProblemConfig& p = cfg.problem();
+  const PaintedTotals expected = expected_totals(p);
+  // Exactly one cell carries the point state: total mass differs from the
+  // ambient mesh by (10.0 - 100.0) * cell volume.
+  const double cell_vol = p.dx() * p.dy();
+  EXPECT_NEAR(expected.mass, 100.0 * 100.0 + (10.0 - 100.0) * cell_vol, 1e-9);
+
+  const auto run = tea::run_simulation("serial", p);
+  ASSERT_TRUE(run.all_converged());
+  EXPECT_NEAR(run.final_summary.vol, 100.0, 1e-9);
+  EXPECT_NEAR(run.final_summary.mass, expected.mass, 1e-6 * expected.mass);
+  EXPECT_NEAR(run.final_summary.ie, expected.ie, 1e-4 * expected.ie);
 }
 
 TEST(Decks, PpcgPreconDeckExercisesExtensions) {

@@ -4,6 +4,7 @@
 // paper-artefact tables, so it gets the same scrutiny as the library.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "bench/harness.hpp"
@@ -11,24 +12,38 @@
 
 namespace {
 
+// The harness persists measurements through the shared result store; point
+// it at a fresh file before the lazy store session is created so test runs
+// are hermetic (no caching across ctest invocations).
+const bool kStoreEnvReady = [] {
+  setenv("TEA_RESULTS", "test_harness_results.json", 1);
+  std::remove("test_harness_results.json");
+  return true;
+}();
+
 TEST(HarnessOptions, DefaultsAndEnvOverrides) {
   unsetenv("TEA_BENCH_FULL");
   unsetenv("TEA_BENCH_MESH");
   unsetenv("TEA_BENCH_STEPS");
+  unsetenv("TEA_BENCH_SAMPLES");
   const auto d = bench::HarnessOptions::from_env(1000);
   EXPECT_EQ(d.paper_mesh, 1000);
   EXPECT_EQ(d.bench_mesh, 256);
   EXPECT_EQ(d.bench_steps, 5);
   EXPECT_EQ(d.paper_steps, 10);
+  EXPECT_EQ(d.samples, 3);
 
   setenv("TEA_BENCH_MESH", "96", 1);
   setenv("TEA_BENCH_STEPS", "2", 1);
+  setenv("TEA_BENCH_SAMPLES", "5", 1);
   const auto o = bench::HarnessOptions::from_env(4000);
   EXPECT_EQ(o.bench_mesh, 96);
   EXPECT_EQ(o.bench_steps, 2);
+  EXPECT_EQ(o.samples, 5);
   EXPECT_EQ(o.paper_mesh, 4000);
   unsetenv("TEA_BENCH_MESH");
   unsetenv("TEA_BENCH_STEPS");
+  unsetenv("TEA_BENCH_SAMPLES");
 
   setenv("TEA_BENCH_FULL", "1", 1);
   const auto f = bench::HarnessOptions::from_env(1000);
@@ -50,17 +65,21 @@ TEST(HarnessVariants, PaperGroupings) {
 
 class HarnessRunTest : public ::testing::Test {
 protected:
+  static bench::HarnessOptions options() {
+    bench::HarnessOptions o;
+    o.paper_mesh = 1000;
+    o.bench_mesh = 64;
+    o.bench_steps = 1;
+    o.eps = 1e-10;
+    o.ranks = 2;
+    o.samples = 2;
+    return o;
+  }
+
   static const std::vector<bench::VariantTimes>& rows() {
-    static const std::vector<bench::VariantTimes> r = [] {
-      bench::HarnessOptions o;
-      o.paper_mesh = 1000;
-      o.bench_mesh = 64;
-      o.bench_steps = 1;
-      o.eps = 1e-10;
-      o.ranks = 2;
-      return bench::run_variants({"manual-omp", "kokkos-omp", "manual-mpi"},
-                                 {"xeon", "knl"}, o);
-    }();
+    static const std::vector<bench::VariantTimes> r =
+        bench::run_variants({"manual-omp", "kokkos-omp", "manual-mpi"},
+                            {"xeon", "knl"}, options());
     return r;
   }
 };
@@ -73,6 +92,38 @@ TEST_F(HarnessRunTest, EveryVariantProjectedOnEveryMachine) {
     for (const double s : row.seconds) EXPECT_GT(s, 0.0);
     for (const double bw : row.achieved_bw_gbs) EXPECT_GT(bw, 0.0);
   }
+}
+
+TEST_F(HarnessRunTest, SampleStatisticsArePopulated) {
+  for (const auto& row : rows()) {
+    ASSERT_EQ(row.timing.samples_s.size(), 2u) << row.variant;
+    EXPECT_GT(row.timing.min_s, 0.0);
+    EXPECT_GE(row.timing.median_s, row.timing.min_s);
+    EXPECT_GE(row.timing.stddev_s, 0.0);
+    EXPECT_DOUBLE_EQ(row.host_seconds, row.timing.median_s);
+  }
+}
+
+TEST_F(HarnessRunTest, SecondSweepIsPureCacheQuery) {
+  (void)rows();  // force the first (measuring) sweep
+  const int misses_before = bench::shared_store().misses();
+  const auto again = bench::run_variants(
+      {"manual-omp", "kokkos-omp", "manual-mpi"}, {"xeon", "knl"}, options());
+  EXPECT_EQ(bench::shared_store().misses(), misses_before)
+      << "re-running the same sweep must not measure anything";
+  ASSERT_EQ(again.size(), rows().size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_TRUE(again[i].from_cache) << again[i].variant;
+    EXPECT_DOUBLE_EQ(again[i].host_seconds, rows()[i].host_seconds);
+    EXPECT_EQ(again[i].projected_iterations, rows()[i].projected_iterations);
+  }
+  // A different projection target reuses the same stored measurement.
+  auto fig2 = options();
+  fig2.paper_mesh = 4000;
+  const auto reprojected = bench::run_variants({"manual-omp"}, {"knl"}, fig2);
+  EXPECT_EQ(bench::shared_store().misses(), misses_before);
+  ASSERT_EQ(reprojected.size(), 1u);
+  EXPECT_TRUE(reprojected[0].from_cache);
 }
 
 TEST_F(HarnessRunTest, IterationNormalisationSharesReference) {
@@ -112,12 +163,28 @@ TEST(HarnessUnsupported, AccCpuSkipsKnl) {
   o.bench_mesh = 48;
   o.bench_steps = 1;
   o.eps = 1e-8;
+  o.samples = 1;
   const auto rows =
       bench::run_variants({"manual-acc-cpu"}, {"xeon", "knl"}, o);
   ASSERT_EQ(rows.size(), 1u);
   // PGI 17.3 could not target the KNL host: only the Xeon column exists.
   ASSERT_EQ(rows[0].machines.size(), 1u);
   EXPECT_EQ(rows[0].machines[0], "xeon");
+}
+
+TEST(HarnessUnsupported, FigureTableHandlesRaggedMachineColumns) {
+  bench::HarnessOptions o;
+  o.paper_mesh = 1000;
+  o.bench_mesh = 48;
+  o.bench_steps = 1;
+  o.eps = 1e-8;
+  o.samples = 1;
+  // First row supports only the Xeon; the second supports both machines and
+  // must still land in the right columns (and not out-grow the header row).
+  const auto rows = bench::run_variants({"manual-acc-cpu", "manual-omp"},
+                                        {"xeon", "knl"}, o);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NO_THROW(bench::print_figure("ragged", rows, o));
 }
 
 }  // namespace

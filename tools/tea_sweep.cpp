@@ -1,0 +1,259 @@
+// tea_sweep — operate the persistent benchmark result store.
+//
+//   tea_sweep run      run the (variant × problem) sweep matrix once; cells
+//                      already stored are cache hits and are not re-executed
+//   tea_sweep query    print stored rows
+//   tea_sweep compare  rebuild Table III from stored rows alone and join it
+//                      against the paper's published numbers
+//   tea_sweep diff     regression-gate a store against a baseline store
+//   tea_sweep merge    merge stores (e.g. sweeps from several sessions)
+//
+// The store path comes from --store, else $TEA_RESULTS, else
+// BENCH_results.json in the working directory — the same resolution the
+// bench binaries use, so `tea_sweep run` followed by any figure/table bench
+// performs zero duplicate measurements.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "results/compare.hpp"
+#include "results/result_store.hpp"
+#include "results/sweep.hpp"
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: tea_sweep <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run      [--store P] [--mesh N] [--steps N] [--samples N] [--ranks N]\n"
+      "           [--variants a,b,..] [--decks] [--decks-dir DIR]\n"
+      "           execute the sweep matrix through the store cache\n"
+      "  query    [--store P] [--variant V] [--deck D]\n"
+      "           print stored rows\n"
+      "  compare  [--store P] [--mesh N] [--steps N] [--ranks N] [--paper-mesh N]\n"
+      "           Table III + our-vs-paper deltas from stored rows alone\n"
+      "  diff     <baseline.json> <current.json> [--tolerance 0.25]\n"
+      "           regression gate: FAIL when current min-sample time exceeds\n"
+      "           baseline by more than the relative tolerance\n"
+      "  merge    <out.json> <in1.json> [in2.json ...]\n"
+      "           merge stores (later inputs win on key collisions)\n"
+      "\n"
+      "TEA_BENCH_MESH / TEA_BENCH_STEPS / TEA_BENCH_SAMPLES set the same\n"
+      "defaults the bench binaries use; TEA_RESULTS sets the store path.\n");
+  return 2;
+}
+
+std::string resolve_store_path(const tl::Cli& cli) {
+  if (const auto p = cli.get("store")) return *p;
+  return bench::store_path();
+}
+
+std::string decks_dir(const tl::Cli& cli) {
+  if (const auto d = cli.get("decks-dir")) return *d;
+  return std::string(TEA_SOURCE_DIR) + "/examples/decks";
+}
+
+int cmd_run(const tl::Cli& cli) {
+  // Share the bench binaries' env-driven defaults so sweep keys match theirs.
+  const auto defaults = bench::HarnessOptions::from_env(1000);
+  const int mesh = static_cast<int>(cli.get_long("mesh", defaults.bench_mesh));
+  const int steps =
+      static_cast<int>(cli.get_long("steps", defaults.bench_steps));
+  const int samples =
+      static_cast<int>(cli.get_long("samples", defaults.samples));
+
+  results::SweepConfig config = results::default_sweep(mesh, steps, samples);
+  config.options.ranks =
+      static_cast<int>(cli.get_long("ranks", config.options.ranks));
+  config.verbose = true;
+  if (const auto v = cli.get("variants")) {
+    config.variants = tl::split(*v, ',');
+  }
+  if (cli.has("decks")) {
+    for (const std::string& name : results::sweep_deck_names()) {
+      const std::string path = decks_dir(cli) + "/" + name + ".in";
+      try {
+        config.problems.push_back({name, tl::Config::load(path).problem()});
+      } catch (const tl::ConfigError& e) {
+        std::fprintf(stderr, "skipping deck %s: %s\n", name.c_str(), e.what());
+      }
+    }
+  }
+
+  const std::string path = resolve_store_path(cli);
+  results::ResultStore store = results::ResultStore::load(path);
+  std::printf("sweep: %zu variants x %zu problems, %d samples -> %s\n",
+              config.variants.size(), config.problems.size(), samples,
+              path.c_str());
+  const results::SweepOutcome outcome = results::run_sweep(store, config);
+  store.save(path);
+  std::printf("sweep done: %d measured, %d cache hits; store has %zu rows\n",
+              outcome.measured, outcome.cached, store.size());
+  return 0;
+}
+
+int cmd_query(const tl::Cli& cli) {
+  const std::string path = resolve_store_path(cli);
+  const results::ResultStore store = results::ResultStore::load(path);
+  if (store.size() == 0) {
+    std::printf("store %s is empty — run `tea_sweep run` first\n",
+                path.c_str());
+    return 1;
+  }
+  const tl::Table table = results::render_rows(store, cli.get_or("variant", ""),
+                                               cli.get_or("deck", ""));
+  std::printf("== %s (%zu rows) ==\n%s\n", path.c_str(), store.size(),
+              table.to_ascii().c_str());
+  return 0;
+}
+
+int cmd_compare(const tl::Cli& cli) {
+  const auto defaults = bench::HarnessOptions::from_env(
+      static_cast<int>(cli.get_long("paper-mesh", 4000)));
+  const int mesh = static_cast<int>(cli.get_long("mesh", defaults.bench_mesh));
+  const int steps =
+      static_cast<int>(cli.get_long("steps", defaults.bench_steps));
+
+  const std::string path = resolve_store_path(cli);
+  const results::ResultStore store = results::ResultStore::load(path);
+  results::SweepConfig config = results::default_sweep(mesh, steps, 1);
+  // Rows are keyed on RunOptions too: accept the same --ranks `run` takes.
+  config.options.ranks =
+      static_cast<int>(cli.get_long("ranks", config.options.ranks));
+
+  std::vector<std::string> missing;
+  const std::vector<results::ResultRow> cpu_rows =
+      results::select_rows(store, config, results::cpu_variants(), &missing);
+  const std::vector<results::ResultRow> gpu_rows =
+      results::select_rows(store, config, results::gpu_variants(), &missing);
+  if (cpu_rows.empty() && gpu_rows.empty()) {
+    std::fprintf(stderr,
+                 "store %s has no rows for the %d^2/%d-step bench matrix — "
+                 "run `tea_sweep run --mesh %d --steps %d` first\n",
+                 path.c_str(), mesh, steps, mesh, steps);
+    return 1;
+  }
+  for (const std::string& v : missing) {
+    std::fprintf(stderr, "note: no stored row for %s\n", v.c_str());
+  }
+
+  results::ProjectionSpec cpu_spec{defaults.paper_mesh, defaults.paper_steps,
+                                   {"xeon", "knl"}};
+  results::ProjectionSpec gpu_spec{defaults.paper_mesh, defaults.paper_steps,
+                                   {"p100"}};
+  std::vector<ppm::VariantResult> variant_results =
+      results::to_variant_results(results::project_rows(cpu_rows, cpu_spec));
+  for (auto& r :
+       results::to_variant_results(results::project_rows(gpu_rows, gpu_spec))) {
+    variant_results.push_back(r);
+  }
+
+  const results::PaperComparison cmp = results::compare_to_paper(
+      variant_results, {"xeon", "knl"}, {"p100"});
+  std::printf("== Table III (from stored rows, projected to %d^2) ==\n%s\n",
+              defaults.paper_mesh, cmp.ours.to_ascii().c_str());
+  std::printf("== P(app) comparison vs paper ==\n%s\n",
+              cmp.versus.to_ascii().c_str());
+  std::printf("P(app, CPU∪GPU) ordering manual > raja > ops > kokkos: %s\n",
+              cmp.ordering_ok ? "PASS" : "FAIL");
+  std::printf("memory-bound signature (compute eff. < 10%% everywhere): %s\n",
+              cmp.memory_bound ? "PASS" : "FAIL");
+  std::printf("worst |delta| on P(all,app): %.2f points\n", cmp.worst_delta);
+  return 0;
+}
+
+int cmd_diff(const tl::Cli& cli) {
+  if (cli.positional().size() < 3) return usage();
+  const std::string baseline_path = cli.positional()[1];
+  const std::string current_path = cli.positional()[2];
+  const double tolerance = cli.get_double("tolerance", 0.25);
+
+  const results::ResultStore baseline =
+      results::ResultStore::load(baseline_path);
+  const results::ResultStore current = results::ResultStore::load(current_path);
+  if (baseline.size() == 0) {
+    std::fprintf(stderr, "baseline store %s is empty or missing\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (current.size() == 0) {
+    std::fprintf(stderr, "current store %s is empty or missing\n",
+                 current_path.c_str());
+    return 2;
+  }
+
+  const results::GateReport report =
+      results::regression_gate(baseline, current, tolerance);
+  tl::Table table(
+      {"verdict", "variant", "deck", "baseline s", "current s", "delta"});
+  for (const results::GateResult& g : report.results) {
+    const bool has_baseline = g.verdict != results::GateVerdict::kMissingBaseline;
+    table.add_row({results::to_string(g.verdict), g.variant, g.deck,
+                   has_baseline ? tl::Table::num(g.baseline_s, 3) : "-",
+                   tl::Table::num(g.current_s, 3),
+                   has_baseline
+                       ? tl::Table::num(100.0 * g.rel_delta, 1) + "%"
+                       : "-"});
+  }
+  std::printf("== regression gate (tolerance +%.0f%%) ==\n%s\n",
+              100.0 * tolerance, table.to_ascii().c_str());
+  std::printf("%d pass, %d fail, %d missing-baseline\n", report.passed,
+              report.failed, report.missing);
+  // A gate that matched zero keys checked nothing — likely schema/key drift
+  // between the stores (e.g. a stale committed baseline).  Fail loudly
+  // rather than pass vacuously.
+  if (report.passed + report.failed == 0) {
+    std::fprintf(stderr,
+                 "gate matched no baseline rows — regenerate the baseline "
+                 "(key or schema drift?)\n");
+    return 1;
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_merge(const tl::Cli& cli) {
+  if (cli.positional().size() < 3) return usage();
+  const std::string out_path = cli.positional()[1];
+  results::ResultStore merged;
+  for (std::size_t i = 2; i < cli.positional().size(); ++i) {
+    const std::string& in_path = cli.positional()[i];
+    const results::ResultStore in = results::ResultStore::load(in_path);
+    if (in.size() == 0) {
+      std::fprintf(stderr, "warning: %s is empty or missing\n",
+                   in_path.c_str());
+    }
+    const std::size_t n = merged.merge(in);
+    std::printf("merged %zu rows from %s\n", n, in_path.c_str());
+  }
+  merged.save(out_path);
+  std::printf("wrote %zu rows to %s\n", merged.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tl::Cli cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string& command = cli.positional()[0];
+  try {
+    if (command == "run") return cmd_run(cli);
+    if (command == "query") return cmd_query(cli);
+    if (command == "compare") return cmd_compare(cli);
+    if (command == "diff") return cmd_diff(cli);
+    if (command == "merge") return cmd_merge(cli);
+  } catch (const tl::Error& e) {
+    std::fprintf(stderr, "tea_sweep %s: %s\n", command.c_str(), e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage();
+}
