@@ -1,11 +1,18 @@
 #include "results/sweep.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
+#include <memory>
 
+#include "common/timer.hpp"
+#include "core/backends/manual_host.hpp"
 #include "machine/efficiency.hpp"
+#include "machine/instrumentation.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/roofline.hpp"
+#include "threading/thread_pool.hpp"
 
 // Generated at build time by cmake/git_rev.cmake (defines TL_GIT_REV).
 #if defined(__has_include)
@@ -151,6 +158,135 @@ const std::vector<std::string>& sweep_deck_names() {
   static const std::vector<std::string> names = {
       "tea_bm_1", "tea_bm_2", "tea_circle", "tea_point"};
   return names;
+}
+
+// --- kernel microbench sweep -------------------------------------------------
+
+const std::vector<std::string>& kernel_sweep_kernels() {
+  static const std::vector<std::string> names = {"stencil", "dot"};
+  return names;
+}
+
+namespace {
+
+/// Fixed repetitions per timed sample: enough calls that a sample is well
+/// above timer resolution on small meshes, deterministic so row counters and
+/// keys are reproducible across runs and machines.
+int kernel_reps(int mesh) {
+  const long cells = static_cast<long>(mesh) * mesh;
+  return static_cast<int>(std::max<long>(4, (1L << 22) / std::max(1L, cells)));
+}
+
+/// A manual host backend prepared to the point where kernels can run (the
+/// same preparation bench_kernels uses).  Only the two manual host variants
+/// are meaningful kernel substrates; anything else would silently time
+/// serial code under a mislabeled row id.
+std::unique_ptr<tea::ManualHostBackend> prepared_backend(
+    const std::string& variant, const tl::ProblemConfig& problem) {
+  if (variant != "serial" && variant != "manual-omp") {
+    throw tl::Error("kernel sweep variant must be serial or manual-omp, got '" +
+                    variant + "'");
+  }
+  tlp::ThreadPool* pool =
+      variant == "manual-omp" ? &tlp::global_pool() : nullptr;
+  auto b = std::make_unique<tea::ManualHostBackend>(variant, pool, nullptr);
+  b->setup(problem);
+  const double dt = problem.initial_timestep;
+  b->set_rx_ry(dt / (problem.dx() * problem.dx()),
+               dt / (problem.dy() * problem.dy()));
+  b->compute_coefficients(problem.coefficient);
+  b->init_u_u0();
+  b->update_halo({tea::FieldId::kU}, 1);
+  return b;
+}
+
+/// One timed kernel invocation; `sink` defeats dead-code elimination of the
+/// reduction results.
+void run_kernel_once(const std::string& kernel, tea::ManualHostBackend& b,
+                     double* sink) {
+  if (kernel == "stencil") {
+    b.apply_operator(tea::FieldId::kU, tea::FieldId::kW);
+  } else if (kernel == "dot") {
+    *sink += b.dot(tea::FieldId::kU, tea::FieldId::kU0);
+  } else {
+    throw tl::Error("unknown kernel '" + kernel + "' in kernel sweep");
+  }
+}
+
+}  // namespace
+
+SweepOutcome run_kernel_sweep(ResultStore& store,
+                              const KernelSweepConfig& config) {
+  SweepOutcome outcome;
+  const std::vector<std::string>& kernels =
+      config.kernels.empty() ? kernel_sweep_kernels() : config.kernels;
+  double sink = 0.0;
+  for (const std::string& kernel : kernels) {
+    for (const int mesh : config.meshes) {
+      const tl::ProblemConfig problem = bench_problem(mesh, 1);
+      for (const std::string& variant : config.variants) {
+        const std::string row_variant = "kernel-" + kernel + "/" + variant;
+        const std::string key =
+            measurement_key(row_variant, problem, tea::RunOptions{});
+        if (store.lookup(key) != nullptr) {
+          ++outcome.cached;
+          if (config.verbose) {
+            std::printf("  [cache] %-24s mesh %d\n", row_variant.c_str(), mesh);
+          }
+          continue;
+        }
+
+        auto b = prepared_backend(variant, problem);
+        const int reps = kernel_reps(mesh);
+        const int samples = std::max(1, config.samples);
+        run_kernel_once(kernel, *b, &sink);  // warm the fields and the pool
+
+        // Counters cover exactly one sample (reps calls): the key excludes
+        // the sample count, so the stored counters must not depend on it.
+        machine::Counters counters;
+        std::vector<double> per_call;
+        per_call.reserve(static_cast<std::size_t>(samples));
+        for (int s = 0; s < samples; ++s) {
+          const machine::CounterScope scope;
+          const tl::StopWatch watch;
+          for (int r = 0; r < reps; ++r) run_kernel_once(kernel, *b, &sink);
+          per_call.push_back(watch.seconds() / reps);
+          if (s == 0) counters = scope.delta();
+        }
+
+        ResultRow row;
+        row.key = key;
+        row.variant = row_variant;
+        row.platform = machine::host_machine().id;
+        row.deck = "kernel-" + kernel;
+        row.deck_hash = problem_hash(problem);
+        row.mesh_x = mesh;
+        row.mesh_y = mesh;
+        row.steps = 1;
+        row.solver = kernel;
+        row.eps = problem.eps;
+        row.timing = TimingStats::from_samples(std::move(per_call));
+        row.iterations = reps;  // calls per timed sample
+        row.converged = true;
+        row.working_set_bytes = b->working_set_bytes();
+        row.counters = counters;
+        row.toolchain = toolchain_flags();
+        row.git_rev = git_revision();
+        row.timestamp = utc_timestamp_now();
+        store.put(row);
+        ++outcome.measured;
+        if (config.verbose) {
+          std::printf("  [ run ] %-24s mesh %4d  median %8.1f us/call\n",
+                      row_variant.c_str(), mesh,
+                      1e6 * row.timing.median_s);
+        }
+      }
+    }
+  }
+  if (!std::isfinite(sink)) {
+    std::fprintf(stderr, "kernel sweep: non-finite reduction result\n");
+  }
+  return outcome;
 }
 
 }  // namespace results

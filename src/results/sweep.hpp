@@ -68,4 +68,31 @@ SweepConfig default_sweep(int mesh, int steps, int samples);
 /// `tea_sweep run --decks`).
 const std::vector<std::string>& sweep_deck_names();
 
+// --- kernel microbench sweep -------------------------------------------------
+//
+// Persistent before/after evidence for hot-path kernel work: times the
+// individual TeaLeaf kernels (the 5-point stencil operator and the
+// dot-product reduction, the two §IV-C hot paths) on the manual host backend
+// and stores one row per (kernel, variant, mesh) under variant ids of the
+// form "kernel-<name>/<variant>".  Unlike bench_kernels (google-benchmark,
+// adaptive iteration counts, no stable row identity), these rows use a fixed
+// per-mesh repetition count, so they are content-addressed, cacheable and
+// regression-gateable like any whole-solve row.
+
+/// Kernel names the sweep knows.  The repetition count for a mesh is fixed
+/// (deterministic keys and counters): reps = max(4, 2^22 / mesh^2).
+const std::vector<std::string>& kernel_sweep_kernels();
+
+struct KernelSweepConfig {
+  std::vector<int> meshes = {128, 256, 512, 1024};
+  std::vector<std::string> variants = {"serial", "manual-omp"};
+  std::vector<std::string> kernels;  // empty = kernel_sweep_kernels()
+  int samples = 5;
+  bool verbose = false;
+};
+
+/// Fetch-or-measure the kernel matrix; timing samples hold per-call seconds.
+SweepOutcome run_kernel_sweep(ResultStore& store,
+                              const KernelSweepConfig& config);
+
 }  // namespace results

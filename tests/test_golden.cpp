@@ -1,0 +1,248 @@
+// Golden numerics regression suite: freezes outer/inner iteration counts,
+// final residuals and the conserved temperature sum for every solver on every
+// shipped deck, against baselines committed below.  Any kernel, threading or
+// summation-order change that shifts the numerics beyond the tight tolerances
+// here is a regression (or a deliberate re-baseline, which must be explained
+// in the commit that regenerates the table).
+//
+// The baselines are produced by this binary itself:
+//
+//   TEA_GOLDEN_REGEN=1 ./test_golden --gtest_filter=Golden/GoldenCaseTest.*
+//
+// prints the kGolden table in C++ source form; paste it over the table below.
+// Regeneration uses the identical configuration code as the checks, so the
+// frozen numbers can never drift from the harness that produced them.
+//
+// All cases run the "serial" backend: a fixed thread count (one) gives a
+// fixed reduction order, which is what makes iteration counts exactly
+// reproducible across machines with the same FP semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path decks_dir() {
+  for (fs::path p :
+       {fs::path(TEA_SOURCE_DIR) / "examples" / "decks",
+        fs::path("examples/decks"), fs::path("../examples/decks")}) {
+    if (fs::exists(p)) return p;
+  }
+  return {};
+}
+
+struct GoldenCase {
+  const char* deck;     // deck file stem under examples/decks
+  const char* solver;   // jacobi | cg | chebyshev | ppcg
+  // Frozen configuration (what the case actually runs).
+  int steps;
+  double eps;
+  int max_iters;
+  // Frozen results.
+  long outer;           // total outer solver iterations over all steps
+  long inner;           // total PPCG/Chebyshev inner smoothing steps
+  int converged;        // every step converged within max_iters
+  double initial_rr;    // ||r0||^2 of the last step (pre-solve residual)
+  double final_rr;      // squared residual at exit of the last step
+  double temp;          // conserved temperature sum after the last step
+};
+
+// Tolerances.  Iteration counts and convergence flags match exactly — those
+// are the hard freeze.  The value tolerances are set to what the solver
+// semantics actually pin down: a solve only determines u to the eps * rr0
+// convergence threshold, and the second step starts from the first step's
+// approximate solution, so ULP-level kernel reordering (e.g. a vectorized
+// reduction) legitimately moves multi-step quantities at the ~sqrt(eps)
+// scale.  Real kernel bugs (a wrong stencil coefficient, a dropped row)
+// move them at O(1).
+constexpr double kTempRelTol = 1.0e-8;        // conserved temperature sum
+constexpr double kInitialRrRelTol = 1.0e-5;   // last step's pre-solve ||r0||^2
+// Non-converged (fixed-budget) exit residuals are deterministic functions of
+// the sweep count and stay within a tight relative band; converged exits sit
+// wherever the crossing iteration landed below threshold, so they are only
+// frozen to the threshold bound plus an order-of-magnitude band.
+constexpr double kResidualRelTol = 0.05;
+constexpr double kConvergedResidualFactor = 100.0;
+
+// --- golden table (regenerate with TEA_GOLDEN_REGEN=1; see header) ---------
+const GoldenCase kGolden[] = {
+    {"tea_bm_1", "jacobi", 2, 1e-08, 10000, 40, 0, 1, 2.1970051763123695, 8.052395531229528e-11, 50.799836060755332},
+    {"tea_bm_1", "cg", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
+    {"tea_bm_1", "chebyshev", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
+    {"tea_bm_1", "ppcg", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
+    {"tea_bm_2", "jacobi", 2, 1e-08, 3000, 4960, 0, 0, 1428.5531288027255, 0.0013578804916679144, 50.656260034885662},
+    {"tea_bm_2", "cg", 2, 1e-15, 10000, 403, 0, 1, 1420.8754789213099, 5.3323236446699087e-14, 50.799999999993958},
+    {"tea_bm_2", "chebyshev", 2, 1e-15, 10000, 1040, 0, 1, 1420.8756528365275, 1.1094112256508305e-12, 50.799999999996629},
+    {"tea_bm_2", "ppcg", 2, 1e-15, 10000, 108, 480, 1, 1420.876166499173, 1.0532763366711251e-12, 50.799999999999287},
+    {"tea_ppcg_precon", "jacobi", 2, 1e-08, 1500, 2660, 0, 0, 2691.7432889310262, 0.00057268383531003755, 50.631534082387446},
+    {"tea_ppcg_precon", "cg", 2, 1e-15, 10000, 216, 0, 1, 2684.9160564920371, 2.2956632549088913e-13, 50.605468848988686},
+    {"tea_ppcg_precon", "chebyshev", 2, 1e-15, 10000, 530, 0, 1, 2684.9214647319477, 2.0593590748564124e-12, 50.605468749996923},
+    {"tea_ppcg_precon", "ppcg", 2, 1e-15, 10000, 85, 300, 1, 2684.9214189447671, 5.807431139679888e-13, 50.605468749989079},
+    {"tea_circle", "jacobi", 2, 1e-08, 5000, 720, 0, 1, 367.22860065030875, 2.4610657544086058e-06, 50.343732314606399},
+    {"tea_circle", "cg", 2, 1e-15, 10000, 181, 0, 1, 367.16140375728367, 2.8128974615539236e-13, 50.362304687500206},
+    {"tea_circle", "chebyshev", 2, 1e-15, 10000, 250, 0, 1, 367.16140423771196, 6.3770200504114725e-14, 50.362304687500128},
+    {"tea_circle", "ppcg", 2, 1e-15, 10000, 75, 150, 1, 367.16140931503429, 4.4635083342082244e-14, 50.362304687499901},
+    {"tea_point", "jacobi", 2, 1e-08, 5000, 760, 0, 1, 147552.80825374014, 0.0013870812292620198, 10.754613166112724},
+    {"tea_point", "cg", 2, 1e-15, 10000, 157, 0, 1, 147529.49137058519, 1.3665519599067753e-10, 10.765380859375083},
+    {"tea_point", "chebyshev", 2, 1e-15, 10000, 210, 0, 1, 147529.49163809954, 6.5643832969024181e-11, 10.765380859375146},
+    {"tea_point", "ppcg", 2, 1e-15, 10000, 72, 120, 1, 147529.51544457252, 6.1273370210655517e-12, 10.765380859375096},
+};
+// --- end golden table -------------------------------------------------------
+
+tl::SolverKind solver_kind(const std::string& name) {
+  if (name == "jacobi") return tl::SolverKind::kJacobi;
+  if (name == "cg") return tl::SolverKind::kCg;
+  if (name == "chebyshev") return tl::SolverKind::kCheby;
+  return tl::SolverKind::kPpcg;
+}
+
+/// The frozen run configuration of one case: deck settings with the solver
+/// overridden and budgets clamped so the slow cross-solver combinations stay
+/// inside the ctest timeout.  This function IS the golden contract — any
+/// change to it requires regenerating the table.
+tl::ProblemConfig golden_config(const GoldenCase& c) {
+  const fs::path deck = decks_dir() / (std::string(c.deck) + ".in");
+  tl::ProblemConfig p = tl::Config::load(deck.string()).problem();
+  p.solver = solver_kind(c.solver);
+  p.end_step = c.steps;
+  p.eps = c.eps;
+  p.max_iters = c.max_iters;
+  return p;
+}
+
+/// Budgets used both by the checks and by regeneration.  Jacobi converges
+/// linearly, so it gets a relaxed tolerance and a mesh-dependent sweep cap
+/// (the 250^2/512^2 caps deliberately freeze a non-converged state: the gate
+/// then also pins the exact residual a fixed sweep budget reaches).
+void clamp_budgets(const std::string& deck, const std::string& solver,
+                   int deck_steps, double deck_eps, int* steps, double* eps,
+                   int* max_iters) {
+  *steps = std::min(deck_steps, 2);
+  *eps = deck_eps;
+  *max_iters = 10000;
+  if (solver == "jacobi") {
+    *eps = std::max(deck_eps, 1e-8);
+    if (deck == "tea_bm_2") *max_iters = 3000;
+    else if (deck == "tea_ppcg_precon") *max_iters = 1500;
+    else if (deck != "tea_bm_1") *max_iters = 5000;
+  }
+}
+
+struct GoldenResult {
+  long outer = 0;
+  long inner = 0;
+  bool converged = false;
+  double initial_rr = 0.0;
+  double final_rr = 0.0;
+  double temp = 0.0;
+};
+
+GoldenResult run_case(const GoldenCase& c) {
+  const tea::RunResult run = tea::run_simulation("serial", golden_config(c));
+  GoldenResult g;
+  g.outer = run.total_iterations;
+  for (const tea::StepResult& s : run.steps) g.inner += s.solve.inner_iterations;
+  g.converged = run.all_converged();
+  g.initial_rr = run.steps.back().solve.initial_rr;
+  g.final_rr = run.steps.back().solve.final_rr;
+  g.temp = run.final_summary.temp;
+  return g;
+}
+
+bool regen_mode() { return std::getenv("TEA_GOLDEN_REGEN") != nullptr; }
+
+class GoldenCaseTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenCaseTest, MatchesCommittedBaseline) {
+  const GoldenCase c = GetParam();
+  ASSERT_FALSE(decks_dir().empty());
+
+  // Sanity: the frozen budgets in the table must equal what clamp_budgets
+  // derives, so a budget-rule edit cannot silently invalidate the table.
+  int steps, max_iters;
+  double eps;
+  {
+    const fs::path deck = decks_dir() / (std::string(c.deck) + ".in");
+    const tl::ProblemConfig p = tl::Config::load(deck.string()).problem();
+    clamp_budgets(c.deck, c.solver, p.end_step, p.eps, &steps, &eps,
+                  &max_iters);
+  }
+  ASSERT_EQ(steps, c.steps) << "budget rule drifted; regenerate the table";
+  ASSERT_EQ(eps, c.eps) << "budget rule drifted; regenerate the table";
+  ASSERT_EQ(max_iters, c.max_iters) << "budget rule drifted; regenerate";
+
+  const GoldenResult g = run_case(c);
+
+  if (regen_mode()) {
+    std::printf(
+        "    {\"%s\", \"%s\", %d, %g, %d, %ld, %ld, %d, %.17g, %.17g, "
+        "%.17g},\n",
+        c.deck, c.solver, c.steps, c.eps, c.max_iters, g.outer, g.inner,
+        g.converged ? 1 : 0, g.initial_rr, g.final_rr, g.temp);
+    return;
+  }
+
+  EXPECT_EQ(g.outer, c.outer) << c.deck << "/" << c.solver;
+  EXPECT_EQ(g.inner, c.inner) << c.deck << "/" << c.solver;
+  EXPECT_EQ(g.converged, c.converged != 0) << c.deck << "/" << c.solver;
+  EXPECT_NEAR(g.temp, c.temp, kTempRelTol * std::fabs(c.temp))
+      << c.deck << "/" << c.solver;
+  EXPECT_NEAR(g.initial_rr, c.initial_rr,
+              kInitialRrRelTol * std::fabs(c.initial_rr))
+      << c.deck << "/" << c.solver;
+  if (c.converged != 0) {
+    // The solver contract: the exit residual crossed the threshold at the
+    // frozen iteration.  Freeze the bound exactly and the landing value to
+    // within a two-sided order-of-magnitude band.
+    EXPECT_LE(g.final_rr, c.eps * g.initial_rr * (1.0 + 1e-6))
+        << c.deck << "/" << c.solver;
+    if (c.final_rr > 0.0) {
+      EXPECT_LE(g.final_rr, c.final_rr * kConvergedResidualFactor +
+                                1.0e-6 * c.eps * c.initial_rr)
+          << c.deck << "/" << c.solver;
+      EXPECT_GE(g.final_rr, c.final_rr / kConvergedResidualFactor -
+                                1.0e-6 * c.eps * c.initial_rr)
+          << c.deck << "/" << c.solver;
+    }
+  } else {
+    EXPECT_NEAR(g.final_rr, c.final_rr,
+                kResidualRelTol * std::fabs(c.final_rr))
+        << c.deck << "/" << c.solver;
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  return std::string(info.param.deck) + "_" + info.param.solver;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, GoldenCaseTest, ::testing::ValuesIn(kGolden),
+                         case_name);
+
+// The table must cover the full deck x solver matrix the suite advertises.
+TEST(GoldenTable, CoversAllDecksAndSolvers) {
+  const char* decks[] = {"tea_bm_1", "tea_bm_2", "tea_ppcg_precon",
+                         "tea_circle", "tea_point"};
+  const char* solvers[] = {"jacobi", "cg", "chebyshev", "ppcg"};
+  for (const char* d : decks) {
+    for (const char* s : solvers) {
+      bool found = false;
+      for (const GoldenCase& c : kGolden) {
+        if (std::string(c.deck) == d && std::string(c.solver) == s) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << d << "/" << s << " missing from golden table";
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Scenario test wiring the examples/heated_room configuration into ctest
+// (ROADMAP "scenario diversity"): a room with a hot radiator, a cold window
+// and a dense pillar, run for a few steps.  Asserts the physical properties
+// the example only prints: energy conservation under the Neumann boundaries,
+// the parabolic maximum principle (diffusion contracts the temperature
+// range monotonically), and cross-backend agreement on the final state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/driver.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+/// The heated-room scenario from examples/heated_room.cpp, scaled down so a
+/// multi-step multi-backend run stays fast in ctest.
+tl::ProblemConfig heated_room(int cells, int steps) {
+  tl::ProblemConfig p;
+  p.x_cells = cells;
+  p.y_cells = cells;
+  p.xmin = 0.0;
+  p.xmax = 8.0;
+  p.ymin = 0.0;
+  p.ymax = 8.0;
+  p.initial_timestep = 0.002;
+  p.end_step = steps;
+  p.eps = 1e-11;
+  p.max_iters = 50000;
+  p.solver = tl::SolverKind::kCg;
+
+  tl::StateConfig air;
+  air.index = 1;
+  air.density = 1.2;
+  air.energy = 2.0;
+  p.states.push_back(air);
+
+  tl::StateConfig radiator;  // hot strip along the left wall
+  radiator.index = 2;
+  radiator.density = 0.8;
+  radiator.energy = 40.0;
+  radiator.geometry = tl::Geometry::kRectangle;
+  radiator.xmin = 0.0;
+  radiator.xmax = 0.4;
+  radiator.ymin = 1.0;
+  radiator.ymax = 7.0;
+  p.states.push_back(radiator);
+
+  tl::StateConfig window;  // cold strip on the right wall
+  window.index = 3;
+  window.density = 1.5;
+  window.energy = 0.2;
+  window.geometry = tl::Geometry::kRectangle;
+  window.xmin = 7.6;
+  window.xmax = 8.0;
+  window.ymin = 2.0;
+  window.ymax = 6.0;
+  p.states.push_back(window);
+
+  tl::StateConfig pillar;  // dense concrete column in the middle
+  pillar.index = 4;
+  pillar.density = 2400.0;
+  pillar.energy = 0.001;
+  pillar.geometry = tl::Geometry::kCircle;
+  pillar.cx = 4.0;
+  pillar.cy = 4.0;
+  pillar.radius = 0.6;
+  p.states.push_back(pillar);
+  return p;
+}
+
+TEST(HeatedRoom, ConvergesAndConservesEnergy) {
+  const tea::RunResult run = tea::run_simulation("serial", heated_room(64, 6));
+  ASSERT_EQ(run.steps.size(), 6u);
+  ASSERT_TRUE(run.all_converged());
+
+  // Neumann (reflective) boundaries: the volume-weighted temperature sum is
+  // conserved across every step, not just end-to-end.
+  const double first = run.steps.front().summary.temp;
+  ASSERT_GT(first, 0.0);
+  for (const tea::StepResult& s : run.steps) {
+    EXPECT_NEAR(s.summary.temp, first, 1e-8 * first) << "step " << s.step;
+  }
+  // Mass and volume never change (no advection).
+  for (const tea::StepResult& s : run.steps) {
+    EXPECT_DOUBLE_EQ(s.summary.vol, run.steps.front().summary.vol);
+    EXPECT_DOUBLE_EQ(s.summary.mass, run.steps.front().summary.mass);
+  }
+}
+
+TEST(HeatedRoom, DiffusionIsMonotone) {
+  // The maximum principle for the backward-Euler heat equation with Neumann
+  // boundaries: the temperature range [min u, max u] contracts every step —
+  // the hottest cell only cools, the coldest only warms.  Run the driver for
+  // k = 1..5 steps from the same initial state and read the final field.
+  const int cells = 48;
+  std::vector<double> u(static_cast<std::size_t>(cells) * cells);
+
+  double prev_min = 0.0, prev_max = 0.0;
+  for (int steps = 1; steps <= 5; ++steps) {
+    tea::ManualHostBackend backend("serial", nullptr, nullptr);
+    const tea::TeaDriver driver(heated_room(cells, steps));
+    const tea::RunResult run = driver.run(backend);
+    ASSERT_TRUE(run.all_converged()) << steps << " steps";
+
+    backend.read_field(tea::FieldId::kU, tl::span<double>(u));
+    const auto [lo_it, hi_it] = std::minmax_element(u.begin(), u.end());
+    const double lo = *lo_it;
+    const double hi = *hi_it;
+    EXPECT_GT(lo, 0.0);
+    // Bounded by the painted extremes: radiator u = 40.0 * 0.8, pillar
+    // u = 0.001 * 2400.0 = 2.4, window u = 0.2 * 1.5 = 0.3.
+    EXPECT_LE(hi, 40.0 * 0.8 * (1.0 + 1e-9));
+    EXPECT_GE(lo, 0.2 * 1.5 * (1.0 - 1e-9));
+
+    if (steps > 1) {
+      EXPECT_LE(hi, prev_max * (1.0 + 1e-9)) << "max grew at step " << steps;
+      EXPECT_GE(lo, prev_min * (1.0 - 1e-9)) << "min fell at step " << steps;
+      EXPECT_LT(hi - lo, prev_max - prev_min) << "range did not contract";
+    }
+    prev_min = lo;
+    prev_max = hi;
+  }
+}
+
+TEST(HeatedRoom, BackendsAgreeOnFinalState) {
+  const tl::ProblemConfig cfg = heated_room(48, 3);
+  const tea::RunResult ref = tea::run_simulation("serial", cfg);
+  ASSERT_TRUE(ref.all_converged());
+  for (const char* backend : {"manual-omp", "ops-omp"}) {
+    const tea::RunResult run = tea::run_simulation(backend, cfg);
+    ASSERT_TRUE(run.all_converged()) << backend;
+    EXPECT_NEAR(run.final_summary.temp, ref.final_summary.temp,
+                1e-8 * std::fabs(ref.final_summary.temp))
+        << backend;
+    EXPECT_NEAR(run.final_summary.ie, ref.final_summary.ie,
+                1e-8 * std::fabs(ref.final_summary.ie))
+        << backend;
+  }
+}
+
+}  // namespace

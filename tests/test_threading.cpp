@@ -201,6 +201,126 @@ TEST(ThreadId, StablePerThreadAndDistinct) {
   EXPECT_EQ(ids.size(), 8u);
 }
 
+// --- fork-join / barrier stress --------------------------------------------
+//
+// These cases hammer the wakeup and generation paths that a spin-barrier
+// rewrite can get wrong: a lost wakeup deadlocks a region (caught by the
+// suite timeout), generation reuse lets a thread slip through a phase early
+// (caught by the per-phase counters), and a torn reduction loses updates
+// (caught by the exact sums).
+
+TEST(ThreadPoolStress, RapidForkJoinGenerations) {
+  // Thousands of tiny regions back to back: each region must run every
+  // thread exactly once, even when workers race between spinning, parking
+  // and re-arming across generations.
+  tlp::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  constexpr int kRegions = 4000;
+  for (int rep = 0; rep < kRegions; ++rep) {
+    std::atomic<int> here{0};
+    pool.parallel_region([&](int, int) {
+      here++;
+      total++;
+    });
+    ASSERT_EQ(here.load(), 4) << "region " << rep << " lost a thread";
+  }
+  EXPECT_EQ(total.load(), 4L * kRegions);
+}
+
+TEST(ThreadPoolStress, MixedSizeReductionsStaySane) {
+  // Alternate reductions over wildly different range sizes (empty, one
+  // element, odd primes, large) and schedules; every result is checked
+  // against the closed form, so a partial-combine bug or a reused partial
+  // slot from a previous generation shows up as a wrong sum.
+  tlp::ThreadPool pool(5);
+  const long sizes[] = {0, 1, 7, 97, 1000, 3, 12345, 2, 64};
+  const tlp::Schedule schedules[] = {tlp::Schedule::kStatic,
+                                     tlp::Schedule::kDynamic,
+                                     tlp::Schedule::kGuided};
+  for (int rep = 0; rep < 300; ++rep) {
+    const long n = sizes[rep % (sizeof(sizes) / sizeof(sizes[0]))];
+    tlp::ForOptions opts;
+    opts.schedule = schedules[rep % 3];
+    const double sum = pool.parallel_reduce<double>(
+        0, n, 0.0,
+        [](long lo, long hi) {
+          double acc = 0;
+          for (long i = lo; i < hi; ++i) acc += static_cast<double>(i);
+          return acc;
+        },
+        [](double a, double b) { return a + b; }, opts);
+    ASSERT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0)
+        << "rep " << rep << " n " << n;
+  }
+}
+
+TEST(ThreadPoolStress, ForkJoinInterleavedWithReductions) {
+  // Interleave plain regions, work-shared loops and reductions, so the
+  // generation counter advances through differently-shaped jobs; any
+  // cross-generation state leak corrupts one of the exact checks.
+  tlp::ThreadPool pool(3);
+  std::vector<int> hits(512, 0);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::atomic<int> ran{0};
+    pool.parallel_region([&](int, int) { ran++; });
+    ASSERT_EQ(ran.load(), 3);
+
+    std::fill(hits.begin(), hits.end(), 0);
+    pool.parallel_for(0, static_cast<long>(hits.size()), [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const int h : hits) ASSERT_EQ(h, 1);
+
+    const long n = 100 + rep;
+    const double sum = pool.parallel_reduce<double>(
+        0, n, 0.0,
+        [](long lo, long hi) {
+          double acc = 0;
+          for (long i = lo; i < hi; ++i) acc += static_cast<double>(i);
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+    ASSERT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+  }
+}
+
+TEST(BarrierStress, ManyPhasesNoSlipThrough) {
+  // A thread that passes the barrier before everyone arrived (generation
+  // reuse) would observe a phase counter below the full count.
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 2000;
+  tlp::Barrier barrier(kThreads);
+  std::atomic<int> arrived{0};
+  tlp::ThreadPool pool(kThreads);
+  pool.parallel_region([&](int, int) {
+    for (int phase = 0; phase < kPhases; ++phase) {
+      arrived++;
+      barrier.arrive_and_wait();
+      ASSERT_GE(arrived.load(), (phase + 1) * kThreads);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(arrived.load(), kPhases * kThreads);
+}
+
+TEST(BarrierStress, TwoBarriersPingPong) {
+  // Classic double-buffer handoff: writer phase / reader phase alternating
+  // through two barriers; a reordering across either barrier corrupts the
+  // checked value.
+  constexpr int kThreads = 3;
+  tlp::Barrier a(kThreads), b(kThreads);
+  tlp::ThreadPool pool(kThreads);
+  int shared = 0;
+  pool.parallel_region([&](int tid, int) {
+    for (int round = 0; round < 500; ++round) {
+      if (tid == round % kThreads) shared = round;
+      a.arrive_and_wait();
+      ASSERT_EQ(shared, round);
+      b.arrive_and_wait();
+    }
+  });
+}
+
 TEST(ThreadPool, GuidedChunksShrink) {
   tlp::ThreadPool pool(4);
   std::vector<long> chunk_sizes;

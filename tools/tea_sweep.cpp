@@ -12,6 +12,7 @@
 // BENCH_results.json in the working directory — the same resolution the
 // bench binaries use, so `tea_sweep run` followed by any figure/table bench
 // performs zero duplicate measurements.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -43,6 +44,11 @@ int usage() {
       "  diff     <baseline.json> <current.json> [--tolerance 0.25]\n"
       "           regression gate: FAIL when current min-sample time exceeds\n"
       "           baseline by more than the relative tolerance\n"
+      "  kernels  [--store P] [--meshes 128,256,..] [--samples N]\n"
+      "           [--variants serial,manual-omp] [--baseline base.json]\n"
+      "           time the hot-path kernels (5-point stencil, dot) into the\n"
+      "           store; with --baseline, print per-row speedups against a\n"
+      "           previously saved kernel sweep\n"
       "  merge    <out.json> <in1.json> [in2.json ...]\n"
       "           merge stores (later inputs win on key collisions)\n"
       "\n"
@@ -219,6 +225,70 @@ int cmd_diff(const tl::Cli& cli) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_kernels(const tl::Cli& cli) {
+  results::KernelSweepConfig config;
+  config.samples = static_cast<int>(cli.get_long("samples", config.samples));
+  config.verbose = true;
+  if (const auto m = cli.get("meshes")) {
+    config.meshes.clear();
+    for (const std::string& s : tl::split(*m, ',')) {
+      char* end = nullptr;
+      const long mesh = std::strtol(s.c_str(), &end, 10);
+      if (s.empty() || end == nullptr || *end != '\0' || mesh <= 0) {
+        throw tl::Error("--meshes expects positive integers, got '" + s + "'");
+      }
+      config.meshes.push_back(static_cast<int>(mesh));
+    }
+  }
+  if (const auto v = cli.get("variants")) config.variants = tl::split(*v, ',');
+
+  const std::string path = resolve_store_path(cli);
+  results::ResultStore store = results::ResultStore::load(path);
+  std::printf("kernel sweep: %zu kernels x %zu meshes x %zu variants -> %s\n",
+              results::kernel_sweep_kernels().size(), config.meshes.size(),
+              config.variants.size(), path.c_str());
+  const results::SweepOutcome outcome =
+      results::run_kernel_sweep(store, config);
+  store.save(path);
+  std::printf("kernel sweep done: %d measured, %d cache hits\n",
+              outcome.measured, outcome.cached);
+
+  // Report the rows (and speedups against a baseline kernel sweep when one
+  // is supplied — the before/after evidence for kernel optimisation work).
+  results::ResultStore baseline;
+  if (const auto b = cli.get("baseline")) {
+    baseline = results::ResultStore::load(*b);
+  }
+  tl::Table table({"kernel", "variant", "mesh", "median us/call",
+                   "min us/call", "baseline us", "speedup"});
+  std::vector<double> speedups;
+  for (const results::ResultRow& r : store.rows()) {
+    if (r.variant.rfind("kernel-", 0) != 0) continue;
+    std::string base_median = "-";
+    std::string speedup = "-";
+    if (const results::ResultRow* b = baseline.find(r.key)) {
+      if (r.timing.median_s > 0.0) {
+        const double s = b->timing.median_s / r.timing.median_s;
+        base_median = tl::Table::num(1e6 * b->timing.median_s, 1);
+        speedup = tl::Table::num(s, 2) + "x";
+        speedups.push_back(s);
+      }
+    }
+    table.add_row({r.deck, r.variant.substr(r.variant.find('/') + 1),
+                   std::to_string(r.mesh_x),
+                   tl::Table::num(1e6 * r.timing.median_s, 1),
+                   tl::Table::num(1e6 * r.timing.min_s, 1), base_median,
+                   speedup});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  if (!speedups.empty()) {
+    std::sort(speedups.begin(), speedups.end());
+    std::printf("median speedup vs baseline: %.2fx over %zu rows\n",
+                speedups[speedups.size() / 2], speedups.size());
+  }
+  return 0;
+}
+
 int cmd_merge(const tl::Cli& cli) {
   if (cli.positional().size() < 3) return usage();
   const std::string out_path = cli.positional()[1];
@@ -249,6 +319,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(cli);
     if (command == "compare") return cmd_compare(cli);
     if (command == "diff") return cmd_diff(cli);
+    if (command == "kernels") return cmd_kernels(cli);
     if (command == "merge") return cmd_merge(cli);
   } catch (const tl::Error& e) {
     std::fprintf(stderr, "tea_sweep %s: %s\n", command.c_str(), e.what());
