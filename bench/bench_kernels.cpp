@@ -91,6 +91,34 @@ void BM_Operator_Ops(benchmark::State& state) {
 }
 BENCHMARK(BM_Operator_Ops)->Arg(256)->Arg(512)->Arg(1024);
 
+// --- fused operator+dot (the CG/PPCG inner-iteration hot path) -----------------
+
+void BM_OperatorDot_Serial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>("serial", nullptr,
+                                                             nullptr),
+                    n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b->apply_operator_dot(tea::FieldId::kU, tea::FieldId::kW));
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_OperatorDot_Serial)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_OperatorDot_Threads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto b = prepared(std::make_unique<tea::ManualHostBackend>(
+                        "manual-omp", &tlp::global_pool(), nullptr),
+                    n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b->apply_operator_dot(tea::FieldId::kU, tea::FieldId::kW));
+  }
+  report_cells(state, n);
+}
+BENCHMARK(BM_OperatorDot_Threads)->Arg(256)->Arg(512)->Arg(1024);
+
 // --- dot product -----------------------------------------------------------------
 
 void BM_Dot_Serial(benchmark::State& state) {

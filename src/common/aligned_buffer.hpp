@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdlib>
 #include <new>
+#include <type_traits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -16,6 +17,14 @@ namespace tl {
 
 inline constexpr std::size_t kDefaultAlignment = 64;
 
+/// Tag requesting allocation without initialisation (the caller will write
+/// every element itself — e.g. NUMA first-touch initialisation, where the
+/// thread that later computes a row must be the first to touch its pages).
+struct uninitialized_t {
+  explicit uninitialized_t() = default;
+};
+inline constexpr uninitialized_t uninitialized{};
+
 template <typename T>
 class AlignedBuffer {
 public:
@@ -23,11 +32,20 @@ public:
 
   explicit AlignedBuffer(std::size_t count, T fill = T{},
                          std::size_t alignment = kDefaultAlignment)
+      : AlignedBuffer(count, uninitialized, alignment) {
+    if (count != 0) std::fill_n(data_, count, fill);
+  }
+
+  /// Allocate without touching the memory (trivial T only: nothing is
+  /// constructed; the first write to each page decides its NUMA placement).
+  AlignedBuffer(std::size_t count, uninitialized_t,
+                std::size_t alignment = kDefaultAlignment)
       : size_(count), alignment_(alignment) {
+    static_assert(std::is_trivial_v<T>,
+                  "uninitialized AlignedBuffer requires a trivial type");
     if (count == 0) return;
     const std::size_t bytes = round_up(count * sizeof(T), alignment);
     data_ = static_cast<T*>(::operator new(bytes, std::align_val_t(alignment)));
-    std::fill_n(data_, count, fill);
   }
 
   AlignedBuffer(const AlignedBuffer& other)

@@ -53,6 +53,16 @@ public:
   /// face coefficients).  Requires `in` halo depth >= 1.
   virtual void apply_operator(FieldId in, FieldId out) = 0;
 
+  /// Fused out = A in; return <in, out> (globally reduced).  The CG/PPCG
+  /// inner iteration always needs this pair; fusing lets a backend consume
+  /// each operator result while it is still in registers instead of paying
+  /// a second memory pass for the dot.  The default is the unfused pair, so
+  /// backends without a fused kernel keep bit-identical behaviour.
+  virtual double apply_operator_dot(FieldId in, FieldId out) {
+    apply_operator(in, out);
+    return dot(in, out);
+  }
+
   /// r = u0 - A u.  Requires u halo depth >= 1.
   virtual void compute_residual() = 0;
 

@@ -1,12 +1,19 @@
 // field_store.hpp — host-side field storage shared by the manual CPU
 // backends: one aligned slab holding all TeaLeaf fields with halo padding,
 // plus the rank partition geometry.
+//
+// Allocation is NUMA-aware when a thread pool is supplied: the slab is
+// allocated untouched and then zero-filled row-parallel through the pool
+// with the same static partition the compute kernels use, so under a
+// first-touch OS policy each worker's rows land on that worker's NUMA node.
 #pragma once
 
 #include <cstdint>
 
 #include "common/aligned_buffer.hpp"
+#include "common/simd.hpp"
 #include "core/field.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace tea {
 
@@ -54,10 +61,36 @@ struct PartitionGeom {
 
 class FieldStore {
 public:
-  explicit FieldStore(const PartitionGeom& geom)
+  /// `pool` (optional, not owned) parallelises the first touch; without one
+  /// the calling thread pages in the whole slab, as before.
+  explicit FieldStore(const PartitionGeom& geom,
+                      tlp::ThreadPool* pool = nullptr)
       : geom_(geom),
         slab_(static_cast<std::size_t>(kNumFields) * geom.padded_cells(),
-              0.0) {}
+              tl::uninitialized) {
+    const long rows_per_field = geom_.padded_ny();
+    const long row_width = geom_.padded_nx();
+    const auto touch_rows = [&](double* base, long lo, long hi) {
+      double* TL_RESTRICT out = base + lo * row_width;
+      const long count = (hi - lo) * row_width;
+      for (long k = 0; k < count; ++k) out[k] = 0.0;
+    };
+    for (int f = 0; f < kNumFields; ++f) {
+      double* base = slab_.data() +
+                     static_cast<std::size_t>(f) *
+                         static_cast<std::size_t>(geom_.padded_cells());
+      if (pool != nullptr) {
+        // Rows [lo, hi) of this field go to the thread that will compute
+        // them (parallel_for's static partition matches the kernels' row
+        // split up to the halo offset).
+        pool->parallel_for(0, rows_per_field, [&](long lo, long hi) {
+          touch_rows(base, lo, hi);
+        });
+      } else {
+        touch_rows(base, 0, rows_per_field);
+      }
+    }
+  }
 
   const PartitionGeom& geom() const { return geom_; }
 

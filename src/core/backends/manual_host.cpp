@@ -1,9 +1,10 @@
 #include "core/backends/manual_host.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "core/backends/ref_kernels.hpp"
 #include "core/halo.hpp"
 #include "core/problem.hpp"
@@ -13,6 +14,174 @@ namespace tea {
 
 namespace {
 machine::Instrumentation& instr() { return machine::Instrumentation::global(); }
+
+// --- band kernels ------------------------------------------------------------
+//
+// Each hot kernel runs as a free function over a row band [j0, j1), shifting
+// the view origins so the shared ref_kernels row loops do the math (one
+// source of truth for the arithmetic).  The functions carry TL_TARGET_CLONES:
+// the default -O3 build stays portable x86-64 while AVX2 hosts dispatch to
+// 4-wide versions at runtime.  Clones exclude FMA ISAs, so every version
+// computes bitwise-identical results (see common/simd.hpp).
+
+inline CellView shifted(CellView v, int j0) {
+  return CellView{ref::row(v, j0), v.stride};
+}
+inline ConstCellView shifted(ConstCellView v, int j0) {
+  return ConstCellView{ref::row(v, j0), v.stride};
+}
+
+TL_TARGET_CLONES void op_band(ConstCellView in, CellView out, ConstCellView kx,
+                              ConstCellView ky, double rx, double ry, int nx,
+                              int j0, int j1) {
+  ref::apply_operator(shifted(in, j0), shifted(out, j0), shifted(kx, j0),
+                      shifted(ky, j0), rx, ry, nx, j1 - j0);
+}
+
+TL_TARGET_CLONES double opdot_band(ConstCellView in, CellView out,
+                                   ConstCellView kx, ConstCellView ky,
+                                   double rx, double ry, int nx, int j0,
+                                   int j1) {
+  return ref::apply_operator_dot(shifted(in, j0), shifted(out, j0),
+                                 shifted(kx, j0), shifted(ky, j0), rx, ry, nx,
+                                 j1 - j0);
+}
+
+TL_TARGET_CLONES void residual_band(ConstCellView u, ConstCellView u0,
+                                    CellView r, ConstCellView kx,
+                                    ConstCellView ky, double rx, double ry,
+                                    int nx, int j0, int j1) {
+  ref::compute_residual(shifted(u, j0), shifted(u0, j0), shifted(r, j0),
+                        shifted(kx, j0), shifted(ky, j0), rx, ry, nx, j1 - j0);
+}
+
+TL_TARGET_CLONES double dot_band(ConstCellView a, ConstCellView b, int nx,
+                                 int j0, int j1) {
+  return ref::dot(shifted(a, j0), shifted(b, j0), nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void copy_band(ConstCellView src, CellView dst, int nx,
+                                int j0, int j1) {
+  ref::copy_field(shifted(src, j0), shifted(dst, j0), nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void scale_band(CellView dst, ConstCellView src, double s,
+                                 int nx, int j0, int j1) {
+  ref::scale_copy(shifted(dst, j0), shifted(src, j0), s, nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void axpy_band(CellView y, double a, ConstCellView x, int nx,
+                                int j0, int j1) {
+  ref::axpy(shifted(y, j0), a, shifted(x, j0), nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void zaxpy_band(CellView p, double beta, ConstCellView z,
+                                 int nx, int j0, int j1) {
+  ref::zaxpy(shifted(p, j0), beta, shifted(z, j0), nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void init_u_band(ConstCellView density, ConstCellView energy,
+                                  CellView u, CellView u0, int nx, int j0,
+                                  int j1) {
+  ref::init_u_u0(shifted(density, j0), shifted(energy, j0), shifted(u, j0),
+                 shifted(u0, j0), nx, j1 - j0);
+}
+
+TL_TARGET_CLONES void smooth_band(CellView acc, CellView res, ConstCellView w,
+                                  CellView sd, double alpha, double beta,
+                                  int nx, int j0, int j1) {
+  ref::smooth_update(shifted(acc, j0), shifted(res, j0), shifted(w, j0),
+                     shifted(sd, j0), alpha, beta, nx, j1 - j0);
+}
+
+TL_TARGET_CLONES double jacobi_band(ConstCellView uold, ConstCellView u0,
+                                    CellView u, ConstCellView kx,
+                                    ConstCellView ky, double rx, double ry,
+                                    int nx, int j0, int j1) {
+  return ref::jacobi_sweep(shifted(uold, j0), shifted(u0, j0), shifted(u, j0),
+                           shifted(kx, j0), shifted(ky, j0), rx, ry, nx,
+                           j1 - j0);
+}
+
+TL_TARGET_CLONES void precondition_band(CellView d, ConstCellView s,
+                                        ConstCellView kx, ConstCellView ky,
+                                        double rx, double ry, int nx, int j0,
+                                        int j1) {
+  for (int j = j0; j < j1; ++j) {
+    const double* TL_RESTRICT sr = ref::row(s, j);
+    const double* TL_RESTRICT kxr = ref::row(kx, j);
+    const double* TL_RESTRICT kyc = ref::row(ky, j);
+    const double* TL_RESTRICT kyn = ref::row(ky, j + 1);
+    double* TL_RESTRICT dr = ref::row(d, j);
+    for (int i = 0; i < nx; ++i) {
+      const double diag =
+          1.0 + rx * (kxr[i + 1] + kxr[i]) + ry * (kyn[i] + kyc[i]);
+      dr[i] = sr[i] / diag;
+    }
+  }
+}
+
+TL_TARGET_CLONES void finalise_band(ConstCellView u, ConstCellView density,
+                                    CellView energy, int nx, int j0, int j1) {
+  ref::finalise(shifted(u, j0), shifted(density, j0), shifted(energy, j0), nx,
+                j1 - j0);
+}
+
+/// Coefficient band over face rows [j0, j1) of the (ny+1)-row face loop:
+/// branch-free split — kx rows exist for j < ny, ky rows for j <= ny.
+TL_TARGET_CLONES void coefficients_band(ConstCellView density, CellView kx,
+                                        CellView ky, int nx, int ny,
+                                        tl::CoefficientKind kind, int j0,
+                                        int j1) {
+  for (int j = j0; j < std::min(j1, ny); ++j) {
+    const double* TL_RESTRICT dc = ref::row(density, j);
+    double* TL_RESTRICT kxr = ref::row(kx, j);
+    for (int i = 0; i <= nx; ++i) {
+      const double wc = ref::conduction(dc[i], kind);
+      const double wl = ref::conduction(dc[i - 1], kind);
+      kxr[i] = (wl + wc) / (2.0 * wl * wc);
+    }
+  }
+  for (int j = j0; j < j1; ++j) {
+    const double* TL_RESTRICT dc = ref::row(density, j);
+    const double* TL_RESTRICT dd = ref::row(density, j - 1);
+    double* TL_RESTRICT kyr = ref::row(ky, j);
+    for (int i = 0; i < nx; ++i) {
+      const double wc = ref::conduction(dc[i], kind);
+      const double wd = ref::conduction(dd[i], kind);
+      kyr[i] = (wd + wc) / (2.0 * wd * wc);
+    }
+  }
+}
+
+/// Four simultaneous summary reductions folded through one pass.
+struct SummaryQuad {
+  double vol = 0.0, mass = 0.0, ie = 0.0, temp = 0.0;
+};
+
+TL_TARGET_CLONES SummaryQuad summary_band(ConstCellView density,
+                                          ConstCellView energy,
+                                          ConstCellView u, double vol_cell,
+                                          int nx, int j0, int j1) {
+  const FieldSummary s =
+      ref::field_summary(shifted(density, j0), shifted(energy, j0),
+                         shifted(u, j0), vol_cell, nx, j1 - j0);
+  return SummaryQuad{s.vol, s.mass, s.ie, s.temp};
+}
+
+/// Charge one kernel's footprint: local traffic always (per-rank sums give
+/// the global bytes), dispatch counted once per logical kernel.
+void charge_kernel(const PartitionGeom& g, const ref::KernelCost& c,
+                   minimpi::Comm* comm, bool is_reduction = false) {
+  const std::int64_t cells = g.cells();
+  instr().add_traffic(cells * 8 * c.reads, cells * 8 * c.writes,
+                      cells * c.flops);
+  if (comm == nullptr || comm->rank() == 0) {
+    instr().add_launch();
+    if (is_reduction) instr().add_reduction();
+  }
+}
+
 }  // namespace
 
 ManualHostBackend::ManualHostBackend(std::string id, tlp::ThreadPool* pool,
@@ -40,7 +209,9 @@ void ManualHostBackend::setup(const tl::ProblemConfig& cfg) {
     geom.nx = geom.gnx;
     geom.ny = geom.gny;
   }
-  store_ = std::make_unique<FieldStore>(geom);
+  // First-touch through the pool: each worker pages in the rows it will
+  // later compute, so on NUMA hosts field rows live on the worker's node.
+  store_ = std::make_unique<FieldStore>(geom, pool_);
 
   const StateSampler sampler(cfg);
   cell_volume_ = sampler.cell_volume();
@@ -94,42 +265,15 @@ double ManualHostBackend::reduce_rows(const MapFn& fn) {
   return local;
 }
 
-namespace {
-/// Charge one kernel's footprint: local traffic always (per-rank sums give
-/// the global bytes), dispatch counted once per logical kernel.
-void charge_kernel(const PartitionGeom& g, const ref::KernelCost& c,
-                   minimpi::Comm* comm, bool is_reduction = false) {
-  const std::int64_t cells = g.cells();
-  instr().add_traffic(cells * 8 * c.reads, cells * 8 * c.writes,
-                      cells * c.flops);
-  if (comm == nullptr || comm->rank() == 0) {
-    instr().add_launch();
-    if (is_reduction) instr().add_reduction();
-  }
-}
-}  // namespace
-
 void ManualHostBackend::compute_coefficients(tl::CoefficientKind kind) {
-  // Row-split of the (ny+1)-row face loop; ref kernel handles a row band.
+  // Row-split of the (ny+1)-row face loop.
   ConstCellView density = store_->cview(FieldId::kDensity);
   CellView kx = store_->view(FieldId::kKx);
   CellView ky = store_->view(FieldId::kKy);
   const int nx = geom().nx;
   const int ny = geom().ny;
   const auto band = [&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i <= nx; ++i) {
-        const double wc = ref::conduction(density(i, j), kind);
-        if (j < ny) {
-          const double wl = ref::conduction(density(i - 1, j), kind);
-          kx(i, j) = (wl + wc) / (2.0 * wl * wc);
-        }
-        if (i < nx) {
-          const double wd = ref::conduction(density(i, j - 1), kind);
-          ky(i, j) = (wd + wc) / (2.0 * wd * wc);
-        }
-      }
-    }
+    coefficients_band(density, kx, ky, nx, ny, kind, j0, j1);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(0, ny + 1, [&](long lo, long hi) {
@@ -147,15 +291,7 @@ void ManualHostBackend::init_u_u0() {
   CellView u = store_->view(FieldId::kU);
   CellView u0 = store_->view(FieldId::kU0);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        const double v = energy(i, j) * density(i, j);
-        u(i, j) = v;
-        u0(i, j) = v;
-      }
-    }
-  });
+  rows([&](int j0, int j1) { init_u_band(density, energy, u, u0, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostInitU, comm_);
 }
 
@@ -166,13 +302,22 @@ void ManualHostBackend::apply_operator(FieldId in, FieldId out) {
   ConstCellView ky = store_->cview(FieldId::kKy);
   const int nx = geom().nx;
   rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        vout(i, j) = ref::apply_operator_at(vin, kx, ky, rx_, ry_, i, j);
-      }
-    }
+    op_band(vin, vout, kx, ky, rx_, ry_, nx, j0, j1);
   });
   charge_kernel(geom(), ref::kCostOperator, comm_);
+}
+
+double ManualHostBackend::apply_operator_dot(FieldId in, FieldId out) {
+  ConstCellView vin = store_->cview(in);
+  CellView vout = store_->view(out);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  const int nx = geom().nx;
+  const double result = reduce_rows([&](int j0, int j1) {
+    return opdot_band(vin, vout, kx, ky, rx_, ry_, nx, j0, j1);
+  });
+  charge_kernel(geom(), ref::kCostOperatorDot, comm_, /*is_reduction=*/true);
+  return result;
 }
 
 void ManualHostBackend::compute_residual() {
@@ -183,11 +328,7 @@ void ManualHostBackend::compute_residual() {
   ConstCellView ky = store_->cview(FieldId::kKy);
   const int nx = geom().nx;
   rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        r(i, j) = u0(i, j) - ref::apply_operator_at(u, kx, ky, rx_, ry_, i, j);
-      }
-    }
+    residual_band(u, u0, r, kx, ky, rx_, ry_, nx, j0, j1);
   });
   charge_kernel(geom(), ref::kCostResidual, comm_);
 }
@@ -196,11 +337,7 @@ void ManualHostBackend::copy_field(FieldId src, FieldId dst) {
   ConstCellView s = store_->cview(src);
   CellView d = store_->view(dst);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) d(i, j) = s(i, j);
-    }
-  });
+  rows([&](int j0, int j1) { copy_band(s, d, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostCopy, comm_);
 }
 
@@ -208,11 +345,7 @@ void ManualHostBackend::scale_copy(FieldId dst, FieldId src, double sc) {
   ConstCellView s = store_->cview(src);
   CellView d = store_->view(dst);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) d(i, j) = sc * s(i, j);
-    }
-  });
+  rows([&](int j0, int j1) { scale_band(d, s, sc, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostScaleCopy, comm_);
 }
 
@@ -220,13 +353,8 @@ double ManualHostBackend::dot(FieldId a, FieldId b) {
   ConstCellView va = store_->cview(a);
   ConstCellView vb = store_->cview(b);
   const int nx = geom().nx;
-  const double result = reduce_rows([&](int j0, int j1) {
-    double acc = 0.0;
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) acc += va(i, j) * vb(i, j);
-    }
-    return acc;
-  });
+  const double result = reduce_rows(
+      [&](int j0, int j1) { return dot_band(va, vb, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostDot, comm_, /*is_reduction=*/true);
   return result;
 }
@@ -235,11 +363,7 @@ void ManualHostBackend::axpy(FieldId y, double a, FieldId x) {
   CellView vy = store_->view(y);
   ConstCellView vx = store_->cview(x);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) vy(i, j) += a * vx(i, j);
-    }
-  });
+  rows([&](int j0, int j1) { axpy_band(vy, a, vx, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostAxpy, comm_);
 }
 
@@ -247,11 +371,7 @@ void ManualHostBackend::zaxpy(FieldId p, double beta, FieldId z) {
   CellView vp = store_->view(p);
   ConstCellView vz = store_->cview(z);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) vp(i, j) = vz(i, j) + beta * vp(i, j);
-    }
-  });
+  rows([&](int j0, int j1) { zaxpy_band(vp, beta, vz, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostZaxpy, comm_);
 }
 
@@ -262,13 +382,7 @@ void ManualHostBackend::precondition(FieldId dst, FieldId src) {
   ConstCellView ky = store_->cview(FieldId::kKy);
   const int nx = geom().nx;
   rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        const double diag = 1.0 + rx_ * (kx(i + 1, j) + kx(i, j)) +
-                            ry_ * (ky(i, j + 1) + ky(i, j));
-        d(i, j) = s(i, j) / diag;
-      }
-    }
+    precondition_band(d, s, kx, ky, rx_, ry_, nx, j0, j1);
   });
   charge_kernel(geom(), ref::kCostOperator, comm_);
 }
@@ -281,13 +395,7 @@ void ManualHostBackend::smooth_update(FieldId acc, FieldId res, FieldId w,
   CellView vsd = store_->view(sd);
   const int nx = geom().nx;
   rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        vacc(i, j) += vsd(i, j);
-        vres(i, j) -= vw(i, j);
-        vsd(i, j) = alpha * vsd(i, j) + beta * vres(i, j);
-      }
-    }
+    smooth_band(vacc, vres, vw, vsd, alpha, beta, nx, j0, j1);
   });
   charge_kernel(geom(), ref::kCostSmooth, comm_);
 }
@@ -302,21 +410,7 @@ double ManualHostBackend::jacobi_iterate() {
   ConstCellView ky = store_->cview(FieldId::kKy);
   const int nx = geom().nx;
   const double err = reduce_rows([&](int j0, int j1) {
-    double band_err = 0.0;
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        const double diag = 1.0 + rx_ * (kx(i + 1, j) + kx(i, j)) +
-                            ry_ * (ky(i, j + 1) + ky(i, j));
-        const double off = rx_ * (kx(i + 1, j) * uold(i + 1, j) +
-                                  kx(i, j) * uold(i - 1, j)) +
-                           ry_ * (ky(i, j + 1) * uold(i, j + 1) +
-                                  ky(i, j) * uold(i, j - 1));
-        const double unew = (u0(i, j) + off) / diag;
-        w(i, j) = unew;
-        band_err += std::fabs(unew - uold(i, j));
-      }
-    }
-    return band_err;
+    return jacobi_band(uold, u0, w, kx, ky, rx_, ry_, nx, j0, j1);
   });
   copy_field(FieldId::kW, FieldId::kU);
   charge_kernel(geom(), ref::kCostJacobi, comm_, /*is_reduction=*/true);
@@ -328,44 +422,30 @@ FieldSummary ManualHostBackend::field_summary() {
   ConstCellView energy = store_->cview(FieldId::kEnergy0);
   ConstCellView u = store_->cview(FieldId::kU);
   const int nx = geom().nx;
+  const int ny = geom().ny;
   const double vol_cell = cell_volume_;
 
-  // Four simultaneous reductions, folded through one pass.
-  struct Quad {
-    double vol, mass, ie, temp;
-  };
-  const int ny = geom().ny;
-  std::vector<Quad> partials;
-  FieldSummary s;
-  const auto band = [&](int j0, int j1) {
-    Quad q{0, 0, 0, 0};
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) {
-        q.vol += vol_cell;
-        q.mass += density(i, j) * vol_cell;
-        q.ie += density(i, j) * energy(i, j) * vol_cell;
-        q.temp += u(i, j) * vol_cell;
-      }
-    }
-    return q;
-  };
+  SummaryQuad total;
   if (pool_ != nullptr) {
-    // Reduce each component via the pool's deterministic combine.
-    Quad total{0, 0, 0, 0};
-    std::mutex m;
-    pool_->parallel_for(0, ny, [&](long lo, long hi) {
-      const Quad q = band(static_cast<int>(lo), static_cast<int>(hi));
-      std::lock_guard<std::mutex> lock(m);
-      total.vol += q.vol;
-      total.mass += q.mass;
-      total.ie += q.ie;
-      total.temp += q.temp;
-    });
-    s = FieldSummary{total.vol, total.mass, total.ie, total.temp};
+    // Per-thread partials combined in thread order (deterministic), same as
+    // every other reduction here — no mutex on the accumulation path.
+    total = pool_->parallel_reduce<SummaryQuad>(
+        0, ny, SummaryQuad{},
+        [&](long lo, long hi) {
+          return summary_band(density, energy, u, vol_cell, nx,
+                              static_cast<int>(lo), static_cast<int>(hi));
+        },
+        [](SummaryQuad a, const SummaryQuad& b) {
+          a.vol += b.vol;
+          a.mass += b.mass;
+          a.ie += b.ie;
+          a.temp += b.temp;
+          return a;
+        });
   } else {
-    const Quad q = band(0, ny);
-    s = FieldSummary{q.vol, q.mass, q.ie, q.temp};
+    total = summary_band(density, energy, u, vol_cell, nx, 0, ny);
   }
+  FieldSummary s{total.vol, total.mass, total.ie, total.temp};
   if (comm_ != nullptr) {
     double vals[4] = {s.vol, s.mass, s.ie, s.temp};
     comm_->allreduce(tl::span<double>(vals), minimpi::ReduceOp::kSum);
@@ -387,11 +467,7 @@ void ManualHostBackend::finalise() {
   ConstCellView density = store_->cview(FieldId::kDensity);
   CellView energy = store_->view(FieldId::kEnergy1);
   const int nx = geom().nx;
-  rows([&](int j0, int j1) {
-    for (int j = j0; j < j1; ++j) {
-      for (int i = 0; i < nx; ++i) energy(i, j) = u(i, j) / density(i, j);
-    }
-  });
+  rows([&](int j0, int j1) { finalise_band(u, density, energy, nx, j0, j1); });
   charge_kernel(geom(), ref::kCostFinalise, comm_);
 }
 

@@ -34,6 +34,7 @@ public:
   void compute_coefficients(tl::CoefficientKind kind) override;
   void init_u_u0() override;
   void apply_operator(FieldId in, FieldId out) override;
+  double apply_operator_dot(FieldId in, FieldId out) override;
   void compute_residual() override;
   void copy_field(FieldId src, FieldId dst) override;
   void scale_copy(FieldId dst, FieldId src, double s) override;

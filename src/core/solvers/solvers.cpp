@@ -26,8 +26,7 @@ double cg_iterations(Backend& b, int iters, double eps_rr, double rr0,
   double rro = stats.final_rr;
   for (int it = 0; it < iters; ++it) {
     b.update_halo({kP}, 1);
-    b.apply_operator(kP, kW);
-    const double pw = b.dot(kP, kW);
+    const double pw = b.apply_operator_dot(kP, kW);
     if (pw == 0.0) {  // direction annihilated: already converged (or breakdown)
       stats.converged = rro <= eps_rr * rr0;
       break;
@@ -92,8 +91,7 @@ SolveStats solve_cg(Backend& b, const SolveOptions& o) {
     double rz = b.dot(kR, kZ);
     for (int it = 0; it < o.max_iters; ++it) {
       b.update_halo({kP}, 1);
-      b.apply_operator(kP, kW);
-      const double pw = b.dot(kP, kW);
+      const double pw = b.apply_operator_dot(kP, kW);
       if (pw == 0.0) break;
       const double alpha = rz / pw;
       b.axpy(kU, alpha, kP);
@@ -240,8 +238,7 @@ SolveStats solve_ppcg(Backend& b, const SolveOptions& o) {
 
   for (int it = stats.iterations; it < o.max_iters; ++it) {
     b.update_halo({kP}, 1);
-    b.apply_operator(kP, kW);
-    const double pw = b.dot(kP, kW);
+    const double pw = b.apply_operator_dot(kP, kW);
     if (pw == 0.0) {
       stats.converged = stats.final_rr <= o.eps * rr0;
       break;

@@ -61,6 +61,15 @@ public:
     return slots_[static_cast<std::size_t>(tlp::current_thread_id())].value;
   }
 
+  /// Fold a band-local partial into this thread's slot.  The par_loop host
+  /// executor accumulates each chunk into a stack local and calls this once
+  /// per chunk, so the hot loop touches neither thread-local storage nor the
+  /// shared slot array.
+  void accumulate(double band_value) {
+    double& s = slot();
+    s = minimpi::apply(op_, s, band_value);
+  }
+
   double combined() const {
     double acc = identity_of(op_);
     for (const auto& s : slots_) acc = minimpi::apply(op_, acc, s.value);

@@ -53,6 +53,34 @@ decltype(auto) deref(const B& b, int i, int j) {
   }
 }
 
+// --- host band execution ------------------------------------------------------
+//
+// The host executor binds arguments once per chunk, not once per element: a
+// reduction argument becomes a stack-local accumulator (GblBand) that the
+// kernel updates through a plain double&, flushed into the per-thread slot
+// after the chunk.  This keeps thread-id TLS lookups and the (padded but
+// still shared) slot array out of the inner loop, so a dot-product par_loop
+// runs at the speed of the underlying row reduction.
+
+struct GblBand {
+  GblScratch* scratch;
+  double local;
+};
+
+inline HostBind bind_band(const ArgDat& a) { return bind_host(a); }
+inline GblBand bind_band(const GblBind& g) {
+  return GblBand{g.get(), GblScratch::identity_of(g->op())};
+}
+
+inline Acc band_deref(HostBind& b, int i, int j) {
+  return Acc(b.origin + static_cast<std::ptrdiff_t>(j) * b.stride + i,
+             b.stride);
+}
+inline double& band_deref(GblBand& g, int /*i*/, int /*j*/) { return g.local; }
+
+inline void band_flush(HostBind&) {}
+inline void band_flush(GblBand& g) { g.scratch->accumulate(g.local); }
+
 // Argument classification helpers.
 inline void collect(LoopRecord& rec, const ArgDat& a) {
   rec.dats.push_back(LoopRecord::DatUse{a.dat, a.mode, a.stencil->ylo(),
@@ -121,16 +149,17 @@ void par_loop(Context& ctx, const std::string& name, const Range& global_range,
                         int x0, int x1, int y0, int y1) {
       std::apply(
           [&](const auto&... b) {
-            const auto bound = std::make_tuple(detail::bind_host(b)...);
-            for (int j = y0; j < y1; ++j) {
-              for (int i = x0; i < x1; ++i) {
-                std::apply(
-                    [&](const auto&... bb) {
-                      kernel(detail::deref(bb, i, j)...);
-                    },
-                    bound);
-              }
-            }
+            auto band = std::make_tuple(detail::bind_band(b)...);
+            std::apply(
+                [&](auto&... bb) {
+                  for (int j = y0; j < y1; ++j) {
+                    for (int i = x0; i < x1; ++i) {
+                      kernel(detail::band_deref(bb, i, j)...);
+                    }
+                  }
+                  (detail::band_flush(bb), ...);
+                },
+                band);
           },
           binders);
     };

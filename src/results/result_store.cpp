@@ -291,8 +291,52 @@ const char* to_string(GateVerdict v) {
   return "?";
 }
 
+namespace {
+
+/// "name base -> cur" description of the first mismatching counter between
+/// two rows, or empty when everything the gate freezes matches exactly.
+std::string first_counter_mismatch(const ResultRow& base,
+                                   const ResultRow& cur) {
+  struct Field {
+    const char* name;
+    std::int64_t machine::Counters::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"bytes_read", &machine::Counters::bytes_read},
+      {"bytes_written", &machine::Counters::bytes_written},
+      {"flops", &machine::Counters::flops},
+      {"kernel_launches", &machine::Counters::kernel_launches},
+      {"reductions", &machine::Counters::reductions},
+      {"messages", &machine::Counters::messages},
+      {"message_bytes", &machine::Counters::message_bytes},
+      {"h2d_bytes", &machine::Counters::h2d_bytes},
+      {"d2h_bytes", &machine::Counters::d2h_bytes},
+      {"halo_exchanges", &machine::Counters::halo_exchanges},
+      {"solver_iterations", &machine::Counters::solver_iterations},
+  };
+  for (const Field& f : kFields) {
+    const std::int64_t b = base.counters.*f.member;
+    const std::int64_t c = cur.counters.*f.member;
+    if (b != c) {
+      return std::string(f.name) + " " + std::to_string(b) + " -> " +
+             std::to_string(c);
+    }
+  }
+  if (base.iterations != cur.iterations) {
+    return "iterations " + std::to_string(base.iterations) + " -> " +
+           std::to_string(cur.iterations);
+  }
+  if (base.inner_iterations != cur.inner_iterations) {
+    return "inner_iterations " + std::to_string(base.inner_iterations) +
+           " -> " + std::to_string(cur.inner_iterations);
+  }
+  return {};
+}
+
+}  // namespace
+
 GateReport regression_gate(const ResultStore& baseline,
-                           const ResultStore& current, double rel_tolerance) {
+                           const ResultStore& current, GateOptions options) {
   GateReport report;
   for (const ResultRow& row : current.rows()) {
     GateResult g;
@@ -312,8 +356,12 @@ GateReport regression_gate(const ResultStore& baseline,
       g.rel_delta = g.baseline_s > 0.0
                         ? (g.current_s - g.baseline_s) / g.baseline_s
                         : 0.0;
-      g.verdict = g.rel_delta > rel_tolerance ? GateVerdict::kFail
-                                              : GateVerdict::kPass;
+      g.verdict = g.rel_delta > options.rel_tolerance ? GateVerdict::kFail
+                                                      : GateVerdict::kPass;
+      if (options.compare_counters) {
+        g.counter_mismatch = first_counter_mismatch(*base, row);
+        if (!g.counter_mismatch.empty()) g.verdict = GateVerdict::kFail;
+      }
       ++(g.verdict == GateVerdict::kFail ? report.failed : report.passed);
     }
     report.results.push_back(std::move(g));

@@ -132,6 +132,18 @@ private:
 enum class GateVerdict { kPass, kFail, kMissingBaseline };
 const char* to_string(GateVerdict v);
 
+struct GateOptions {
+  /// Wall-time tolerance: FAIL when the current min-sample time exceeds the
+  /// baseline's by more than this relative amount (0.25 = +25%).
+  double rel_tolerance = 0.25;
+  /// Also require the instrumentation counters (bytes, flops, launches,
+  /// reductions, messages, halo exchanges, solver iterations) and the
+  /// iteration counts to match the baseline *exactly*.  Counters are
+  /// deterministic — unlike wall times they carry no noise — so any drift
+  /// is a semantic change: a kernel doing different work, not a slow run.
+  bool compare_counters = false;
+};
+
 struct GateResult {
   std::string key;
   std::string variant;
@@ -140,6 +152,9 @@ struct GateResult {
   double baseline_s = 0.0;  // baseline min-sample time
   double current_s = 0.0;   // current min-sample time
   double rel_delta = 0.0;   // (current - baseline) / baseline
+  /// Empty when counters match (or were not compared); otherwise a
+  /// "name base -> cur" description of the first mismatching counters.
+  std::string counter_mismatch;
 };
 
 struct GateReport {
@@ -153,9 +168,17 @@ struct GateReport {
 
 /// Compare every row of `current` against `baseline`: FAIL when the current
 /// min-sample time exceeds baseline by more than `rel_tolerance` (0.25 =
-/// +25%), MISSING-BASELINE when the baseline has no row for the key.
-/// Gating uses min-sample times, the noise-robust statistic.
+/// +25%), or — with options.compare_counters — when any instrumentation
+/// counter differs at all; MISSING-BASELINE when the baseline has no row
+/// for the key.  Gating uses min-sample times, the noise-robust statistic.
 GateReport regression_gate(const ResultStore& baseline,
-                           const ResultStore& current, double rel_tolerance);
+                           const ResultStore& current, GateOptions options);
+inline GateReport regression_gate(const ResultStore& baseline,
+                                  const ResultStore& current,
+                                  double rel_tolerance) {
+  GateOptions o;
+  o.rel_tolerance = rel_tolerance;
+  return regression_gate(baseline, current, o);
+}
 
 }  // namespace results

@@ -163,7 +163,10 @@ const std::vector<std::string>& sweep_deck_names() {
 // --- kernel microbench sweep -------------------------------------------------
 
 const std::vector<std::string>& kernel_sweep_kernels() {
-  static const std::vector<std::string> names = {"stencil", "dot"};
+  // "opdot" is the fused w = A p; p.w kernel the CG/PPCG inner iteration
+  // runs; compare its row against the sum of a "stencil" and a "dot" row to
+  // see what the fusion saves.
+  static const std::vector<std::string> names = {"stencil", "dot", "opdot"};
   return names;
 }
 
@@ -208,6 +211,8 @@ void run_kernel_once(const std::string& kernel, tea::ManualHostBackend& b,
     b.apply_operator(tea::FieldId::kU, tea::FieldId::kW);
   } else if (kernel == "dot") {
     *sink += b.dot(tea::FieldId::kU, tea::FieldId::kU0);
+  } else if (kernel == "opdot") {
+    *sink += b.apply_operator_dot(tea::FieldId::kU, tea::FieldId::kW);
   } else {
     throw tl::Error("unknown kernel '" + kernel + "' in kernel sweep");
   }

@@ -1,0 +1,57 @@
+// backoff.hpp — exponential spin backoff shared by the pool's fork-join
+// handoff and the reusable barrier.
+//
+// Phases: start with single pause instructions, double the pause burst each
+// round up to a cap (keeps the wait off the interconnect while staying
+// responsive), then fall back to yielding so oversubscribed machines — CI
+// boxes routinely run 8-thread pools on 1-2 cores — make scheduler progress
+// instead of burning the timeslice.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace tlp {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+public:
+  /// One wait round; escalates pause bursts 1, 2, 4, ... then yields.
+  void pause() {
+    if (burst_ <= kMaxBurst) {
+      for (int i = 0; i < burst_; ++i) cpu_pause();
+      burst_ *= 2;
+    } else {
+      std::this_thread::yield();
+      ++yields_;
+    }
+  }
+
+  /// Rounds spent in the yield phase (park-decision signal for waiters that
+  /// have somewhere cheaper to sleep).
+  long yields() const { return yields_; }
+
+  void reset() {
+    burst_ = 1;
+    yields_ = 0;
+  }
+
+private:
+  // 512 pauses ≈ a few microseconds: past that, a waiter is better off
+  // yielding than monopolising a hardware thread.
+  static constexpr int kMaxBurst = 512;
+  int burst_ = 1;
+  long yields_ = 0;
+};
+
+}  // namespace tlp

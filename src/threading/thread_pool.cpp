@@ -3,28 +3,19 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
-
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
+#include "threading/backoff.hpp"
 
 namespace tlp {
 
 namespace {
 
-inline void cpu_pause() {
-#if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
-
-// Spin budget before a worker parks on the condition variable.  OpenMP
-// runtimes spin for ~100us by default (OMP_WAIT_POLICY=active) precisely
-// because fork-join latency dominates stencil codes with thousands of small
-// parallel regions per second; this pool does the same.
-constexpr int kSpinIterations = 20000;
+// Yield rounds a worker spends waiting for a job before parking on the
+// condition variable.  OpenMP runtimes actively wait ~100us by default
+// (OMP_WAIT_POLICY=active) because fork-join latency dominates stencil codes
+// with thousands of small regions per second; the backoff's pause phase plus
+// this yield budget gives the same order of magnitude on a loaded machine
+// while still releasing the CPU between distant regions.
+constexpr long kParkAfterYields = 64;
 
 }  // namespace
 
@@ -46,9 +37,12 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 
 ThreadPool::~ThreadPool() {
   {
+    // The mutex pairs with a parking worker's predicate re-check: either it
+    // sees shutdown before sleeping, or it is already asleep and gets the
+    // notify below.  Spinning workers see the release store lock-free.
     std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_.store(true, std::memory_order_relaxed);
-    generation_.fetch_add(1, std::memory_order_release);
+    shutdown_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_seq_cst);
   }
   start_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -57,21 +51,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_main(int tid) {
   long seen_generation = 0;
   for (;;) {
-    // Fast path: spin on the generation counter.
-    int spins = 0;
+    // Fast path: exponential-backoff spin on the generation counter.
+    Backoff backoff;
     while (generation_.load(std::memory_order_acquire) == seen_generation &&
            !shutdown_.load(std::memory_order_relaxed)) {
-      if (++spins >= kSpinIterations) {
-        // Park until the next job.
+      if (backoff.yields() >= kParkAfterYields) {
+        // Park until the next job.  The predicate runs under the mutex, so
+        // a dispatch between our last spin check and the wait cannot be
+        // missed (the dispatcher bumps the generation before deciding
+        // whether anyone needs a notify).
+        // seq_cst on the parked_ increment and the generation re-check pairs
+        // with the dispatcher's seq_cst bump + parked_ read (Dekker): either
+        // the dispatcher sees us parked and notifies, or we see its bump.
         std::unique_lock<std::mutex> lock(mutex_);
+        parked_.fetch_add(1, std::memory_order_seq_cst);
         start_cv_.wait(lock, [&] {
           return shutdown_.load(std::memory_order_relaxed) ||
-                 generation_.load(std::memory_order_acquire) !=
+                 generation_.load(std::memory_order_seq_cst) !=
                      seen_generation;
         });
+        parked_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
-      cpu_pause();
+      backoff.pause();
     }
     if (shutdown_.load(std::memory_order_relaxed)) return;
     seen_generation = generation_.load(std::memory_order_acquire);
@@ -94,13 +96,17 @@ void ThreadPool::parallel_region(const std::function<void(int, int)>& body) {
   }
   job_ = &body;
   remaining_.store(num_threads_ - 1, std::memory_order_relaxed);
-  {
-    // The lock pairs with parked workers' wait; spinning workers see the
-    // release store without it.
-    std::lock_guard<std::mutex> lock(mutex_);
-    generation_.fetch_add(1, std::memory_order_release);
+  // Publish: job_ and remaining_ above are ordered before this increment
+  // (seq_cst subsumes release); workers acquire the generation and then
+  // read them safely.
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake parked workers only — spinning workers have already seen the bump.
+  // A worker racing towards parking cannot be lost: its wait predicate
+  // re-checks the generation under the mutex and returns immediately.
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    start_cv_.notify_all();
   }
-  start_cv_.notify_all();
 
   // The caller is thread 0 of the region, like an OpenMP primary thread.
   try {
@@ -110,14 +116,11 @@ void ThreadPool::parallel_region(const std::function<void(int, int)>& body) {
     if (!first_error_) first_error_ = std::current_exception();
   }
 
-  // Join: spin briefly (worker tails are short), then yield.
-  int spins = 0;
+  // Join: exponential-backoff spin on the remaining-count (worker tails are
+  // short; the backoff degrades to yields on oversubscribed machines).
+  Backoff backoff;
   while (remaining_.load(std::memory_order_acquire) != 0) {
-    if (++spins >= kSpinIterations) {
-      std::this_thread::yield();
-    } else {
-      cpu_pause();
-    }
+    backoff.pause();
   }
   job_ = nullptr;
 

@@ -5,6 +5,16 @@
 // paper's OpenMP builds map onto tlp::ThreadPool::parallel_for with the same
 // scheduling semantics (static by default), and hybrid MPI+OpenMP backends
 // instantiate one pool per minimpi rank.
+//
+// Fork-join protocol: a job is published by a release increment of an atomic
+// generation counter (the same generation-count scheme as tlp::Barrier);
+// workers wait for it with an exponential-backoff spin and the caller joins
+// on an atomic remaining-count the same way.  No mutex or condition variable
+// is on the handoff path — stencil codes fork thousands of tiny regions per
+// second, and the mutex/CV round trip used to dominate their latency.  A
+// worker that has spun through its budget with no work parks on a condition
+// variable (checked under the mutex, so wakeups cannot be lost); the
+// dispatcher only touches that mutex when a worker is actually parked.
 #pragma once
 
 #include <atomic>
@@ -48,17 +58,22 @@ public:
 
   /// Work-shared reduction: `map(lo, hi)` produces a partial value per chunk,
   /// `combine` folds partials.  Deterministic for static scheduling (partials
-  /// are combined in thread order).
+  /// are combined in thread order).  Partials live in cache-line-padded
+  /// per-thread slots, so concurrent updates never share a line.
   template <typename T, typename Map, typename Combine>
   T parallel_reduce(long begin, long end, T identity, Map&& map,
                     Combine&& combine, ForOptions opts = {}) {
-    std::vector<T> partials(static_cast<std::size_t>(num_threads_), identity);
+    struct alignas(64) Slot {
+      T value;
+    };
+    std::vector<Slot> partials(static_cast<std::size_t>(num_threads_),
+                               Slot{identity});
     run_loop(begin, end, opts, [&](int tid, long lo, long hi) {
-      partials[static_cast<std::size_t>(tid)] =
-          combine(partials[static_cast<std::size_t>(tid)], map(lo, hi));
+      Slot& slot = partials[static_cast<std::size_t>(tid)];
+      slot.value = combine(slot.value, map(lo, hi));
     });
     T result = identity;
-    for (const T& p : partials) result = combine(result, p);
+    for (const Slot& p : partials) result = combine(result, p.value);
     return result;
   }
 
@@ -72,14 +87,18 @@ private:
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  // Fork-join state: workers spin on the generation counter (OpenMP
-  // active-wait style), parking on the condition variable after a budget.
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
+  // Fork-join state.  `generation_` publishes jobs (release on write,
+  // acquire on read orders `job_` with it); `remaining_` is the join count.
   std::atomic<long> generation_{0};
   std::atomic<int> remaining_{0};
   std::atomic<bool> shutdown_{false};
   const std::function<void(int, int)>* job_ = nullptr;
+
+  // Idle parking only: workers take the mutex after exhausting their spin
+  // budget; the dispatcher takes it only when `parked_` says someone did.
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::atomic<int> parked_{0};
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

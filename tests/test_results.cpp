@@ -305,6 +305,47 @@ TEST(RegressionGate, PassFailAndMissingBaselineVerdicts) {
   }
 }
 
+TEST(RegressionGate, CountersComparedExactlyWhenRequested) {
+  results::ResultStore baseline;
+  baseline.put(sample_row("manual-omp", 1.0));
+  baseline.put(sample_row("ops-omp", 1.0));
+  baseline.put(sample_row("raja-omp", 1.0));
+
+  results::ResultStore current;
+  current.put(sample_row("manual-omp", 1.0));  // identical: pass
+  results::ResultRow drifted = sample_row("ops-omp", 1.0);  // same time...
+  drifted.counters.kernel_launches += 7;  // ...but different work
+  current.put(drifted);
+  results::ResultRow extra_iters = sample_row("raja-omp", 1.0);
+  extra_iters.iterations += 1;
+  current.put(extra_iters);
+
+  // Without the flag the counter drift is invisible.
+  EXPECT_TRUE(results::regression_gate(baseline, current, 0.25).ok());
+
+  results::GateOptions options;
+  options.rel_tolerance = 0.25;
+  options.compare_counters = true;
+  const results::GateReport strict =
+      results::regression_gate(baseline, current, options);
+  EXPECT_EQ(strict.passed, 1);
+  EXPECT_EQ(strict.failed, 2);
+  for (const results::GateResult& g : strict.results) {
+    if (g.variant == "manual-omp") {
+      EXPECT_EQ(g.verdict, results::GateVerdict::kPass);
+      EXPECT_TRUE(g.counter_mismatch.empty());
+    } else if (g.variant == "ops-omp") {
+      EXPECT_EQ(g.verdict, results::GateVerdict::kFail);
+      EXPECT_NE(g.counter_mismatch.find("kernel_launches"), std::string::npos)
+          << g.counter_mismatch;
+    } else {
+      EXPECT_EQ(g.verdict, results::GateVerdict::kFail);
+      EXPECT_NE(g.counter_mismatch.find("iterations"), std::string::npos)
+          << g.counter_mismatch;
+    }
+  }
+}
+
 // --- sweep matrix ----------------------------------------------------------
 
 TEST(Sweep, DefaultMatrixCoversPaperVariantsAndNewDecks) {

@@ -41,14 +41,16 @@ int usage() {
       "           print stored rows\n"
       "  compare  [--store P] [--mesh N] [--steps N] [--ranks N] [--paper-mesh N]\n"
       "           Table III + our-vs-paper deltas from stored rows alone\n"
-      "  diff     <baseline.json> <current.json> [--tolerance 0.25]\n"
+      "  diff     <baseline.json> <current.json> [--tolerance 0.25] [--counters]\n"
       "           regression gate: FAIL when current min-sample time exceeds\n"
-      "           baseline by more than the relative tolerance\n"
+      "           baseline by more than the relative tolerance; --counters\n"
+      "           additionally requires instrumentation counters and\n"
+      "           iteration counts to match the baseline exactly\n"
       "  kernels  [--store P] [--meshes 128,256,..] [--samples N]\n"
       "           [--variants serial,manual-omp] [--baseline base.json]\n"
-      "           time the hot-path kernels (5-point stencil, dot) into the\n"
-      "           store; with --baseline, print per-row speedups against a\n"
-      "           previously saved kernel sweep\n"
+      "           time the hot-path kernels (5-point stencil, dot, fused\n"
+      "           op+dot) into the store; with --baseline, print per-row\n"
+      "           speedups against a previously saved kernel sweep\n"
       "  merge    <out.json> <in1.json> [in2.json ...]\n"
       "           merge stores (later inputs win on key collisions)\n"
       "\n"
@@ -180,7 +182,9 @@ int cmd_diff(const tl::Cli& cli) {
   if (cli.positional().size() < 3) return usage();
   const std::string baseline_path = cli.positional()[1];
   const std::string current_path = cli.positional()[2];
-  const double tolerance = cli.get_double("tolerance", 0.25);
+  results::GateOptions options;
+  options.rel_tolerance = cli.get_double("tolerance", 0.25);
+  options.compare_counters = cli.has("counters");
 
   const results::ResultStore baseline =
       results::ResultStore::load(baseline_path);
@@ -197,9 +201,9 @@ int cmd_diff(const tl::Cli& cli) {
   }
 
   const results::GateReport report =
-      results::regression_gate(baseline, current, tolerance);
-  tl::Table table(
-      {"verdict", "variant", "deck", "baseline s", "current s", "delta"});
+      results::regression_gate(baseline, current, options);
+  tl::Table table({"verdict", "variant", "deck", "baseline s", "current s",
+                   "delta", "counters"});
   for (const results::GateResult& g : report.results) {
     const bool has_baseline = g.verdict != results::GateVerdict::kMissingBaseline;
     table.add_row({results::to_string(g.verdict), g.variant, g.deck,
@@ -207,10 +211,16 @@ int cmd_diff(const tl::Cli& cli) {
                    tl::Table::num(g.current_s, 3),
                    has_baseline
                        ? tl::Table::num(100.0 * g.rel_delta, 1) + "%"
-                       : "-"});
+                       : "-",
+                   !options.compare_counters ? "-"
+                   : g.counter_mismatch.empty()
+                       ? (has_baseline ? "exact" : "-")
+                       : g.counter_mismatch});
   }
-  std::printf("== regression gate (tolerance +%.0f%%) ==\n%s\n",
-              100.0 * tolerance, table.to_ascii().c_str());
+  std::printf("== regression gate (tolerance +%.0f%%%s) ==\n%s\n",
+              100.0 * options.rel_tolerance,
+              options.compare_counters ? ", counters exact" : "",
+              table.to_ascii().c_str());
   std::printf("%d pass, %d fail, %d missing-baseline\n", report.passed,
               report.failed, report.missing);
   // A gate that matched zero keys checked nothing — likely schema/key drift
