@@ -8,28 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.hpp"
-#include "machine/machine_model.hpp"
 #include "results/compare.hpp"
-
-namespace {
-
-/// Flatten harness rows into ppm::VariantResult records.
-std::vector<ppm::VariantResult> collect(
-    const std::vector<bench::VariantTimes>& rows) {
-  std::vector<ppm::VariantResult> out;
-  for (const auto& row : rows) {
-    for (std::size_t k = 0; k < row.machines.size(); ++k) {
-      const machine::MachineModel& m = machine::machine_by_id(row.machines[k]);
-      out.push_back(ppm::VariantResult{row.variant, row.machines[k],
-                                       row.seconds[k], row.achieved_bw_gbs[k],
-                                       row.achieved_gflops[k], m.peak_bw_gbs,
-                                       m.peak_gflops});
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 int main() {
   const auto options = bench::HarnessOptions::from_env(/*paper_mesh=*/4000);
@@ -39,8 +18,8 @@ int main() {
   auto gpu_rows =
       bench::run_variants(bench::gpu_variants(), {"p100"}, options);
 
-  std::vector<ppm::VariantResult> results = collect(cpu_rows);
-  for (auto& r : collect(gpu_rows)) results.push_back(r);
+  std::vector<ppm::VariantResult> results = bench::to_variant_results(cpu_rows);
+  for (auto& r : bench::to_variant_results(gpu_rows)) results.push_back(r);
 
   const results::PaperComparison cmp =
       results::compare_to_paper(results, {"xeon", "knl"}, {"p100"});

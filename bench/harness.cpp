@@ -7,8 +7,8 @@
 #include "common/table.hpp"
 #include "core/registry.hpp"
 #include "machine/efficiency.hpp"
-#include "ppmetric/paper_data.hpp"
 #include "results/compare.hpp"
+#include "validation/validation.hpp"
 
 namespace bench {
 
@@ -223,23 +223,37 @@ double best_time_on(const std::vector<VariantTimes>& rows,
   return best;
 }
 
+std::vector<ppm::VariantResult> to_variant_results(
+    const std::vector<VariantTimes>& rows) {
+  std::vector<ppm::VariantResult> out;
+  for (const VariantTimes& row : rows) {
+    for (std::size_t k = 0; k < row.machines.size(); ++k) {
+      const machine::MachineModel& m = machine::machine_by_id(row.machines[k]);
+      out.push_back(ppm::VariantResult{row.variant, row.machines[k],
+                                       row.seconds[k], row.achieved_bw_gbs[k],
+                                       row.achieved_gflops[k], m.peak_bw_gbs,
+                                       m.peak_gflops});
+    }
+  }
+  return out;
+}
+
 int check_shapes(const std::vector<VariantTimes>& cpu_rows,
                  const std::vector<VariantTimes>& gpu_rows, int mesh) {
   std::printf("-- §IV shape checks (paper claims at %d^2) --\n", mesh);
+  // One claim evaluator for the benches and `tea_sweep validate`
+  // (validation::evaluate_shape_claims), so they can never disagree.
+  std::vector<ppm::VariantResult> results = to_variant_results(cpu_rows);
+  for (auto& r : to_variant_results(gpu_rows)) results.push_back(r);
   int failures = 0;
   int applicable = 0;
-  for (const auto& claim : ppm::paper::shape_claims()) {
-    if (claim.mesh != mesh) continue;
-    const auto& rows = claim.machine == "p100" ? gpu_rows : cpu_rows;
-    const double ta = time_of(rows, claim.a, claim.machine);
-    const double tb = time_of(rows, claim.b, claim.machine);
-    if (ta < 0.0 || tb < 0.0) continue;  // variant not in this bench's set
+  for (const validation::ShapeCheck& c :
+       validation::evaluate_shape_claims(results, mesh)) {
+    if (!c.applicable) continue;  // variant not in this bench's set
     ++applicable;
-    const bool ok = ta < tb;
-    failures += !ok;
-    std::printf("[%s] %s  (%s %.2fs vs %s %.2fs)\n", ok ? "PASS" : "FAIL",
-                claim.description.c_str(), claim.a.c_str(), ta,
-                claim.b.c_str(), tb);
+    failures += !c.pass;
+    std::printf("[%s] %s  (%.2fs vs %.2fs)\n", c.pass ? "PASS" : "FAIL",
+                c.description.c_str(), c.lhs, c.rhs);
   }
   if (applicable == 0) std::printf("(no applicable claims)\n");
   std::printf("\n");

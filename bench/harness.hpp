@@ -24,6 +24,7 @@
 #include "core/driver.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/roofline.hpp"
+#include "ppmetric/report.hpp"
 #include "results/result_store.hpp"
 #include "results/sweep.hpp"
 
@@ -88,6 +89,11 @@ results::ResultRow measure(const std::string& variant,
                            const tl::ProblemConfig& problem,
                            const tea::RunOptions& run_options,
                            const std::string& deck_label, int samples = 3);
+
+/// Flatten harness rows into the ppm records the Table III builder and the
+/// validation shape checks consume (one record per variant × machine).
+std::vector<ppm::VariantResult> to_variant_results(
+    const std::vector<VariantTimes>& rows);
 
 /// Print the figure-style table: one row per variant, one projected-time
 /// column per machine, plus measured host time and iteration counts.

@@ -132,6 +132,10 @@ Config Config::parse(const std::string& text) {
       else if (key == "tl_coefficient_recip_density")
         p.coefficient = CoefficientKind::kRecipDensity;
       else if (key == "tl_preconditioner_type") {
+        if (kv.size() != 2) {
+          throw ConfigError("line " + std::to_string(lineno) +
+                            ": tl_preconditioner_type needs a value");
+        }
         const std::string v = to_lower(kv[1]);
         if (v == "none") p.preconditioner = PreconKind::kNone;
         else if (v == "jac_diag") p.preconditioner = PreconKind::kJacDiag;
@@ -197,6 +201,9 @@ std::optional<std::string> Config::raw(const std::string& key) const {
 
 std::string to_deck(const ProblemConfig& p) {
   std::ostringstream os;
+  // Full precision so parse -> serialize -> parse is the identity on every
+  // numeric field (test_decks round-trips all shipped decks through here).
+  os.precision(17);
   os << "*tea\n";
   for (const StateConfig& st : p.states) {
     os << "state " << st.index << " density=" << st.density
@@ -232,6 +239,11 @@ std::string to_deck(const ProblemConfig& p) {
   if (p.coefficient == CoefficientKind::kDensity) {
     os << "tl_coefficient_density\n";
   }
+  os << "tl_preconditioner_type=" << to_string(p.preconditioner) << "\n";
+  os << "tl_ppcg_inner_steps=" << p.ppcg_inner_steps << "\n";
+  os << "tl_cheby_cg_presteps=" << p.cheby_cg_presteps << "\n";
+  os << "halo_depth=" << p.halo_depth << "\n";
+  os << "check_result=" << (p.check_result ? "true" : "false") << "\n";
   os << "*endtea\n";
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include <ctime>
 #include <memory>
 
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/backends/manual_host.hpp"
 #include "machine/efficiency.hpp"
@@ -158,6 +159,21 @@ const std::vector<std::string>& sweep_deck_names() {
   static const std::vector<std::string> names = {
       "tea_bm_1", "tea_bm_2", "tea_circle", "tea_point"};
   return names;
+}
+
+std::vector<SweepProblem> load_deck_problems(
+    const std::string& decks_dir, const std::vector<std::string>& names,
+    std::vector<std::string>* skipped) {
+  std::vector<SweepProblem> out;
+  for (const std::string& name : names.empty() ? sweep_deck_names() : names) {
+    const std::string path = decks_dir + "/" + name + ".in";
+    try {
+      out.push_back({name, tl::Config::load(path).problem()});
+    } catch (const tl::ConfigError& e) {
+      if (skipped != nullptr) skipped->push_back(name + ": " + e.what());
+    }
+  }
+  return out;
 }
 
 // --- kernel microbench sweep -------------------------------------------------

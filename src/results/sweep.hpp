@@ -68,6 +68,14 @@ SweepConfig default_sweep(int mesh, int steps, int samples);
 /// `tea_sweep run --decks`).
 const std::vector<std::string>& sweep_deck_names();
 
+/// Load registered decks from `decks_dir` as sweep problems — the problem
+/// list behind `tea_sweep run --decks`, shared with the tests that consume
+/// deck rows.  `names` empty means sweep_deck_names(); decks that fail to
+/// load are skipped and reported via `skipped` ("name: error") when non-null.
+std::vector<SweepProblem> load_deck_problems(
+    const std::string& decks_dir, const std::vector<std::string>& names = {},
+    std::vector<std::string>* skipped = nullptr);
+
 // --- kernel microbench sweep -------------------------------------------------
 //
 // Persistent before/after evidence for hot-path kernel work: times the

@@ -1,0 +1,131 @@
+#include "validation/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace validation {
+
+namespace {
+
+/// "kernel-<k>/<v>" -> "<v>"; anything else unchanged.
+std::string kernel_variant_suffix(const std::string& variant) {
+  if (variant.rfind("kernel-", 0) != 0) return variant;
+  const auto slash = variant.find('/');
+  if (slash == std::string::npos) return variant;
+  return variant.substr(slash + 1);
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::vector<CalibrationRow> calibration_rows(
+    const results::ResultStore& store,
+    const std::vector<std::string>& variants) {
+  std::vector<CalibrationRow> out;
+  for (const results::ResultRow& r : store.rows()) {
+    if (r.platform != "host") continue;  // modeled rows carry no evidence
+    const bool kernel_row = r.variant.rfind("kernel-", 0) == 0;
+    if (!contains(variants, kernel_variant_suffix(r.variant))) continue;
+    if (r.timing.min_s <= 0.0) continue;
+    const double bytes = static_cast<double>(r.counters.total_bytes());
+    if (bytes <= 0.0) continue;
+    // Kernel rows: counters cover one timed sample of `iterations` calls,
+    // timing stats are per call — normalize the counters to match.
+    const double unit =
+        kernel_row ? static_cast<double>(std::max<long>(1, r.iterations)) : 1.0;
+
+    CalibrationRow row;
+    row.label = r.deck + "/" + r.variant;
+    row.gigabytes = bytes / unit / 1e9;
+    row.launches = static_cast<double>(r.counters.kernel_launches) / unit;
+    row.seconds = r.timing.min_s;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+CalibrationFit fit_host_model(const std::vector<CalibrationRow>& rows) {
+  CalibrationFit fit;
+  fit.rows_used = static_cast<int>(rows.size());
+  if (rows.size() < 2) {
+    fit.note = "need at least two observations";
+    return fit;
+  }
+  // calibration_rows() filters these, but direct callers may not: a
+  // non-positive or non-finite time would turn the normal equations into
+  // NaN that sails straight through every comparison below.
+  for (const CalibrationRow& r : rows) {
+    if (!(r.seconds > 0.0) || !std::isfinite(r.seconds) ||
+        !std::isfinite(r.gigabytes) || !std::isfinite(r.launches)) {
+      fit.note = "unusable observation '" + r.label + "'";
+      return fit;
+    }
+  }
+
+  // Normal equations for t ≈ a*gb + b*launches with relative weighting
+  // (each observation divided by its own time, so a microsecond kernel call
+  // and a multi-second solve count equally — the mix is what makes a and b
+  // separable).  Accumulated in row order: fixed association order means
+  // bit-identical fits for identical stores.
+  double sxx = 0.0, sxy = 0.0, syy = 0.0, sxt = 0.0, syt = 0.0;
+  for (const CalibrationRow& r : rows) {
+    const double x = r.gigabytes / r.seconds;
+    const double y = r.launches / r.seconds;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    sxt += x;
+    syt += y;
+  }
+  if (sxx <= 0.0) {
+    fit.note = "no traffic in any observation";
+    return fit;
+  }
+
+  const double det = sxx * syy - sxy * sxy;
+  double a, b;
+  // Degenerate when every row has the same launches-per-GB mix (det ~ 0
+  // relative to the Gram diagonal): only the combined streaming cost is
+  // observable, so drop the launch term rather than amplify noise.
+  if (syy <= 0.0 || det <= 1e-12 * sxx * syy) {
+    a = sxt / sxx;
+    b = 0.0;
+    fit.note = "degenerate system: launch term dropped";
+  } else {
+    a = (sxt * syy - syt * sxy) / det;
+    b = (syt * sxx - sxt * sxy) / det;
+    if (b < 0.0) {
+      // Unphysical: launches cannot give time back.  Deterministically fall
+      // back to the bandwidth-only model.
+      a = sxt / sxx;
+      b = 0.0;
+      fit.note = "negative launch overhead: launch term dropped";
+    }
+  }
+  if (a <= 0.0) {
+    fit.note = "non-positive streaming cost: store rows are not host timings?";
+    return fit;
+  }
+
+  fit.ok = true;
+  fit.seconds_per_gb = a;
+  fit.launch_overhead_s = b;
+  fit.fitted_bw_gbs = 1.0 / a;
+  fit.launch_overhead_us = b * 1e6;
+
+  double sq = 0.0, worst = 0.0;
+  for (const CalibrationRow& r : rows) {
+    const double pred = a * r.gigabytes + b * r.launches;
+    const double rel = (pred - r.seconds) / r.seconds;
+    sq += rel * rel;
+    worst = std::max(worst, std::fabs(rel));
+  }
+  fit.rms_rel_error = std::sqrt(sq / static_cast<double>(rows.size()));
+  fit.max_rel_error = worst;
+  return fit;
+}
+
+}  // namespace validation

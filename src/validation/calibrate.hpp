@@ -1,0 +1,72 @@
+// calibrate.hpp — deterministic least-squares calibration of the host
+// machine-model constants from measured result-store rows.
+//
+// The roofline projection charges a row's logical DRAM traffic against an
+// attainable bandwidth and its kernel launches against a per-launch overhead
+// (machine_model.hpp: `peak_bw_gbs`, `launch_overhead_us`; efficiency.hpp:
+// the per-variant `bw_fraction` residual).  Those constants were typed in
+// from data sheets; this module fits them from evidence instead: every host
+// measurement in the store is one observation
+//
+//   seconds ≈ seconds_per_gb * gigabytes + launch_overhead_s * launches
+//
+// and the two constants fall out of a 2x2 normal-equation solve.  Rows with
+// different traffic/launch mixes (kernel microbench rows vs whole solves,
+// different meshes, different decks) are what make the system well
+// conditioned — which is also what finally *consumes* the `tea_sweep run
+// --decks` rows.
+//
+// Everything here is pure arithmetic over the store in row order: the same
+// store produces bit-identical fits, which is what lets the calibration
+// round-trip be a CI-gated test (test_validation.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "results/result_store.hpp"
+
+namespace validation {
+
+/// One normalized observation: per-execution-unit traffic, launches and
+/// wall time.  Whole-solve rows use the run itself as the unit; kernel-sweep
+/// rows (variant "kernel-<k>/<v>") are normalized per kernel call, since
+/// their counters cover one timed sample of `iterations` calls while their
+/// timing statistics are already per call.
+struct CalibrationRow {
+  std::string label;      // "<deck>/<variant>" provenance
+  double gigabytes = 0.0; // logical DRAM traffic per unit, GB
+  double launches = 0.0;  // kernel launches / parallel regions per unit
+  double seconds = 0.0;   // min-sample wall time per unit
+};
+
+/// Extract calibration observations from `store`: every host row whose
+/// variant (or, for kernel rows, variant suffix) is in `variants`, with
+/// usable timing and non-zero traffic.  Rows appear in store order, so the
+/// result — and everything fitted from it — is deterministic.
+std::vector<CalibrationRow> calibration_rows(
+    const results::ResultStore& store, const std::vector<std::string>& variants);
+
+struct CalibrationFit {
+  bool ok = false;
+  std::string note;             // empty, or why the fit degraded/failed
+  int rows_used = 0;
+  double seconds_per_gb = 0.0;  // fitted streaming cost
+  double launch_overhead_s = 0.0;
+  // Derived machine-model constants.
+  double fitted_bw_gbs = 0.0;      // 1 / seconds_per_gb
+  double launch_overhead_us = 0.0; // launch_overhead_s * 1e6
+  // Fit quality over the observations.
+  double rms_rel_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Least-squares fit of (seconds_per_gb, launch_overhead_s) over `rows` via
+/// the 2x2 normal equations, in row order.  Falls back to a bandwidth-only
+/// fit (launch term dropped, `note` says why) when the system is degenerate
+/// — all rows sharing one traffic/launch mix — or when the unconstrained
+/// solution has a negative launch overhead.  Fails (`ok == false`) with
+/// fewer than two observations or a non-positive streaming cost.
+CalibrationFit fit_host_model(const std::vector<CalibrationRow>& rows);
+
+}  // namespace validation

@@ -1,0 +1,144 @@
+// validation.hpp — the machine-model validation & calibration subsystem.
+//
+// The roofline projections (src/machine) have always *claimed* to reproduce
+// the paper's Fig. 1/2 curves and Table III portability numbers; this module
+// turns that claim into a repeatable, CI-gated artefact.  `validate()`:
+//
+//  (a) pulls measured rows out of a `ResultStore` (the `tea_sweep run`
+//      output, including `--decks` rows),
+//  (b) projects them onto the paper machines at the Fig. 1 (1000^2) and
+//      Fig. 2 / Table III (4000^2) meshes and joins the projections against
+//      `ppm::paper` — the paper's published numbers,
+//  (c) computes *shape* metrics: every §IV ordering claim as a pass/fail
+//      check, per-mesh relative-error bands against the paper's quoted
+//      absolute times and GPU/CPU gaps, Table III per-framework deltas and
+//      rank-order agreement (Kendall tau), and mesh-monotonicity checks on
+//      the Fig. 1 -> Fig. 2 curves, and
+//  (d) runs the deterministic least-squares calibration of the host machine
+//      model (calibrate.hpp) from the measured rows.
+//
+// The report serialises to `BENCH_validation.json` plus a markdown summary;
+// both are pure functions of the store, so the same store yields
+// bit-identical reports — which is what `compare_to_baseline` gates on in
+// CI (`bench/baselines/validation_smoke.json`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppmetric/report.hpp"
+#include "results/compare.hpp"
+#include "results/json.hpp"
+#include "results/result_store.hpp"
+#include "validation/calibrate.hpp"
+
+namespace validation {
+
+/// One boolean shape metric with provenance.  `id` is stable across runs and
+/// machines — the baseline gate joins on it.
+struct ShapeCheck {
+  std::string id;
+  std::string description;
+  bool applicable = false;  // both operands were present in the store
+  bool pass = false;
+  double lhs = 0.0;  // the compared quantities (seconds, percent, ...)
+  double rhs = 0.0;
+};
+
+/// One relative-error band against a paper number (not pass/fail: the bands
+/// measure how tight the reproduction is, the checks gate its shape).
+struct ErrorBand {
+  std::string name;
+  double ours = 0.0;
+  double paper = 0.0;
+  double rel_error = 0.0;  // (ours - paper) / paper
+};
+
+/// Evaluate the paper's §IV ordering claims applicable at `mesh` against
+/// projected results.  Shared with bench::check_shapes, so the figure
+/// benches and the validation report can never disagree on a claim.
+std::vector<ShapeCheck> evaluate_shape_claims(
+    const std::vector<ppm::VariantResult>& results, int mesh);
+
+/// One figure's worth of projections plus its curve metrics.
+struct FigureValidation {
+  std::string figure;  // "fig1" | "fig2"
+  int mesh = 0;        // paper mesh edge (1000 or 4000)
+  std::vector<ppm::VariantResult> projected;
+  std::vector<ShapeCheck> checks;
+  double best_cpu_s = 0.0;
+  double best_gpu_s = 0.0;
+  double gap_percent = 0.0;        // 100 * (best_cpu - best_gpu) / best_cpu
+  double paper_gap_percent = 0.0;  // §IV-C: 3.04 (1000^2), 50.57 (4000^2)
+};
+
+/// The Table III join plus rank-order agreement.
+struct Table3Validation {
+  // tl::Table has no default constructor; start from empty tables.
+  results::PaperComparison comparison{
+      {}, tl::Table({""}), tl::Table({""}), 0.0, false, false};
+  double rank_agreement_tau = 0.0;  // Kendall tau-a on P(all, app) ranks
+  std::vector<ShapeCheck> checks;   // ordering, memory-bound signature
+};
+
+struct ValidationOptions {
+  // Which stored rows to join: the `tea_sweep run` bench matrix at this
+  // mesh/steps/ranks (the row key includes RunOptions).
+  int mesh = 256;
+  int steps = 5;
+  int ranks = 4;
+  // Paper-side meshes to project onto.
+  int fig1_mesh = 1000;
+  int fig2_mesh = 4000;
+  int paper_steps = 10;
+  // Host variants whose rows feed the calibration fit.
+  std::vector<std::string> calibration_variants = {"serial", "manual-omp"};
+};
+
+struct ValidationReport {
+  ValidationOptions options;
+  int rows_joined = 0;
+  std::vector<std::string> missing_variants;  // bench matrix cells not stored
+  std::vector<std::string> deck_rows;  // "<deck>/<variant>" rows consumed by
+                                       // the calibration (incl. --decks rows)
+  FigureValidation fig1;
+  FigureValidation fig2;
+  Table3Validation table3;
+  std::vector<ShapeCheck> model_checks;  // mesh monotonicity, gap growth
+  std::vector<ErrorBand> bands;
+  CalibrationFit calibration;
+
+  /// All checks (figure claims, Table III, model) in report order.
+  std::vector<const ShapeCheck*> all_checks() const;
+  int checked() const;  // applicable checks
+  int failed() const;   // applicable and failing
+  bool ok() const { return checked() > 0 && failed() == 0; }
+};
+
+/// Build the full report from stored rows alone.  Never measures anything:
+/// rows missing from the store are reported in `missing_variants`, and an
+/// empty join yields `checked() == 0` (callers should treat that as failure
+/// rather than vacuous success).
+ValidationReport validate(const results::ResultStore& store,
+                          const ValidationOptions& options);
+
+/// Serialise the report (schema documented in docs/BENCHMARKS.md).  Pure
+/// function of the report — no timestamps, no environment.
+results::Json report_json(const ValidationReport& report);
+
+/// Human summary of the same content.
+std::string report_markdown(const ValidationReport& report);
+
+/// Shape-check regression gate between two serialised reports: a check that
+/// passed in `baseline` must still be present, applicable and passing in
+/// `current`.
+struct BaselineDiff {
+  std::vector<std::string> regressed;  // passed before, failing/missing now
+  std::vector<std::string> fixed;      // failing before, passing now
+  int compared = 0;  // checks present in both reports
+  bool ok() const { return compared > 0 && regressed.empty(); }
+};
+BaselineDiff compare_to_baseline(const results::Json& current,
+                                 const results::Json& baseline);
+
+}  // namespace validation

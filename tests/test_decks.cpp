@@ -159,6 +159,116 @@ TEST(Decks, PointDeckConservesPaintedQuantities) {
   EXPECT_NEAR(run.final_summary.ie, expected.ie, 1e-4 * expected.ie);
 }
 
+// --- parser robustness -------------------------------------------------------
+
+/// Field-by-field equality of two parsed problems (the round-trip contract).
+void expect_same_problem(const tl::ProblemConfig& a, const tl::ProblemConfig& b,
+                         const std::string& context) {
+  EXPECT_EQ(a.x_cells, b.x_cells) << context;
+  EXPECT_EQ(a.y_cells, b.y_cells) << context;
+  EXPECT_DOUBLE_EQ(a.xmin, b.xmin) << context;
+  EXPECT_DOUBLE_EQ(a.xmax, b.xmax) << context;
+  EXPECT_DOUBLE_EQ(a.ymin, b.ymin) << context;
+  EXPECT_DOUBLE_EQ(a.ymax, b.ymax) << context;
+  EXPECT_DOUBLE_EQ(a.initial_timestep, b.initial_timestep) << context;
+  EXPECT_EQ(a.end_step, b.end_step) << context;
+  EXPECT_EQ(a.solver, b.solver) << context;
+  EXPECT_EQ(a.coefficient, b.coefficient) << context;
+  EXPECT_EQ(a.preconditioner, b.preconditioner) << context;
+  EXPECT_DOUBLE_EQ(a.eps, b.eps) << context;
+  EXPECT_EQ(a.max_iters, b.max_iters) << context;
+  EXPECT_EQ(a.ppcg_inner_steps, b.ppcg_inner_steps) << context;
+  EXPECT_EQ(a.cheby_cg_presteps, b.cheby_cg_presteps) << context;
+  EXPECT_EQ(a.check_result, b.check_result) << context;
+  EXPECT_EQ(a.halo_depth, b.halo_depth) << context;
+  ASSERT_EQ(a.states.size(), b.states.size()) << context;
+  for (std::size_t i = 0; i < a.states.size(); ++i) {
+    const tl::StateConfig& sa = a.states[i];
+    const tl::StateConfig& sb = b.states[i];
+    EXPECT_EQ(sa.index, sb.index) << context;
+    EXPECT_DOUBLE_EQ(sa.density, sb.density) << context;
+    EXPECT_DOUBLE_EQ(sa.energy, sb.energy) << context;
+    EXPECT_EQ(sa.geometry, sb.geometry) << context;
+    EXPECT_DOUBLE_EQ(sa.xmin, sb.xmin) << context;
+    EXPECT_DOUBLE_EQ(sa.xmax, sb.xmax) << context;
+    EXPECT_DOUBLE_EQ(sa.ymin, sb.ymin) << context;
+    EXPECT_DOUBLE_EQ(sa.ymax, sb.ymax) << context;
+    EXPECT_DOUBLE_EQ(sa.cx, sb.cx) << context;
+    EXPECT_DOUBLE_EQ(sa.cy, sb.cy) << context;
+    EXPECT_DOUBLE_EQ(sa.radius, sb.radius) << context;
+  }
+}
+
+TEST(Decks, AllShippedDecksRoundTripThroughToDeck) {
+  // parse -> serialize -> parse is the identity on every typed field, for
+  // every shipped deck (to_deck writes full precision and the complete
+  // solver configuration, including preconditioner and inner-step counts).
+  const fs::path dir = decks_dir();
+  ASSERT_FALSE(dir.empty());
+  int round_tripped = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".in") continue;
+    const tl::Config first = tl::Config::load(entry.path().string());
+    const std::string deck_text = tl::to_deck(first.problem());
+    const tl::Config second = tl::Config::parse(deck_text);
+    expect_same_problem(first.problem(), second.problem(),
+                        entry.path().filename().string());
+    // Serialization is a fixed point: one more lap changes nothing.
+    EXPECT_EQ(tl::to_deck(second.problem()), deck_text) << entry.path();
+    ++round_tripped;
+  }
+  EXPECT_GE(round_tripped, 6);
+}
+
+TEST(Decks, UnknownKeysAreRejectedEverywhere) {
+  // Top-level directive.
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "warp_factor=9\n*endtea"),
+               tl::ConfigError);
+  // State attribute.
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1 "
+                                 "viscosity=2\n*endtea"),
+               tl::ConfigError);
+  // Unknown geometry and preconditioner names.
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "state 2 density=1 energy=1 "
+                                 "geometry=hexagon\n*endtea"),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "tl_preconditioner_type=ilu0\n*endtea"),
+               tl::ConfigError);
+  // Upstream-only keys stay accepted-and-ignored.
+  EXPECT_NO_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                    "test_problem=5\nprofiler_on\n*endtea"));
+}
+
+TEST(Decks, MalformedValuesAreRejected) {
+  const auto deck = [](const std::string& line) {
+    return "*tea\nstate 1 density=1 energy=1\n" + line + "\n*endtea";
+  };
+  // Non-numeric and half-numeric values.
+  EXPECT_THROW(tl::Config::parse(deck("x_cells=ten")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_eps=1.0e")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_eps=fast")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("end_step=2.5")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("check_result=maybe")), tl::ConfigError);
+  // Doubled '=' and missing values.
+  EXPECT_THROW(tl::Config::parse(deck("x_cells=4=5")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("x_cells")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_preconditioner_type")),
+               tl::ConfigError);
+  // Malformed state attributes.
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=abc energy=1\n*endtea"),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate one density=1 energy=1\n*endtea"),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density energy=1\n*endtea"),
+               tl::ConfigError);
+  // Semantic validation after a clean parse.
+  EXPECT_THROW(tl::Config::parse(deck("x_cells=-4")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("halo_depth=0")), tl::ConfigError);
+}
+
 TEST(Decks, PpcgPreconDeckExercisesExtensions) {
   const tl::Config cfg =
       tl::Config::load((decks_dir() / "tea_ppcg_precon.in").string());

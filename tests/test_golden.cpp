@@ -227,6 +227,53 @@ std::string case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
 INSTANTIATE_TEST_SUITE_P(Golden, GoldenCaseTest, ::testing::ValuesIn(kGolden),
                          case_name);
 
+// --- threaded determinism ----------------------------------------------------
+//
+// The PR 3 determinism contract: every reduction sums rows through the fixed
+// four-lane scheme (ref::row_reduce4) and thread partials combine in thread
+// order, so the threaded manual host backend must walk the *same* iteration
+// trajectory as the serial reference — same outer/inner counts, same
+// convergence flags, same conserved temperature — at any thread count.
+class ThreadedGoldenCaseTest
+    : public ::testing::TestWithParam<std::tuple<GoldenCase, int>> {};
+
+TEST_P(ThreadedGoldenCaseTest, MatchesSerialGoldenTable) {
+  const GoldenCase c = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  ASSERT_FALSE(decks_dir().empty());
+
+  tea::RunOptions options;
+  options.threads = threads;
+  const tea::RunResult run =
+      tea::run_simulation("manual-omp", golden_config(c), options);
+
+  long inner = 0;
+  for (const tea::StepResult& s : run.steps) inner += s.solve.inner_iterations;
+  EXPECT_EQ(run.total_iterations, c.outer)
+      << c.deck << "/" << c.solver << " @" << threads << " threads";
+  EXPECT_EQ(inner, c.inner)
+      << c.deck << "/" << c.solver << " @" << threads << " threads";
+  EXPECT_EQ(run.all_converged(), c.converged != 0)
+      << c.deck << "/" << c.solver << " @" << threads << " threads";
+  EXPECT_NEAR(run.final_summary.temp, c.temp, kTempRelTol * std::fabs(c.temp))
+      << c.deck << "/" << c.solver << " @" << threads << " threads";
+  EXPECT_NEAR(run.steps.back().solve.initial_rr, c.initial_rr,
+              kInitialRrRelTol * std::fabs(c.initial_rr))
+      << c.deck << "/" << c.solver << " @" << threads << " threads";
+}
+
+std::string threaded_case_name(
+    const ::testing::TestParamInfo<std::tuple<GoldenCase, int>>& info) {
+  const GoldenCase& c = std::get<0>(info.param);
+  return std::string(c.deck) + "_" + c.solver + "_t" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenThreads, ThreadedGoldenCaseTest,
+                         ::testing::Combine(::testing::ValuesIn(kGolden),
+                                            ::testing::Values(2, 4)),
+                         threaded_case_name);
+
 // The table must cover the full deck x solver matrix the suite advertises.
 TEST(GoldenTable, CoversAllDecksAndSolvers) {
   const char* decks[] = {"tea_bm_1", "tea_bm_2", "tea_ppcg_precon",

@@ -232,6 +232,120 @@ TEST(Roofline, ScaleCountersFollowsRules) {
   EXPECT_EQ(s.solver_iterations, 40);
 }
 
+// --- metamorphic properties ---------------------------------------------------
+//
+// Relations that must hold for *any* calibration values: faster hardware
+// cannot slow a projection down, bigger problems cannot get cheaper, and the
+// KNL MCDRAM spill rule must be continuous at its capacity boundary.
+
+/// A realistic TeaLeaf-like counter mix at mesh scale `n` (5-point stencil
+/// traffic, one launch and one reduction per nominal iteration).
+Counters kernel_mix(int n, int iterations = 100) {
+  Counters c;
+  const std::int64_t cells = static_cast<std::int64_t>(n) * n;
+  c.bytes_read = 5 * 8 * cells * iterations;
+  c.bytes_written = 8 * cells * iterations;
+  c.flops = 10 * cells * iterations;
+  c.kernel_launches = 4 * iterations;
+  c.reductions = 2 * iterations;
+  c.messages = 8 * iterations;
+  c.message_bytes = 4 * 8 * n * iterations;
+  return c;
+}
+
+TEST(RooflineMetamorphic, DoublingBandwidthNeverSlowsAnyVariant) {
+  // For every supported (variant, machine) pair: doubling the machine's peak
+  // bandwidth must not increase any projected kernel time.
+  const Counters c = kernel_mix(512);
+  for (const MachineModel* m : machine::paper_machines()) {
+    for (const std::string& variant : machine::paper_variants()) {
+      if (!machine::supported(variant, *m)) continue;
+      MachineModel faster = *m;
+      faster.peak_bw_gbs *= 2.0;
+      const EfficiencyProfile prof = machine::efficiency_for(variant, *m);
+      // With and without a spilling working set on the KNL.
+      for (const std::int64_t ws : {std::int64_t{0}, std::int64_t(8) << 30,
+                                    std::int64_t(64) << 30}) {
+        const double before = machine::project_time(c, *m, prof, ws).total();
+        const double after =
+            machine::project_time(c, faster, prof, ws).total();
+        EXPECT_LE(after, before * (1.0 + 1e-12))
+            << variant << " on " << m->id << " ws=" << ws;
+      }
+    }
+  }
+}
+
+TEST(RooflineMetamorphic, ProjectionsMonotoneInMeshSize) {
+  // Scaling the counted work up (cells and iterations) must never cheapen
+  // the projection, on any machine, for any supported variant.
+  for (const MachineModel* m : machine::paper_machines()) {
+    for (const std::string& variant : machine::paper_variants()) {
+      if (!machine::supported(variant, *m)) continue;
+      const EfficiencyProfile prof = machine::efficiency_for(variant, *m);
+      double previous = 0.0;
+      for (const int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
+        // CG iterations grow ~linearly with mesh width: model that too.
+        const Counters c = kernel_mix(n, n);
+        const std::int64_t ws = static_cast<std::int64_t>(n) * n * 6 * 8;
+        const double t = machine::project_time(c, *m, prof, ws).total();
+        EXPECT_GT(t, previous) << variant << " on " << m->id << " at " << n;
+        previous = t;
+      }
+    }
+  }
+}
+
+TEST(RooflineMetamorphic, KnlSpillBoundaryIsContinuousAndMonotone) {
+  const EfficiencyProfile prof{.bw_fraction = 1.0};
+  const Counters c = stream_counters(10'000'000'000LL);
+  const auto& knl = machine::knl_7210();
+  const auto capacity =
+      static_cast<std::int64_t>(knl.mem_capacity_gb * 1e9);
+
+  const double at_zero = machine::project_time(c, knl, prof, 0).total();
+  const double below =
+      machine::project_time(c, knl, prof, capacity - 1).total();
+  const double at_capacity =
+      machine::project_time(c, knl, prof, capacity).total();
+  const double just_over =
+      machine::project_time(c, knl, prof, capacity + 1).total();
+
+  // In MCDRAM entirely: full-speed, identical to the no-working-set case.
+  EXPECT_DOUBLE_EQ(below, at_zero);
+  EXPECT_DOUBLE_EQ(at_capacity, at_zero);
+  // One byte over: continuous (no cliff), but never faster.
+  EXPECT_GE(just_over, at_capacity);
+  EXPECT_NEAR(just_over, at_capacity, 1e-6 * at_capacity);
+
+  // Far past capacity the effective bandwidth approaches DDR speed from
+  // above: monotone degradation, bounded by the pure-DDR projection.
+  double previous = at_capacity;
+  for (const double factor : {2.0, 4.0, 16.0, 256.0}) {
+    const auto ws = static_cast<std::int64_t>(factor * capacity);
+    const double t = machine::project_time(c, knl, prof, ws).total();
+    EXPECT_GE(t, previous) << "ws factor " << factor;
+    previous = t;
+  }
+  // DDR bound: effective bandwidth can degrade towards ~80 GB/s, not below.
+  const double ddr_floor_time =
+      static_cast<double>(c.total_bytes()) / (80.0 * 1e9);
+  EXPECT_LE(previous, ddr_floor_time * (1.0 + 1e-9));
+
+  // Only the KNL has the spill rule.  The Xeon is working-set independent;
+  // the P100's working-set dependence is the *occupancy* rule, which works
+  // the other way around: larger sets saturate the device better and can
+  // only speed the projection up.
+  const auto& xeon = machine::xeon_e5_2660v4();
+  EXPECT_DOUBLE_EQ(
+      machine::project_time(c, xeon, prof, std::int64_t(256) << 30).total(),
+      machine::project_time(c, xeon, prof, 0).total());
+  const auto& p100 = machine::tesla_p100();
+  EXPECT_LE(
+      machine::project_time(c, p100, prof, std::int64_t(256) << 30).total(),
+      machine::project_time(c, p100, prof, std::int64_t(64) << 20).total());
+}
+
 TEST(HostMachine, MeasuredModelIsSane) {
   const MachineModel& host = machine::host_machine();
   EXPECT_EQ(host.id, "host");

@@ -12,6 +12,7 @@
 #include "results/json.hpp"
 #include "results/result_store.hpp"
 #include "results/sweep.hpp"
+#include "validation/validation.hpp"
 
 namespace {
 
@@ -358,6 +359,68 @@ TEST(Sweep, DefaultMatrixCoversPaperVariantsAndNewDecks) {
   const auto& decks = results::sweep_deck_names();
   EXPECT_NE(std::find(decks.begin(), decks.end(), "tea_circle"), decks.end());
   EXPECT_NE(std::find(decks.begin(), decks.end(), "tea_point"), decks.end());
+}
+
+TEST(Sweep, DeckSweepRowsAreFoundByTheValidationJoin) {
+  // The `tea_sweep run --decks` path end-to-end: load shipped decks through
+  // the shared helper, sweep them into a store, and prove the validation
+  // subsystem consumes the rows (the join finds them and the calibration
+  // fits from them) — closing the "--decks rows unconsumed" note from PR 2.
+  std::vector<std::string> skipped;
+  results::SweepConfig config;
+  config.variants = {"serial", "manual-omp"};
+  config.problems = results::load_deck_problems(
+      std::string(TEA_SOURCE_DIR) + "/examples/decks",
+      {"tea_bm_1", "tea_point"}, &skipped);
+  config.samples = 1;
+  ASSERT_EQ(config.problems.size(), 2u) << "decks failed to load";
+  EXPECT_TRUE(skipped.empty());
+  // Keep the point deck tiny: the sweep runs for real below.
+  for (results::SweepProblem& sp : config.problems) {
+    sp.problem.x_cells = std::min(sp.problem.x_cells, 32);
+    sp.problem.y_cells = std::min(sp.problem.y_cells, 32);
+    sp.problem.end_step = 1;
+  }
+
+  results::ResultStore store;
+  const results::SweepOutcome outcome = results::run_sweep(store, config);
+  EXPECT_EQ(outcome.measured, 4);  // 2 variants x 2 decks
+
+  // The join: select_rows resolves the deck rows by content-addressed key.
+  std::vector<std::string> missing;
+  const auto rows = results::select_rows(store, config, {}, &missing);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(missing.empty());
+  for (const results::ResultRow& r : rows) {
+    EXPECT_TRUE(r.deck == "tea_bm_1" || r.deck == "tea_point") << r.deck;
+    EXPECT_GT(r.iterations, 0);
+    EXPECT_GT(r.counters.total_bytes(), 0);
+  }
+
+  // The consumption: validate() feeds every deck row into the host
+  // calibration and reports it by name.
+  validation::ValidationOptions options;
+  const validation::ValidationReport report =
+      validation::validate(store, options);
+  ASSERT_EQ(report.deck_rows.size(), 4u);
+  EXPECT_NE(std::find(report.deck_rows.begin(), report.deck_rows.end(),
+                      "tea_bm_1/serial"),
+            report.deck_rows.end());
+  EXPECT_NE(std::find(report.deck_rows.begin(), report.deck_rows.end(),
+                      "tea_point/manual-omp"),
+            report.deck_rows.end());
+  ASSERT_TRUE(report.calibration.ok) << report.calibration.note;
+  EXPECT_EQ(report.calibration.rows_used, 4);
+  EXPECT_GT(report.calibration.fitted_bw_gbs, 0.0);
+}
+
+TEST(Sweep, LoadDeckProblemsReportsUnreadableDecks) {
+  std::vector<std::string> skipped;
+  const auto problems = results::load_deck_problems(
+      "/nonexistent-deck-dir", {"tea_bm_1"}, &skipped);
+  EXPECT_TRUE(problems.empty());
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("tea_bm_1"), std::string::npos);
 }
 
 TEST(Sweep, RunSweepThenSelectRowsRoundTrip) {

@@ -1,0 +1,318 @@
+// Tests for the machine-model validation & calibration subsystem
+// (src/validation): the store -> paper join, the Fig. 1/2 and Table III
+// shape metrics on a tiny CI-sized sweep, the deterministic least-squares
+// calibration round-trip, report determinism (same store -> bit-identical
+// JSON and markdown), and the baseline regression gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ppmetric/report.hpp"
+#include "results/json.hpp"
+#include "results/result_store.hpp"
+#include "results/sweep.hpp"
+#include "validation/calibrate.hpp"
+#include "validation/validation.hpp"
+
+namespace {
+
+// --- shape-claim evaluation -------------------------------------------------
+
+ppm::VariantResult vr(const std::string& variant, const std::string& machine,
+                      double seconds) {
+  return ppm::VariantResult{variant, machine, seconds, 0.0, 0.0, 0.0, 0.0};
+}
+
+TEST(ShapeClaims, PassFailAndApplicability) {
+  // The 1000^2 CPU claim: raja-omp must beat kokkos-omp on the Xeon.
+  std::vector<ppm::VariantResult> results = {vr("raja-omp", "xeon", 1.0),
+                                             vr("kokkos-omp", "xeon", 2.0)};
+  auto checks = validation::evaluate_shape_claims(results, 1000);
+  ASSERT_FALSE(checks.empty());
+  int applicable = 0;
+  for (const auto& c : checks) {
+    if (!c.applicable) continue;
+    ++applicable;
+    EXPECT_TRUE(c.pass) << c.id;
+    EXPECT_DOUBLE_EQ(c.lhs, 1.0);
+    EXPECT_DOUBLE_EQ(c.rhs, 2.0);
+  }
+  EXPECT_EQ(applicable, 1);  // the GPU claims have no operands here
+
+  // Invert the ordering: same claim must now fail.
+  results[0].time_s = 3.0;
+  checks = validation::evaluate_shape_claims(results, 1000);
+  for (const auto& c : checks) {
+    if (c.applicable) EXPECT_FALSE(c.pass) << c.id;
+  }
+
+  // Claims carry stable ids (the baseline gate joins on them).
+  bool found = false;
+  for (const auto& c : checks) {
+    if (c.id == "claim/1000/xeon/raja-omp<kokkos-omp") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- the tiny-mesh sweep join ----------------------------------------------
+
+class ValidationSweepTest : public ::testing::Test {
+protected:
+  static constexpr int kMesh = 32;
+  static constexpr int kSteps = 2;
+
+  static void SetUpTestSuite() {
+    store_ = new results::ResultStore();
+    results::SweepConfig config = results::default_sweep(kMesh, kSteps, 1);
+    results::run_sweep(*store_, config);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+
+  static validation::ValidationOptions options() {
+    validation::ValidationOptions o;
+    o.mesh = kMesh;
+    o.steps = kSteps;
+    return o;
+  }
+
+  static results::ResultStore* store_;
+};
+
+results::ResultStore* ValidationSweepTest::store_ = nullptr;
+
+TEST_F(ValidationSweepTest, JoinFindsEveryMatrixRow) {
+  const validation::ValidationReport report =
+      validation::validate(*store_, options());
+  EXPECT_EQ(report.rows_joined, 16);
+  EXPECT_TRUE(report.missing_variants.empty());
+  // Both figures project every supported variant x machine pair.
+  EXPECT_FALSE(report.fig1.projected.empty());
+  EXPECT_FALSE(report.fig2.projected.empty());
+  EXPECT_EQ(report.fig1.projected.size(), report.fig2.projected.size());
+}
+
+TEST_F(ValidationSweepTest, ShapeChecksHoldOnTinyMeshes) {
+  const validation::ValidationReport report =
+      validation::validate(*store_, options());
+  // Every §IV claim is applicable from a full sweep, and the paper's shape
+  // survives projection from a 32^2 host measurement.
+  EXPECT_GT(report.checked(), 30);
+  EXPECT_EQ(report.failed(), 0) << validation::report_markdown(report);
+  EXPECT_TRUE(report.ok());
+
+  // The §V-B Table III conclusions.
+  EXPECT_TRUE(report.table3.comparison.ordering_ok);
+  EXPECT_TRUE(report.table3.comparison.memory_bound);
+  EXPECT_DOUBLE_EQ(report.table3.rank_agreement_tau, 1.0);
+  EXPECT_LT(report.table3.comparison.worst_delta, 10.0);  // points
+
+  // The §IV-C crossover: near parity at 1000^2, wide gap at 4000^2.
+  EXPECT_GT(report.fig2.gap_percent, report.fig1.gap_percent);
+  EXPECT_GT(report.fig2.gap_percent, 10.0);
+}
+
+TEST_F(ValidationSweepTest, ErrorBandsJoinThePaperNumbers) {
+  const validation::ValidationReport report =
+      validation::validate(*store_, options());
+  // Table III bands: one per framework per P(app) column.
+  int table3_bands = 0;
+  const validation::ErrorBand* knl_quote = nullptr;
+  for (const validation::ErrorBand& b : report.bands) {
+    EXPECT_TRUE(std::isfinite(b.rel_error)) << b.name;
+    if (b.name.rfind("table3/", 0) == 0) ++table3_bands;
+    if (b.name == "quoted/kokkos-omp/knl") knl_quote = &b;
+  }
+  EXPECT_EQ(table3_bands, 8);
+  // §IV-B quotes Kokkos OpenMP at 11.02 s on the KNL at 1000^2; the
+  // projection must land within +-25%.
+  ASSERT_NE(knl_quote, nullptr);
+  EXPECT_NEAR(knl_quote->ours, knl_quote->paper,
+              0.25 * knl_quote->paper);
+}
+
+TEST_F(ValidationSweepTest, ReportIsBitIdenticalForTheSameStore) {
+  const validation::ValidationReport a =
+      validation::validate(*store_, options());
+  const validation::ValidationReport b =
+      validation::validate(*store_, options());
+  EXPECT_EQ(validation::report_json(a).dump(2),
+            validation::report_json(b).dump(2));
+  EXPECT_EQ(validation::report_markdown(a), validation::report_markdown(b));
+  // Calibration constants are part of that guarantee, bit for bit.
+  EXPECT_EQ(a.calibration.seconds_per_gb, b.calibration.seconds_per_gb);
+  EXPECT_EQ(a.calibration.launch_overhead_us, b.calibration.launch_overhead_us);
+}
+
+TEST_F(ValidationSweepTest, ReportJsonRoundTripsItsSchema) {
+  const validation::ValidationReport report =
+      validation::validate(*store_, options());
+  const results::Json j =
+      results::Json::parse(validation::report_json(report).dump(2));
+  EXPECT_EQ(j.get_int("schema_version", 0), 1);
+  EXPECT_EQ(j.get_int("rows_joined", 0), 16);
+  ASSERT_NE(j.get("figures"), nullptr);
+  ASSERT_EQ(j.get("figures")->items().size(), 2u);
+  EXPECT_EQ(j.get("figures")->items()[0].get_int("mesh", 0), 1000);
+  EXPECT_EQ(j.get("figures")->items()[1].get_int("mesh", 0), 4000);
+  ASSERT_NE(j.get("table3"), nullptr);
+  EXPECT_EQ(j.get("table3")->get("frameworks")->items().size(), 4u);
+  ASSERT_NE(j.get("summary"), nullptr);
+  EXPECT_TRUE(j.get("summary")->get("ok")->as_bool());
+  ASSERT_NE(j.get("calibration"), nullptr);
+}
+
+TEST_F(ValidationSweepTest, BaselineGateDetectsRegressions) {
+  const validation::ValidationReport report =
+      validation::validate(*store_, options());
+  const results::Json current = validation::report_json(report);
+
+  // A report gated against itself: nothing regressed, plenty compared.
+  validation::BaselineDiff self =
+      validation::compare_to_baseline(current, current);
+  EXPECT_TRUE(self.ok());
+  EXPECT_GE(self.compared, report.checked());
+  EXPECT_TRUE(self.regressed.empty());
+
+  // Flip one passing check in the current report: the gate must flag it.
+  validation::ValidationReport broken = report;
+  ASSERT_FALSE(broken.model_checks.empty());
+  ASSERT_TRUE(broken.model_checks.back().pass);
+  broken.model_checks.back().pass = false;
+  const validation::BaselineDiff regressed = validation::compare_to_baseline(
+      validation::report_json(broken), current);
+  EXPECT_FALSE(regressed.ok());
+  ASSERT_EQ(regressed.regressed.size(), 1u);
+  EXPECT_EQ(regressed.regressed[0], broken.model_checks.back().id);
+
+  // The reverse direction is an improvement, not a regression.
+  const validation::BaselineDiff fixed = validation::compare_to_baseline(
+      current, validation::report_json(broken));
+  EXPECT_TRUE(fixed.ok());
+  ASSERT_EQ(fixed.fixed.size(), 1u);
+}
+
+TEST(Validation, EmptyStoreYieldsNoChecks) {
+  const results::ResultStore store;
+  validation::ValidationOptions options;
+  const validation::ValidationReport report =
+      validation::validate(store, options);
+  EXPECT_EQ(report.rows_joined, 0);
+  EXPECT_EQ(report.checked(), 0);
+  EXPECT_FALSE(report.ok());  // vacuous success is not success
+  EXPECT_EQ(report.missing_variants.size(), 16u);
+}
+
+// --- calibration -------------------------------------------------------------
+
+validation::CalibrationRow cal_row(double gb, double launches, double seconds) {
+  validation::CalibrationRow r;
+  r.label = "synthetic/serial";
+  r.gigabytes = gb;
+  r.launches = launches;
+  r.seconds = seconds;
+  return r;
+}
+
+TEST(Calibration, LeastSquaresRoundTripRecoversConstants) {
+  // Synthesize observations from known constants: 80 GB/s attainable
+  // bandwidth and 6 us per launch.
+  const double a = 1.0 / 80.0;  // s/GB
+  const double b = 6.0e-6;      // s/launch
+  std::vector<validation::CalibrationRow> rows;
+  for (const auto& [gb, launches] :
+       std::vector<std::pair<double, double>>{
+           {2.0, 50.0}, {0.5, 4000.0}, {0.05, 20.0}, {1.0, 12000.0}}) {
+    rows.push_back(cal_row(gb, launches, a * gb + b * launches));
+  }
+
+  const validation::CalibrationFit fit = validation::fit_host_model(rows);
+  ASSERT_TRUE(fit.ok) << fit.note;
+  EXPECT_EQ(fit.rows_used, 4);
+  EXPECT_NEAR(fit.fitted_bw_gbs, 80.0, 1e-6);
+  EXPECT_NEAR(fit.launch_overhead_us, 6.0, 1e-6);
+  EXPECT_LT(fit.max_rel_error, 1e-9);
+
+  // Determinism: the identical input yields the identical fit, bit for bit.
+  const validation::CalibrationFit again = validation::fit_host_model(rows);
+  EXPECT_EQ(fit.seconds_per_gb, again.seconds_per_gb);
+  EXPECT_EQ(fit.launch_overhead_s, again.launch_overhead_s);
+  EXPECT_EQ(fit.rms_rel_error, again.rms_rel_error);
+}
+
+TEST(Calibration, DegenerateMixFallsBackToBandwidthOnly) {
+  // Every observation has the same launches-per-GB mix: only the combined
+  // streaming cost is observable.
+  std::vector<validation::CalibrationRow> rows;
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    rows.push_back(cal_row(scale, 100.0 * scale, scale * (1.0 / 50.0)));
+  }
+  const validation::CalibrationFit fit = validation::fit_host_model(rows);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NE(fit.note.find("launch term dropped"), std::string::npos)
+      << fit.note;
+  EXPECT_DOUBLE_EQ(fit.launch_overhead_us, 0.0);
+  EXPECT_GT(fit.fitted_bw_gbs, 0.0);
+}
+
+TEST(Calibration, TooFewOrUnusableRowsFail) {
+  EXPECT_FALSE(validation::fit_host_model({}).ok);
+  EXPECT_FALSE(validation::fit_host_model({cal_row(1.0, 1.0, 0.01)}).ok);
+  // A zero-time observation must fail loudly, not solve to NaN constants.
+  const auto degenerate = validation::fit_host_model(
+      {cal_row(1.0, 10.0, 0.0), cal_row(2.0, 20.0, 0.05)});
+  EXPECT_FALSE(degenerate.ok);
+  EXPECT_NE(degenerate.note.find("unusable observation"), std::string::npos);
+}
+
+TEST(Calibration, StoreRowsAreNormalizedPerExecutionUnit) {
+  results::ResultStore store;
+
+  // A whole-solve row: counters cover the run, timing is the run.
+  results::ResultRow solve;
+  solve.key = "k1";
+  solve.variant = "serial";
+  solve.platform = "host";
+  solve.deck = "tea_bm_1";
+  solve.timing = results::TimingStats::from_samples({0.5});
+  solve.counters.bytes_read = 1'000'000'000;
+  solve.counters.bytes_written = 1'000'000'000;
+  solve.counters.kernel_launches = 300;
+  store.put(solve);
+
+  // A kernel row: counters cover `iterations` calls, timing is per call.
+  results::ResultRow kernel;
+  kernel.key = "k2";
+  kernel.variant = "kernel-stencil/serial";
+  kernel.platform = "host";
+  kernel.deck = "kernel-stencil";
+  kernel.iterations = 100;  // reps per timed sample
+  kernel.timing = results::TimingStats::from_samples({0.001});
+  kernel.counters.bytes_read = 400'000'000;  // 4 MB per call x 100 calls
+  kernel.counters.kernel_launches = 100;     // one launch per call
+  store.put(kernel);
+
+  // A row from a variant outside the calibration set: ignored.
+  results::ResultRow other = solve;
+  other.key = "k3";
+  other.variant = "kokkos-omp";
+  store.put(other);
+
+  const auto rows =
+      validation::calibration_rows(store, {"serial", "manual-omp"});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "tea_bm_1/serial");
+  EXPECT_DOUBLE_EQ(rows[0].gigabytes, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].launches, 300.0);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 0.5);
+  EXPECT_EQ(rows[1].label, "kernel-stencil/kernel-stencil/serial");
+  EXPECT_DOUBLE_EQ(rows[1].gigabytes, 0.004);  // per call
+  EXPECT_DOUBLE_EQ(rows[1].launches, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].seconds, 0.001);
+}
+
+}  // namespace

@@ -18,14 +18,19 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "bench/harness.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "machine/machine_model.hpp"
 #include "results/compare.hpp"
 #include "results/result_store.hpp"
 #include "results/sweep.hpp"
+#include "validation/validation.hpp"
 
 namespace {
 
@@ -41,6 +46,13 @@ int usage() {
       "           print stored rows\n"
       "  compare  [--store P] [--mesh N] [--steps N] [--ranks N] [--paper-mesh N]\n"
       "           Table III + our-vs-paper deltas from stored rows alone\n"
+      "  validate [--store P] [--mesh N] [--steps N] [--ranks N]\n"
+      "           [--out BENCH_validation.json] [--markdown P] [--baseline P]\n"
+      "           join stored rows against the paper's Fig. 1/2 and Table III\n"
+      "           numbers, run the shape checks and the host-model\n"
+      "           calibration, and write the JSON + markdown report; with\n"
+      "           --baseline, fail on any shape-check regression against a\n"
+      "           previously saved report\n"
       "  diff     <baseline.json> <current.json> [--tolerance 0.25] [--counters]\n"
       "           regression gate: FAIL when current min-sample time exceeds\n"
       "           baseline by more than the relative tolerance; --counters\n"
@@ -86,13 +98,13 @@ int cmd_run(const tl::Cli& cli) {
     config.variants = tl::split(*v, ',');
   }
   if (cli.has("decks")) {
-    for (const std::string& name : results::sweep_deck_names()) {
-      const std::string path = decks_dir(cli) + "/" + name + ".in";
-      try {
-        config.problems.push_back({name, tl::Config::load(path).problem()});
-      } catch (const tl::ConfigError& e) {
-        std::fprintf(stderr, "skipping deck %s: %s\n", name.c_str(), e.what());
-      }
+    std::vector<std::string> skipped;
+    for (results::SweepProblem& sp :
+         results::load_deck_problems(decks_dir(cli), {}, &skipped)) {
+      config.problems.push_back(std::move(sp));
+    }
+    for (const std::string& s : skipped) {
+      std::fprintf(stderr, "skipping deck %s\n", s.c_str());
     }
   }
 
@@ -176,6 +188,94 @@ int cmd_compare(const tl::Cli& cli) {
               cmp.memory_bound ? "PASS" : "FAIL");
   std::printf("worst |delta| on P(all,app): %.2f points\n", cmp.worst_delta);
   return 0;
+}
+
+int cmd_validate(const tl::Cli& cli) {
+  const auto defaults = bench::HarnessOptions::from_env(1000);
+  validation::ValidationOptions options;
+  options.mesh = static_cast<int>(cli.get_long("mesh", defaults.bench_mesh));
+  options.steps =
+      static_cast<int>(cli.get_long("steps", defaults.bench_steps));
+  options.ranks = static_cast<int>(cli.get_long("ranks", options.ranks));
+
+  const std::string path = resolve_store_path(cli);
+  const results::ResultStore store = results::ResultStore::load(path);
+  if (store.size() == 0) {
+    std::fprintf(stderr, "store %s is empty — run `tea_sweep run` first\n",
+                 path.c_str());
+    return 2;
+  }
+
+  const validation::ValidationReport report =
+      validation::validate(store, options);
+  const std::string markdown = validation::report_markdown(report);
+  std::printf("%s", markdown.c_str());
+
+  // The report files are pure functions of the store (bit-identical across
+  // runs); the live-host comparison below is measured, so it goes to stdout
+  // only.
+  if (report.calibration.ok) {
+    const machine::MachineModel& host = machine::host_machine();
+    std::printf(
+        "\nlive host model: triad %.1f GB/s, launch_overhead_us %.1f -> "
+        "fitted bw_fraction %.2f, launch delta %+.1f us\n",
+        host.peak_bw_gbs, host.launch_overhead_us,
+        report.calibration.fitted_bw_gbs / host.peak_bw_gbs,
+        report.calibration.launch_overhead_us - host.launch_overhead_us);
+  }
+
+  const results::Json json = validation::report_json(report);
+  const std::string out_path = cli.get_or("out", "BENCH_validation.json");
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << json.dump(2) << "\n";
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (const auto md = cli.get("markdown")) {
+    std::ofstream out(*md);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", md->c_str());
+      return 2;
+    }
+    out << markdown;
+    std::printf("wrote %s\n", md->c_str());
+  }
+
+  if (report.checked() == 0) {
+    std::fprintf(stderr,
+                 "no applicable shape checks — store has no rows for the "
+                 "%d^2/%d-step bench matrix?\n",
+                 options.mesh, options.steps);
+    return 1;
+  }
+
+  if (const auto b = cli.get("baseline")) {
+    std::ifstream in(*b);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", b->c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const results::Json baseline = results::Json::parse(ss.str());
+    const validation::BaselineDiff diff =
+        validation::compare_to_baseline(json, baseline);
+    for (const std::string& id : diff.regressed) {
+      std::printf("REGRESSED vs baseline: %s\n", id.c_str());
+    }
+    for (const std::string& id : diff.fixed) {
+      std::printf("fixed vs baseline: %s\n", id.c_str());
+    }
+    std::printf("baseline gate: %d checks compared, %zu regressed -> %s\n",
+                diff.compared, diff.regressed.size(),
+                diff.ok() ? "PASS" : "FAIL");
+    return diff.ok() ? 0 : 1;
+  }
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_diff(const tl::Cli& cli) {
@@ -328,6 +428,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(cli);
     if (command == "query") return cmd_query(cli);
     if (command == "compare") return cmd_compare(cli);
+    if (command == "validate") return cmd_validate(cli);
     if (command == "diff") return cmd_diff(cli);
     if (command == "kernels") return cmd_kernels(cli);
     if (command == "merge") return cmd_merge(cli);
