@@ -1,0 +1,70 @@
+// bench_ablation_fusion — ablation of the fused apply_operator_dot kernel
+// (PR 3) on the whole-solve path, and the evidence behind the tuner's
+// fused-vs-unfused search dimension (RunOptions.fuse_operator_dot).
+//
+// The CG/PPCG inner iteration always needs the pair (w = A p, <p, w>); the
+// fused kernel consumes each operator result while it is still in registers
+// instead of paying a second memory pass for the dot.  This bench runs the
+// same solve both ways per (mesh, solver) cell — numerics are bitwise
+// identical (asserted via iteration counts) — and reports the wall-clock
+// and traffic deltas.  Each cell is one result-store row; the unfused rows
+// carry distinct content-addressed keys (the "|unfused" key marker), so the
+// tuner's measured refinement shares them.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "results/sweep.hpp"
+
+namespace {
+
+void sweep(tl::SolverKind solver, int samples) {
+  std::printf("-- solver: %s --\n", tl::to_string(solver));
+  tl::Table table({"mesh", "fused s (med)", "unfused s (med)", "speedup",
+                   "traffic saved", "iters equal"});
+  for (const int mesh : {128, 256}) {
+    tl::ProblemConfig problem = results::bench_problem(mesh, 2, 1e-11);
+    problem.solver = solver;
+
+    tea::RunOptions fused_opts;
+    const auto fused = bench::measure("manual-omp", problem, fused_opts,
+                                      "ablation-fusion", samples);
+    tea::RunOptions unfused_opts;
+    unfused_opts.fuse_operator_dot = false;
+    const auto unfused = bench::measure("manual-omp", problem, unfused_opts,
+                                        "ablation-fusion", samples);
+
+    const double fused_bytes =
+        static_cast<double>(fused.counters.total_bytes());
+    const double unfused_bytes =
+        static_cast<double>(unfused.counters.total_bytes());
+    table.add_row(
+        {std::to_string(mesh) + "^2",
+         tl::Table::num(fused.timing.median_s, 4),
+         tl::Table::num(unfused.timing.median_s, 4),
+         tl::Table::num(unfused.timing.median_s /
+                            std::max(1e-12, fused.timing.median_s), 2) + "x",
+         tl::Table::num(100.0 * (1.0 - fused_bytes /
+                                           std::max(1.0, unfused_bytes)), 1) +
+             "%",
+         fused.iterations == unfused.iterations ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: fused apply_operator_dot ==\n\n");
+  const int samples = bench::HarnessOptions::from_env(1000).samples;
+  sweep(tl::SolverKind::kCg, samples);
+  sweep(tl::SolverKind::kPpcg, samples);
+  std::printf(
+      "The fused kernel removes one full read pass per inner iteration;\n"
+      "iteration counts must match exactly (the PR 3 bitwise contract), so\n"
+      "any speedup is pure memory-system effect.  `tea_sweep tune` searches\n"
+      "this dimension per deck and records the choice in the TunedPlan.\n");
+  bench::print_store_stats();
+  return 0;
+}

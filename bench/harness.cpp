@@ -32,6 +32,7 @@ HarnessOptions HarnessOptions::from_env(int paper_mesh) {
     const int v = std::atoi(s);
     if (v > 0) o.samples = v;
   }
+  if (std::getenv("TEA_BENCH_UNFUSED") != nullptr) o.fuse_operator_dot = false;
   return o;
 }
 
@@ -104,6 +105,7 @@ std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
                              options.eps);
   tea::RunOptions run_options;
   run_options.ranks = options.ranks;
+  run_options.fuse_operator_dot = options.fuse_operator_dot;
 
   // Fetch-or-measure every cell through the shared store.
   results::ResultStore& store = shared_store();

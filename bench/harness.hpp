@@ -38,9 +38,12 @@ struct HarnessOptions {
   double eps = 1.0e-15;
   int ranks = 4;
   int samples = 3;        // timed repetitions per cold measurement
+  // Fused apply_operator_dot (the tuner's fusion dimension); false measures
+  // the whole matrix unfused, under distinct store keys.
+  bool fuse_operator_dot = true;
 
   /// Read TEA_BENCH_FULL / TEA_BENCH_MESH / TEA_BENCH_STEPS /
-  /// TEA_BENCH_SAMPLES overrides.
+  /// TEA_BENCH_SAMPLES / TEA_BENCH_UNFUSED overrides.
   static HarnessOptions from_env(int paper_mesh);
 };
 

@@ -6,6 +6,7 @@
 //   $ ./examples/tea --list                 # show available backends
 //   $ ./examples/tea --report tea.out       # tea.out-style run report
 //   $ ./examples/tea --vtk out.vtk          # ParaView/VisIt field snapshot
+//   $ ./examples/tea deck.in --plan plan.json   # run a tea_sweep-tuned plan
 #include <cstdio>
 
 #include <memory>
@@ -15,6 +16,8 @@
 #include "core/backends/manual_host.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
+#include "results/result_store.hpp"
+#include "tuning/plan.hpp"
 
 int main(int argc, char** argv) {
   const tl::Cli cli(argc, argv);
@@ -41,11 +44,34 @@ int main(int argc, char** argv) {
     std::printf("(no deck given; using the built-in default problem)\n");
   }
 
-  const std::string backend = cli.get_or("backend", "manual-omp");
+  // Apply a tea_sweep-tuned execution plan first (solver/preconditioner
+  // onto the deck, threads/ranks/tiling/fusion onto the run options,
+  // backend from the winner), then parse the flags once with the plan's
+  // values as fallbacks — so any explicitly given flag wins over the plan.
+  std::string backend = "manual-omp";
   tea::RunOptions options;
-  options.ranks = static_cast<int>(cli.get_long("ranks", 4));
-  options.threads = static_cast<int>(cli.get_long("threads", 0));
-  options.tile.tile_rows = static_cast<int>(cli.get_long("tile-rows", 0));
+  if (const auto plan_path = cli.get("plan")) {
+    try {
+      const tuning::TunedPlan plan = tuning::load_plan(*plan_path);
+      if (plan.deck_hash != results::problem_hash(config.problem())) {
+        std::fprintf(stderr,
+                     "warning: plan %s was tuned for a different problem "
+                     "(deck '%s'); applying anyway\n",
+                     plan_path->c_str(), plan.deck.c_str());
+      }
+      backend = tuning::apply_plan(plan, &config.problem(), &options);
+      std::printf("tuned plan %s: %s\n", plan_path->c_str(),
+                  plan.winner.id().c_str());
+    } catch (const tl::Error& e) {
+      std::fprintf(stderr, "error reading plan: %s\n", e.what());
+      return 2;
+    }
+  }
+  backend = cli.get_or("backend", backend);
+  options.ranks = static_cast<int>(cli.get_long("ranks", options.ranks));
+  options.threads = static_cast<int>(cli.get_long("threads", options.threads));
+  options.tile.tile_rows =
+      static_cast<int>(cli.get_long("tile-rows", options.tile.tile_rows));
 
   const tl::ProblemConfig& p = config.problem();
   std::printf("TeaLeaf: %dx%d cells, %d steps, solver %s, eps %.1e\n",

@@ -283,4 +283,18 @@ const char* to_string(PreconKind p) {
   return "?";
 }
 
+SolverKind solver_from_string(const std::string& name) {
+  if (name == "jacobi") return SolverKind::kJacobi;
+  if (name == "cg") return SolverKind::kCg;
+  if (name == "chebyshev") return SolverKind::kCheby;
+  if (name == "ppcg") return SolverKind::kPpcg;
+  throw ConfigError("unknown solver '" + name + "'");
+}
+
+PreconKind precon_from_string(const std::string& name) {
+  if (name == "none") return PreconKind::kNone;
+  if (name == "jac_diag") return PreconKind::kJacDiag;
+  throw ConfigError("unknown preconditioner '" + name + "'");
+}
+
 }  // namespace tl

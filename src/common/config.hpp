@@ -100,4 +100,9 @@ const char* to_string(Geometry g);
 const char* to_string(CoefficientKind c);
 const char* to_string(PreconKind p);
 
+/// Inverses of the to_string names above (used by the tuned-plan loader).
+/// Throw ConfigError on unknown names.
+SolverKind solver_from_string(const std::string& name);
+PreconKind precon_from_string(const std::string& name);
+
 }  // namespace tl

@@ -63,6 +63,14 @@ public:
     return dot(in, out);
   }
 
+  /// Select fused vs unfused apply_operator_dot (RunOptions
+  /// .fuse_operator_dot, a tuning search dimension).  Backends with a fused
+  /// kernel must honour `fused_operator_dot()` in their override; results
+  /// are bitwise identical either way (PR 3 contract), only the launch and
+  /// traffic counts differ.
+  void set_fused_operator_dot(bool fused) { fused_op_dot_ = fused; }
+  bool fused_operator_dot() const { return fused_op_dot_; }
+
   /// r = u0 - A u.  Requires u halo depth >= 1.
   virtual void compute_residual() = 0;
 
@@ -132,6 +140,7 @@ public:
 protected:
   double rx_ = 0.0;
   double ry_ = 0.0;
+  bool fused_op_dot_ = true;
 };
 
 }  // namespace tea

@@ -8,7 +8,9 @@
 // first-touch OS policy each worker's rows land on that worker's NUMA node.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <utility>
 
 #include "common/aligned_buffer.hpp"
 #include "common/simd.hpp"
@@ -94,6 +96,17 @@ public:
 
   const PartitionGeom& geom() const { return geom_; }
 
+  /// Exchange the storage of two fields in O(1) by swapping their slab
+  /// slots (the ping-pong commit in the Jacobi sweep: the new iterate
+  /// becomes u without a copy-back pass).  Halos travel with the slab, so
+  /// the swapped-in field's halo is whatever the sweep left there — refresh
+  /// before reading it, exactly as after a copy_field commit.  NUMA
+  /// placement is unaffected: every field was first-touched with the same
+  /// row partition.
+  void swap_fields(FieldId a, FieldId b) {
+    std::swap(slot_[static_cast<int>(a)], slot_[static_cast<int>(b)]);
+  }
+
   CellView view(FieldId f) {
     return CellView{base(f) + offset_to_origin(), geom_.padded_nx()};
   }
@@ -111,20 +124,28 @@ public:
 
 private:
   double* base(FieldId f) {
-    return slab_.data() +
-           static_cast<std::size_t>(f) * static_cast<std::size_t>(geom_.padded_cells());
+    return slab_.data() + static_cast<std::size_t>(slot_[static_cast<int>(f)]) *
+                              static_cast<std::size_t>(geom_.padded_cells());
   }
   const double* base(FieldId f) const {
-    return slab_.data() +
-           static_cast<std::size_t>(f) * static_cast<std::size_t>(geom_.padded_cells());
+    return slab_.data() + static_cast<std::size_t>(slot_[static_cast<int>(f)]) *
+                              static_cast<std::size_t>(geom_.padded_cells());
   }
   std::ptrdiff_t offset_to_origin() const {
     return static_cast<std::ptrdiff_t>(geom_.halo) * geom_.padded_nx() +
            geom_.halo;
   }
 
+  static std::array<int, kNumFields> identity_slots() {
+    std::array<int, kNumFields> slots{};
+    for (int f = 0; f < kNumFields; ++f) slots[f] = f;
+    return slots;
+  }
+
   PartitionGeom geom_;
   tl::AlignedBuffer<double> slab_;
+  // Field -> slab slot indirection (permuted by swap_fields).
+  std::array<int, kNumFields> slot_ = identity_slots();
 };
 
 }  // namespace tea

@@ -308,6 +308,7 @@ void ManualHostBackend::apply_operator(FieldId in, FieldId out) {
 }
 
 double ManualHostBackend::apply_operator_dot(FieldId in, FieldId out) {
+  if (!fused_operator_dot()) return Backend::apply_operator_dot(in, out);
   ConstCellView vin = store_->cview(in);
   CellView vout = store_->view(out);
   ConstCellView kx = store_->cview(FieldId::kKx);
@@ -402,7 +403,9 @@ void ManualHostBackend::smooth_update(FieldId acc, FieldId res, FieldId w,
 
 double ManualHostBackend::jacobi_iterate() {
   // Sweep from u (whose halo the solver just refreshed) into w, then commit
-  // w back to u; avoids ever reading a stale scratch halo.
+  // by swapping the two slabs instead of paying a copy-back pass.  The
+  // solver refreshes u's halo before every read, so the stale halo the swap
+  // leaves on the new u is never observed.
   ConstCellView uold = store_->cview(FieldId::kU);
   ConstCellView u0 = store_->cview(FieldId::kU0);
   CellView w = store_->view(FieldId::kW);
@@ -412,7 +415,7 @@ double ManualHostBackend::jacobi_iterate() {
   const double err = reduce_rows([&](int j0, int j1) {
     return jacobi_band(uold, u0, w, kx, ky, rx_, ry_, nx, j0, j1);
   });
-  copy_field(FieldId::kW, FieldId::kU);
+  store_->swap_fields(FieldId::kW, FieldId::kU);
   charge_kernel(geom(), ref::kCostJacobi, comm_, /*is_reduction=*/true);
   return err;
 }

@@ -38,6 +38,11 @@ bool backend_is_gpu(const std::string& id) {
          id == "ops-acc" || id == "kokkos-cuda" || id == "raja-cuda";
 }
 
+bool backend_has_fused_operator_dot(const std::string& id) {
+  return id == "serial" || id == "manual-omp" || id == "manual-mpi" ||
+         id == "manual-hybrid";
+}
+
 namespace {
 
 /// Build a non-distributed backend.  `pool` is the caller-owned host pool for
@@ -149,6 +154,7 @@ RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
       }
     }
     const auto backend = make_shared_memory_backend(id, pool, options);
+    backend->set_fused_operator_dot(options.fuse_operator_dot);
     return driver.run(*backend);
   }
 
@@ -171,6 +177,7 @@ RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
     }
     const auto backend =
         make_rank_backend(id, comm, rank_pool.get(), options);
+    backend->set_fused_operator_dot(options.fuse_operator_dot);
     RunResult rank_result = driver.run(*backend);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(result_mutex);

@@ -25,6 +25,10 @@ struct RunOptions {
   // GPU thread-block shape (the paper tunes OPS CUDA to 64x8).
   int gpu_block_x = 64;
   int gpu_block_y = 8;
+  // Fused apply_operator_dot in the CG/PPCG inner loop (PR 3 kernel) vs the
+  // unfused operator+dot pair — a tuning search dimension; numerics are
+  // bitwise identical either way.
+  bool fuse_operator_dot = true;
 };
 
 /// All registered backend ids: the paper's sixteen variants plus the serial
@@ -35,6 +39,11 @@ std::vector<std::string> available_backends();
 bool backend_is_distributed(const std::string& id);
 /// True for variants that execute on the simulated GPU.
 bool backend_is_gpu(const std::string& id);
+/// True for variants with a real fused apply_operator_dot kernel (the
+/// manual host family).  For every other backend the fuse_operator_dot
+/// option is a no-op: the base-class fallback already runs the unfused
+/// pair, so "unfused" is not a distinct configuration.
+bool backend_has_fused_operator_dot(const std::string& id);
 
 /// Run the full TeaLeaf time-marching simulation for `id` on `cfg`.
 /// Handles SPMD world creation for distributed variants; returns rank 0's

@@ -41,7 +41,16 @@ const std::map<Key, EfficiencyProfile>& table() {
       {{"ops-tiled", "xeon"}, {.bw_fraction = 0.415, .launch_multiplier = 1.5}},  // [APP]
       // Kokkos' team dispatch costs dominate small meshes (its 4.49 s at
       // 1000^2 is the slowest CPU time in the paper): high launch multiplier.
-      {{"kokkos-omp", "xeon"}, {.bw_fraction = 0.641, .launch_multiplier = 12.0}},  // [T3]
+      // Recalibrated (PR 5) from the eyeballed 12.0 to the claim-derived
+      // minimum: the smallest multiplier that keeps the §IV-B ordering
+      // (raja-omp beats kokkos-omp at 1000^2) with ~2% margin under the
+      // [T3] bandwidth anchors.  The quoted 4.49 s itself is unreachable
+      // while honouring both the 64.1% [T3] bandwidth anchor and that
+      // ordering — raja's own projected 1000^2 time floors kokkos at
+      // ~3.4x the quote — so the quoted-time band is pinned at ~+240%
+      // and is now gated at that level (test_validation) instead of
+      // drifting unobserved.
+      {{"kokkos-omp", "xeon"}, {.bw_fraction = 0.641, .launch_multiplier = 11.6}},  // [T3]
       {{"raja-omp", "xeon"}, {.bw_fraction = 0.531, .launch_multiplier = 1.2}},  // [T3]
 
       // --- KNL 7210 (flat MCDRAM, quadrant; no NUMA penalty, but fork-join

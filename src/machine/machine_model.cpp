@@ -1,6 +1,7 @@
 #include "machine/machine_model.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -112,9 +113,8 @@ double measure_host_triad_gbs() {
   return gbs * 4.0;
 }
 
-}  // namespace
-
-const MachineModel& host_machine() {
+/// The measured (pre-override) host model; expensive, so computed once.
+const MachineModel& measured_host_machine() {
   static const MachineModel m = [] {
     MachineModel host;
     host.id = "host";
@@ -133,6 +133,57 @@ const MachineModel& host_machine() {
   }();
   return m;
 }
+
+/// Active override set: env values installed once, replaced wholesale by
+/// set_host_overrides().
+MachineOverrides& active_overrides() {
+  static MachineOverrides overrides = MachineOverrides::from_env();
+  return overrides;
+}
+
+MachineModel compose_host(const MachineOverrides& o) {
+  MachineModel host = measured_host_machine();
+  if (o.peak_bw_gbs) host.peak_bw_gbs = *o.peak_bw_gbs;
+  if (o.launch_overhead_us) host.launch_overhead_us = *o.launch_overhead_us;
+  if (o.any()) host.description = "local machine (measured, calibrated)";
+  return host;
+}
+
+/// The composed model host_machine() hands out.  Mutated ONLY by
+/// set_host_overrides(), so reads are stable and race-free between
+/// configuration points (the previous behaviour callers relied on when
+/// caching the reference).
+MachineModel& composed_host() {
+  static MachineModel m = compose_host(active_overrides());
+  return m;
+}
+
+std::optional<double> env_positive(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v > 0.0)) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+MachineOverrides MachineOverrides::from_env() {
+  MachineOverrides o;
+  o.peak_bw_gbs = env_positive("TEA_HOST_BW_GBS");
+  o.launch_overhead_us = env_positive("TEA_HOST_LAUNCH_US");
+  return o;
+}
+
+void set_host_overrides(const MachineOverrides& overrides) {
+  active_overrides() = overrides;
+  composed_host() = compose_host(overrides);
+}
+
+const MachineOverrides& host_overrides() { return active_overrides(); }
+
+const MachineModel& host_machine() { return composed_host(); }
 
 const MachineModel& machine_by_id(const std::string& id) {
   if (id == "xeon") return xeon_e5_2660v4();

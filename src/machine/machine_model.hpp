@@ -4,6 +4,7 @@
 // specific efficiency residuals live separately in efficiency.hpp.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,8 +54,33 @@ const MachineModel& knl_7210();
 const MachineModel& tesla_p100();
 
 /// A model of the machine this library is running on, measured at first use
-/// (cores from hardware_concurrency, bandwidth from a small STREAM triad).
+/// (cores from hardware_concurrency, bandwidth from a small STREAM triad),
+/// then adjusted by the active MachineOverrides (see below).
 const MachineModel& host_machine();
+
+/// Evidence-backed corrections to the measured host model: the PR 4
+/// least-squares calibration (validation::fit_host_model) fits attainable
+/// seconds-per-GB and launch overhead from stored measurements, and this is
+/// the path that feeds those constants back into `host_machine()` instead of
+/// leaving them report-only.  Unset fields keep the measured/default value.
+struct MachineOverrides {
+  std::optional<double> peak_bw_gbs;        // fitted attainable bandwidth
+  std::optional<double> launch_overhead_us; // fitted per-launch cost
+
+  bool any() const {
+    return peak_bw_gbs.has_value() || launch_overhead_us.has_value();
+  }
+
+  /// TEA_HOST_BW_GBS / TEA_HOST_LAUNCH_US (non-positive values ignored).
+  static MachineOverrides from_env();
+};
+
+/// Replace the active host overrides (the env set is installed at first
+/// `host_machine()` call; programmatic callers — the tuner — win afterwards).
+/// Not thread-safe against concurrent `host_machine()` readers: configure
+/// before projecting, as the CLI entry points do.
+void set_host_overrides(const MachineOverrides& overrides);
+const MachineOverrides& host_overrides();
 
 /// Lookup by id; throws tl::Error for unknown ids.
 const MachineModel& machine_by_id(const std::string& id);

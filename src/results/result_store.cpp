@@ -76,6 +76,9 @@ std::string measurement_key(const std::string& variant,
      << options.tile.tile_rows << '|' << options.tile.cache_bytes << '|'
      << options.tile.max_chain << '|' << options.gpu_block_x << '|'
      << options.gpu_block_y;
+  // Appended only when non-default so every pre-existing key (and the
+  // committed baselines keyed on them) stays stable.
+  if (!options.fuse_operator_dot) os << "|unfused";
   return fnv1a_hex(os.str());
 }
 
@@ -131,6 +134,7 @@ Json row_to_json(const ResultRow& r) {
   j.set("tile_rows", Json(r.tile_rows));
   j.set("gpu_block_x", Json(r.gpu_block_x));
   j.set("gpu_block_y", Json(r.gpu_block_y));
+  j.set("fused", Json(r.fused));
   Json samples = Json::array();
   for (const double s : r.timing.samples_s) samples.push_back(Json(s));
   j.set("samples_s", std::move(samples));
@@ -177,6 +181,7 @@ ResultRow row_from_json(const Json& j) {
   r.tile_rows = static_cast<int>(j.get_int("tile_rows", 0));
   r.gpu_block_x = static_cast<int>(j.get_int("gpu_block_x", 0));
   r.gpu_block_y = static_cast<int>(j.get_int("gpu_block_y", 0));
+  if (const Json* f = j.get("fused")) r.fused = f->as_bool();
   std::vector<double> samples;
   if (const Json* s = j.get("samples_s")) {
     for (const Json& v : s->items()) samples.push_back(v.as_double());
@@ -271,6 +276,16 @@ void ResultStore::put(ResultRow row) {
     }
   }
   rows_.push_back(std::move(row));
+}
+
+void ResultStore::relabel(const std::string& key,
+                          const std::string& deck_label) {
+  for (ResultRow& r : rows_) {
+    if (r.key == key) {
+      r.deck = deck_label;
+      return;
+    }
+  }
 }
 
 std::size_t ResultStore::merge(const ResultStore& other) {

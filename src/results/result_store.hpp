@@ -27,6 +27,13 @@ namespace results {
 /// different major version throws.
 inline constexpr int kSchemaVersion = 1;
 
+/// Deck-label prefix of rows stored by the tuner's measured refinement
+/// (src/tuning).  Keys are label-free, so this is provenance, but two
+/// layers act on it: calibration (src/validation) excludes such rows from
+/// the host-model fit, and `measure` promotes them to the requested label
+/// when a non-tune request hits the same cell.
+inline constexpr const char* kTuneDeckPrefix = "tune:";
+
 /// Per-sample wall-clock statistics.  The harness used to keep a single
 /// hot-loop mean; the store keeps every sample so regression gates can reason
 /// about noise (min for gating, stddev for confidence).
@@ -64,6 +71,7 @@ struct ResultRow {
   // RunOptions at measurement time (part of the key).
   int threads = 0, ranks = 0, hybrid_threads = 0;
   int tile_rows = 0, gpu_block_x = 0, gpu_block_y = 0;
+  bool fused = true;  // fused apply_operator_dot (RunOptions.fuse_operator_dot)
 
   TimingStats timing;
   long iterations = 0;        // outer solver iterations, summed over steps
@@ -113,6 +121,9 @@ public:
 
   /// Insert `row`, replacing any existing row with the same key.
   void put(ResultRow row);
+
+  /// Relabel the row under `key` (provenance only — the key is label-free).
+  void relabel(const std::string& key, const std::string& deck_label);
 
   /// Merge rows from `other`; rows in `other` win on key collisions (they
   /// are assumed newer).  Returns the number of rows added or replaced.

@@ -58,10 +58,30 @@ std::string utc_timestamp_now() {
   return buf;
 }
 
-ResultRow measure(ResultStore& store, const MeasureSpec& spec) {
+ResultRow measure(ResultStore& store, const MeasureSpec& original_spec) {
+  MeasureSpec spec = original_spec;
+  // Normalize away no-op options so one physical configuration has one key:
+  // backends without a fused kernel run the unfused pair either way, and a
+  // duplicate "|unfused" row would be the same measurement relabeled.
+  if (!tea::backend_has_fused_operator_dot(spec.variant)) {
+    spec.options.fuse_operator_dot = true;
+  }
   const std::string key =
       measurement_key(spec.variant, spec.problem, spec.options);
-  if (const ResultRow* cached = store.lookup(key)) return *cached;
+  if (const ResultRow* cached = store.lookup(key)) {
+    // Keys are label-free, so a cell first measured by the tuner sits under
+    // an excluded-from-calibration "tune:" label.  An explicit non-tune
+    // request for the same cell promotes it to the requested label —
+    // otherwise `tune` before `run` would permanently starve the
+    // calibration fit of these rows.  (Tune requests never demote non-tune
+    // rows: the branch only fires on tune-labelled cached rows.)
+    if (cached->deck.rfind(kTuneDeckPrefix, 0) == 0 &&
+        spec.deck_label.rfind(kTuneDeckPrefix, 0) != 0) {
+      store.relabel(key, spec.deck_label);
+      cached = store.find(key);
+    }
+    return *cached;
+  }
 
   const int samples = spec.samples > 0 ? spec.samples : 1;
   std::vector<double> wall;
@@ -89,6 +109,7 @@ ResultRow measure(ResultStore& store, const MeasureSpec& spec) {
   row.tile_rows = spec.options.tile.tile_rows;
   row.gpu_block_x = spec.options.gpu_block_x;
   row.gpu_block_y = spec.options.gpu_block_y;
+  row.fused = spec.options.fuse_operator_dot;
   row.timing = TimingStats::from_samples(std::move(wall));
   row.iterations = run.total_iterations;
   for (const tea::StepResult& s : run.steps) {
@@ -157,7 +178,8 @@ SweepConfig default_sweep(int mesh, int steps, int samples) {
 
 const std::vector<std::string>& sweep_deck_names() {
   static const std::vector<std::string> names = {
-      "tea_bm_1", "tea_bm_2", "tea_circle", "tea_point"};
+      "tea_bm_1", "tea_bm_2", "tea_bm_16", "tea_aniso",
+      "tea_circle", "tea_point"};
   return names;
 }
 

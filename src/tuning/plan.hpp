@@ -1,0 +1,101 @@
+// plan.hpp — the TunedPlan artifact: a versioned, store-backed record of the
+// execution configuration the tuner chose for one problem, plus the frontier
+// of candidates it measured to choose it.
+//
+// A plan is a pure function of the result store it was tuned against: no
+// timestamps, no environment, fixed key order — identical stores produce
+// bit-identical plan JSON, which is what the tune-smoke CI job and the
+// determinism tests assert.  Unknown JSON keys are tolerated on load so old
+// binaries can read plans written by newer ones (forward compatibility is
+// part of the schema contract; incompatible changes bump the version).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/registry.hpp"
+#include "results/json.hpp"
+
+namespace tuning {
+
+/// Bump on incompatible plan-layout changes; loaders reject mismatches.
+inline constexpr int kPlanSchemaVersion = 1;
+
+/// One point of the execution-plan space: everything the driver needs to run
+/// a problem one particular way.  Solver and preconditioner are stored by
+/// their deck names (tl::to_string) so plans stay readable and diffable.
+struct ExecutionPoint {
+  std::string variant = "manual-omp";
+  int threads = 0;        // 0 = runtime default (all hardware threads)
+  int ranks = 4;          // distributed variants only (part of the store key)
+  int hybrid_threads = 0;
+  int tile_rows = 0;      // ops-tiled cache-block height (0 = auto)
+  bool fused = true;      // fused apply_operator_dot in the CG/PPCG loop
+  std::string solver = "cg";
+  std::string precon = "none";
+
+  /// Stable, human-readable candidate id; the deterministic tie-break and
+  /// every report join on it.
+  std::string id() const;
+
+  bool operator==(const ExecutionPoint& o) const {
+    return variant == o.variant && threads == o.threads && ranks == o.ranks &&
+           hybrid_threads == o.hybrid_threads && tile_rows == o.tile_rows &&
+           fused == o.fused && solver == o.solver && precon == o.precon;
+  }
+};
+
+/// One measured survivor of the model prune.
+struct FrontierEntry {
+  ExecutionPoint point;
+  double model_seconds = 0.0;  // calibrated-host projection that ranked it
+  bool converged = false;
+  double median_s = 0.0;       // store-measured wall statistics
+  double min_s = 0.0;
+  std::string store_key;       // content-addressed row behind the numbers
+};
+
+struct TunedPlan {
+  int schema_version = kPlanSchemaVersion;
+  std::string deck;       // label the rows were stored under (sans "tune:")
+  std::string deck_hash;  // results::problem_hash of the tuned problem
+  int mesh_x = 0, mesh_y = 0, steps = 0;
+  int budget = 0;         // measured-refinement width the tune ran with
+
+  ExecutionPoint winner;
+  double winner_median_s = 0.0;
+  double incumbent_median_s = 0.0;  // the deck's default configuration
+  std::string winner_key;
+
+  // Host constants the model prune scored under, with per-field provenance
+  // ("env" = explicit TEA_HOST_* override, "fit" = the PR 4 least-squares
+  // calibration fed through machine::MachineOverrides, "fallback" = fixed
+  // defaults because the store had no evidence).  `calibrated` is true iff
+  // at least one field actually came from the fit.
+  bool calibrated = false;
+  double scored_bw_gbs = 0.0;
+  double scored_launch_overhead_us = 0.0;
+  std::string bw_source = "fallback";
+  std::string launch_source = "fallback";
+
+  std::vector<FrontierEntry> frontier;  // sorted by measured median
+};
+
+/// Serialise (stable key order, no timestamps).
+results::Json plan_to_json(const TunedPlan& plan);
+
+/// Parse; throws tl::ConfigError on schema-version mismatch or a
+/// structurally broken document.  Unknown keys are ignored.
+TunedPlan plan_from_json(const results::Json& doc);
+
+TunedPlan load_plan(const std::string& path);
+void save_plan(const TunedPlan& plan, const std::string& path);
+
+/// Apply the winning point to a problem + run options (solver and
+/// preconditioner onto the ProblemConfig; threads/ranks/tiling/fusion onto
+/// the RunOptions) and return the backend variant id to run.
+std::string apply_plan(const TunedPlan& plan, tl::ProblemConfig* problem,
+                       tea::RunOptions* options);
+
+}  // namespace tuning

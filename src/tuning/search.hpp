@@ -1,0 +1,96 @@
+// search.hpp — the model-guided execution-plan search.
+//
+// Phase 1, model-first prune: every candidate in the execution-plan space
+// (backend variant x thread/rank count x miniops tile height x fused-vs-
+// unfused apply_operator_dot x solver x preconditioner) is scored with a
+// tl_machine roofline projection of analytically estimated counters on the
+// *calibrated* host model — the PR 4 least-squares constants fed through
+// machine::MachineOverrides into host_machine().  Only the top `budget`
+// candidates survive (the incumbent deck configuration always does).
+//
+// Phase 2, measured refinement: the survivors run through the result
+// store's content-addressed fetch-or-measure session, so a re-tune against
+// an already-populated store performs zero new measurements and the winner
+// is decided by real medians with a deterministic id tie-break.
+//
+// Everything here is a pure function of (store contents, problem, options,
+// host core count): identical stores yield bit-identical TunedPlan JSON.
+// The calibration fit deliberately excludes rows the tuner itself stored
+// (deck labels prefixed "tune:"), otherwise the first tune's measurements
+// would shift the second tune's model scores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "machine/instrumentation.hpp"
+#include "machine/machine_model.hpp"
+#include "results/result_store.hpp"
+#include "tuning/plan.hpp"
+#include "validation/calibrate.hpp"
+
+namespace tuning {
+
+/// Deck-label prefix for rows the measured refinement stores.  The
+/// calibration layer excludes rows under it from every fit (tune's own and
+/// `tea_sweep validate`'s alike) — see validation::kTuneDeckPrefix, which
+/// this aliases.
+inline constexpr const char* kTuneDeckPrefix = validation::kTuneDeckPrefix;
+
+struct TuneOptions {
+  std::string deck_label = "deck";  // plan.deck and "tune:<label>" row label
+  int budget = 8;                   // measured-refinement width (top-K)
+  int samples = 3;                  // timed repetitions per cold measurement
+  bool use_calibration = true;      // fit + feed back into host_machine()
+  bool verbose = false;
+};
+
+/// One scored candidate (phase 1 output).
+struct ScoredCandidate {
+  ExecutionPoint point;
+  double model_seconds = 0.0;
+};
+
+struct TuneOutcome {
+  TunedPlan plan;
+  std::vector<ScoredCandidate> considered;  // all candidates, score-sorted
+  int measured = 0;  // cells executed by the refinement
+  int cached = 0;    // cells served from the store
+  validation::CalibrationFit fit;
+};
+
+/// The deterministic candidate space for `problem` on a host with
+/// `host_cores` cores.  The first entry is always the incumbent: the deck's
+/// own solver/preconditioner on the default backend and options.
+std::vector<ExecutionPoint> enumerate_candidates(
+    const tl::ProblemConfig& problem, int host_cores);
+
+/// Analytic counter estimate for one candidate: per-kernel footprints from
+/// the ref_kernels cost table times a per-solver iteration estimate.  Used
+/// only for pruning — measurement decides the winner.
+machine::Counters estimate_counters(const tl::ProblemConfig& problem,
+                                    const ExecutionPoint& point);
+
+/// Roofline projection of `point` on the (calibrated) host model.
+double model_seconds(const tl::ProblemConfig& problem,
+                     const ExecutionPoint& point,
+                     const machine::MachineModel& host);
+
+/// RunOptions equivalent of a candidate point.
+tea::RunOptions point_options(const ExecutionPoint& point);
+
+/// Run the two-phase search against `store` (mutated by cold measurements;
+/// caller persists it).  Model scores use, per field: explicit TEA_HOST_*
+/// env overrides > the least-squares fit > fixed fallback constants.  When
+/// options.use_calibration and the fit succeeds, the installed constants
+/// are left in place as the host overrides — the calibration feedback loop
+/// this subsystem exists for; otherwise the previous overrides are restored
+/// (the scoring fallbacks are scoped to the tune).
+TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
+                 const TuneOptions& options);
+
+/// Human-readable frontier report (markdown).
+std::string frontier_markdown(const TuneOutcome& outcome);
+
+}  // namespace tuning

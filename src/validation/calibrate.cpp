@@ -27,6 +27,7 @@ std::vector<CalibrationRow> calibration_rows(
   std::vector<CalibrationRow> out;
   for (const results::ResultRow& r : store.rows()) {
     if (r.platform != "host") continue;  // modeled rows carry no evidence
+    if (r.deck.rfind(kTuneDeckPrefix, 0) == 0) continue;  // tuner output
     const bool kernel_row = r.variant.rfind("kernel-", 0) == 0;
     if (!contains(variants, kernel_variant_suffix(r.variant))) continue;
     if (r.timing.min_s <= 0.0) continue;

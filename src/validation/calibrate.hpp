@@ -28,6 +28,14 @@
 
 namespace validation {
 
+/// Deck-label prefix of rows stored by the tuner's measured refinement
+/// (aliases results::kTuneDeckPrefix).  Calibration skips them: tuned-plan
+/// measurements feeding the fit would make the fitted constants — and every
+/// model score and validation report derived from them — depend on whether
+/// a tune ran against the store first.  (An explicit non-tune measurement
+/// request for the same cell relabels the row, re-admitting it.)
+inline constexpr const char* kTuneDeckPrefix = results::kTuneDeckPrefix;
+
 /// One normalized observation: per-execution-unit traffic, launches and
 /// wall time.  Whole-solve rows use the run itself as the unit; kernel-sweep
 /// rows (variant "kernel-<k>/<v>") are normalized per kernel call, since
@@ -42,8 +50,9 @@ struct CalibrationRow {
 
 /// Extract calibration observations from `store`: every host row whose
 /// variant (or, for kernel rows, variant suffix) is in `variants`, with
-/// usable timing and non-zero traffic.  Rows appear in store order, so the
-/// result — and everything fitted from it — is deterministic.
+/// usable timing and non-zero traffic; rows under kTuneDeckPrefix are
+/// excluded (see above).  Rows appear in store order, so the result — and
+/// everything fitted from it — is deterministic.
 std::vector<CalibrationRow> calibration_rows(
     const results::ResultStore& store, const std::vector<std::string>& variants);
 

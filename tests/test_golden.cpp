@@ -95,6 +95,14 @@ const GoldenCase kGolden[] = {
     {"tea_point", "cg", 2, 1e-15, 10000, 157, 0, 1, 147529.49137058519, 1.3665519599067753e-10, 10.765380859375083},
     {"tea_point", "chebyshev", 2, 1e-15, 10000, 210, 0, 1, 147529.49163809954, 6.5643832969024181e-11, 10.765380859375146},
     {"tea_point", "ppcg", 2, 1e-15, 10000, 72, 120, 1, 147529.51544457252, 6.1273370210655517e-12, 10.765380859375096},
+    {"tea_bm_16", "jacobi", 2, 1e-08, 2500, 3200, 0, 1, 839.14690849678493, 8.3858320217280649e-06, 50.722851222260488},
+    {"tea_bm_16", "cg", 2, 1e-15, 10000, 258, 0, 1, 837.05066270059547, 4.9558774574495861e-14, 50.799999999997866},
+    {"tea_bm_16", "chebyshev", 2, 1e-15, 10000, 530, 0, 1, 837.05068129327435, 4.1250666551601559e-13, 50.800000000000111},
+    {"tea_bm_16", "ppcg", 2, 1e-15, 10000, 89, 290, 1, 837.05048595589858, 5.4605763613168802e-13, 50.80000000000382},
+    {"tea_aniso", "jacobi", 2, 1e-08, 2500, 1040, 0, 1, 588.74461594459137, 4.2588144198220316e-06, 202.99936808947947},
+    {"tea_aniso", "cg", 2, 1e-15, 10000, 194, 0, 1, 588.03727305152609, 2.1417698897505651e-15, 203.20000000000491},
+    {"tea_aniso", "chebyshev", 2, 1e-15, 10000, 350, 0, 1, 588.03727772083573, 1.2704834796071399e-13, 203.19999999999916},
+    {"tea_aniso", "ppcg", 2, 1e-15, 10000, 80, 200, 1, 588.0371949489703, 4.0998982689510916e-13, 203.19999999999297},
 };
 // --- end golden table -------------------------------------------------------
 
@@ -133,6 +141,7 @@ void clamp_budgets(const std::string& deck, const std::string& solver,
     *eps = std::max(deck_eps, 1e-8);
     if (deck == "tea_bm_2") *max_iters = 3000;
     else if (deck == "tea_ppcg_precon") *max_iters = 1500;
+    else if (deck == "tea_bm_16" || deck == "tea_aniso") *max_iters = 2500;
     else if (deck != "tea_bm_1") *max_iters = 5000;
   }
 }
@@ -276,8 +285,8 @@ INSTANTIATE_TEST_SUITE_P(GoldenThreads, ThreadedGoldenCaseTest,
 
 // The table must cover the full deck x solver matrix the suite advertises.
 TEST(GoldenTable, CoversAllDecksAndSolvers) {
-  const char* decks[] = {"tea_bm_1", "tea_bm_2", "tea_ppcg_precon",
-                         "tea_circle", "tea_point"};
+  const char* decks[] = {"tea_bm_1", "tea_bm_2", "tea_bm_16", "tea_aniso",
+                         "tea_ppcg_precon", "tea_circle", "tea_point"};
   const char* solvers[] = {"jacobi", "cg", "chebyshev", "ppcg"};
   for (const char* d : decks) {
     for (const char* s : solvers) {

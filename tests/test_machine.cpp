@@ -353,4 +353,34 @@ TEST(HostMachine, MeasuredModelIsSane) {
   EXPECT_GT(host.peak_bw_gbs, 0.1);
 }
 
+TEST(HostMachine, OverridesFeedCalibrationIntoTheModel) {
+  const machine::MachineOverrides saved = machine::host_overrides();
+  machine::set_host_overrides({});
+  const MachineModel measured = machine::host_machine();
+
+  machine::MachineOverrides o;
+  o.peak_bw_gbs = 42.5;
+  o.launch_overhead_us = 7.25;
+  machine::set_host_overrides(o);
+  const MachineModel& calibrated = machine::host_machine();
+  EXPECT_DOUBLE_EQ(calibrated.peak_bw_gbs, 42.5);
+  EXPECT_DOUBLE_EQ(calibrated.launch_overhead_us, 7.25);
+  // Untouched fields keep the measured values.
+  EXPECT_EQ(calibrated.cores, measured.cores);
+  EXPECT_DOUBLE_EQ(calibrated.msg_bw_gbs, measured.msg_bw_gbs);
+
+  // Partial override: only the bandwidth moves.
+  machine::MachineOverrides bw_only;
+  bw_only.peak_bw_gbs = 99.0;
+  machine::set_host_overrides(bw_only);
+  EXPECT_DOUBLE_EQ(machine::host_machine().peak_bw_gbs, 99.0);
+  EXPECT_DOUBLE_EQ(machine::host_machine().launch_overhead_us,
+                   measured.launch_overhead_us);
+
+  // Clearing restores the measured model exactly.
+  machine::set_host_overrides({});
+  EXPECT_DOUBLE_EQ(machine::host_machine().peak_bw_gbs, measured.peak_bw_gbs);
+  machine::set_host_overrides(saved);
+}
+
 }  // namespace

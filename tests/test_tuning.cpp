@@ -1,0 +1,258 @@
+// Tests for the model-guided autotuning subsystem: plan serialisation,
+// plan application, model-prune ordering, and the determinism contract the
+// tune-smoke CI job relies on (identical stores -> bit-identical plans,
+// second tune -> pure cache hits).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/config.hpp"
+#include "machine/machine_model.hpp"
+#include "results/result_store.hpp"
+#include "results/sweep.hpp"
+#include "tuning/plan.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+tl::ProblemConfig tiny_problem(int mesh, int steps) {
+  return results::bench_problem(mesh, steps);
+}
+
+tuning::TunedPlan sample_plan() {
+  tuning::TunedPlan plan;
+  plan.deck = "bench-24";
+  plan.deck_hash = "0123456789abcdef";
+  plan.mesh_x = 24;
+  plan.mesh_y = 24;
+  plan.steps = 2;
+  plan.budget = 3;
+  plan.winner.variant = "manual-omp";
+  plan.winner.threads = 4;
+  plan.winner.tile_rows = 16;
+  plan.winner.fused = false;
+  plan.winner.solver = "ppcg";
+  plan.winner.precon = "jac_diag";
+  plan.winner_median_s = 0.125;
+  plan.incumbent_median_s = 0.25;
+  plan.winner_key = "deadbeef00000000";
+  plan.calibrated = true;
+  plan.scored_bw_gbs = 37.5;
+  plan.scored_launch_overhead_us = 3.25;
+  plan.bw_source = "fit";
+  plan.launch_source = "env";
+  tuning::FrontierEntry e;
+  e.point = plan.winner;
+  e.model_seconds = 0.1;
+  e.converged = true;
+  e.median_s = 0.125;
+  e.min_s = 0.12;
+  e.store_key = plan.winner_key;
+  plan.frontier.push_back(e);
+  return plan;
+}
+
+TEST(TunedPlan, JsonRoundTripPreservesEveryField) {
+  const tuning::TunedPlan plan = sample_plan();
+  const tuning::TunedPlan back =
+      tuning::plan_from_json(results::Json::parse(
+          tuning::plan_to_json(plan).dump(2)));
+  EXPECT_EQ(back.schema_version, tuning::kPlanSchemaVersion);
+  EXPECT_EQ(back.deck, plan.deck);
+  EXPECT_EQ(back.deck_hash, plan.deck_hash);
+  EXPECT_EQ(back.mesh_x, plan.mesh_x);
+  EXPECT_EQ(back.steps, plan.steps);
+  EXPECT_EQ(back.budget, plan.budget);
+  EXPECT_TRUE(back.winner == plan.winner) << back.winner.id();
+  EXPECT_DOUBLE_EQ(back.winner_median_s, plan.winner_median_s);
+  EXPECT_DOUBLE_EQ(back.incumbent_median_s, plan.incumbent_median_s);
+  EXPECT_EQ(back.winner_key, plan.winner_key);
+  EXPECT_TRUE(back.calibrated);
+  EXPECT_DOUBLE_EQ(back.scored_bw_gbs, plan.scored_bw_gbs);
+  EXPECT_DOUBLE_EQ(back.scored_launch_overhead_us,
+                   plan.scored_launch_overhead_us);
+  EXPECT_EQ(back.bw_source, "fit");
+  EXPECT_EQ(back.launch_source, "env");
+  ASSERT_EQ(back.frontier.size(), 1u);
+  EXPECT_TRUE(back.frontier[0].point == plan.frontier[0].point);
+  EXPECT_DOUBLE_EQ(back.frontier[0].model_seconds, 0.1);
+  EXPECT_EQ(back.frontier[0].store_key, plan.winner_key);
+
+  // Serialisation is a fixed point (the bit-determinism contract rests on
+  // this): one more lap changes nothing.
+  EXPECT_EQ(tuning::plan_to_json(back).dump(2),
+            tuning::plan_to_json(plan).dump(2));
+}
+
+TEST(TunedPlan, UnknownKeysAreTolerated) {
+  // A plan written by a future version with extra fields must still load:
+  // top-level, winner-level and frontier-level unknowns are all ignored.
+  results::Json doc = tuning::plan_to_json(sample_plan());
+  doc.set("future_top_level_field", results::Json("ignore me"));
+  results::Json fancy_winner = *doc.get("winner");
+  fancy_winner.set("gpu_clock_mhz", results::Json(1480));
+  doc.set("winner", std::move(fancy_winner));
+  const tuning::TunedPlan back = tuning::plan_from_json(doc);
+  EXPECT_EQ(back.deck, "bench-24");
+  EXPECT_EQ(back.winner.variant, "manual-omp");
+  EXPECT_EQ(back.winner.threads, 4);
+}
+
+TEST(TunedPlan, SchemaVersionMismatchThrows) {
+  results::Json doc = tuning::plan_to_json(sample_plan());
+  doc.set("schema_version", results::Json(999));
+  EXPECT_THROW(tuning::plan_from_json(doc), tl::ConfigError);
+}
+
+TEST(TunedPlan, ApplyPlanDrivesProblemAndOptions) {
+  const tuning::TunedPlan plan = sample_plan();
+  tl::ProblemConfig problem = tiny_problem(24, 2);
+  tea::RunOptions options;
+  const std::string variant = tuning::apply_plan(plan, &problem, &options);
+  EXPECT_EQ(variant, "manual-omp");
+  EXPECT_EQ(problem.solver, tl::SolverKind::kPpcg);
+  EXPECT_EQ(problem.preconditioner, tl::PreconKind::kJacDiag);
+  EXPECT_EQ(options.threads, 4);
+  EXPECT_EQ(options.tile.tile_rows, 16);
+  EXPECT_FALSE(options.fuse_operator_dot);
+}
+
+TEST(Search, CandidateSpaceStartsWithTheIncumbent) {
+  tl::ProblemConfig problem = tiny_problem(24, 2);
+  problem.solver = tl::SolverKind::kPpcg;
+  problem.preconditioner = tl::PreconKind::kJacDiag;
+  const auto space = tuning::enumerate_candidates(problem, 4);
+  ASSERT_FALSE(space.empty());
+  const tuning::ExecutionPoint& incumbent = space.front();
+  EXPECT_EQ(incumbent.variant, "manual-omp");
+  EXPECT_EQ(incumbent.threads, 0);
+  EXPECT_EQ(incumbent.solver, "ppcg");
+  EXPECT_EQ(incumbent.precon, "jac_diag");
+  // The space covers every execution dimension the issue names.
+  bool has_unfused = false, has_tiled = false, has_mpi = false,
+       has_kokkos = false, has_raja = false, has_acc = false;
+  for (const tuning::ExecutionPoint& p : space) {
+    has_unfused |= !p.fused;
+    has_tiled |= p.variant == "ops-tiled" && p.tile_rows > 0;
+    has_mpi |= p.variant == "manual-mpi";
+    has_kokkos |= p.variant == "kokkos-omp";
+    has_raja |= p.variant == "raja-omp";
+    has_acc |= p.variant == "manual-acc-cpu";
+  }
+  EXPECT_TRUE(has_unfused);
+  EXPECT_TRUE(has_tiled);
+  EXPECT_TRUE(has_mpi);
+  EXPECT_TRUE(has_kokkos);
+  EXPECT_TRUE(has_raja);
+  EXPECT_TRUE(has_acc);
+  // No duplicates (ids are the identity).
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    for (std::size_t j = i + 1; j < space.size(); ++j) {
+      EXPECT_NE(space[i].id(), space[j].id());
+    }
+  }
+}
+
+TEST(Search, ModelSecondsRespondsToTheModelConstants) {
+  const tl::ProblemConfig problem = tiny_problem(48, 2);
+  tuning::ExecutionPoint p;  // manual-omp defaults
+  machine::MachineModel host = machine::host_machine();
+  host.peak_bw_gbs = 10.0;
+  host.launch_overhead_us = 5.0;
+  const double slow_bw = tuning::model_seconds(problem, p, host);
+  host.peak_bw_gbs = 100.0;
+  const double fast_bw = tuning::model_seconds(problem, p, host);
+  EXPECT_LT(fast_bw, slow_bw);  // 10x bandwidth can only help
+  host.launch_overhead_us = 500.0;
+  const double slow_launch = tuning::model_seconds(problem, p, host);
+  EXPECT_GT(slow_launch, fast_bw);  // 100x launch cost can only hurt
+}
+
+// The prune contract: candidates are ranked by modeled seconds with the id
+// as the only tie-break — a strictly slower modeled candidate never
+// outranks a faster one.
+TEST(Search, ModelPruneIsMonotone) {
+  results::ResultStore store;
+  tuning::TuneOptions options;
+  options.deck_label = "prune-test";
+  options.budget = 2;
+  options.samples = 1;
+  const tuning::TuneOutcome outcome =
+      tuning::tune(store, tiny_problem(16, 1), options);
+  ASSERT_GT(outcome.considered.size(), 10u);
+  for (std::size_t i = 1; i < outcome.considered.size(); ++i) {
+    const tuning::ScoredCandidate& prev = outcome.considered[i - 1];
+    const tuning::ScoredCandidate& cur = outcome.considered[i];
+    EXPECT_LE(prev.model_seconds, cur.model_seconds)
+        << prev.point.id() << " vs " << cur.point.id();
+    if (prev.model_seconds == cur.model_seconds) {
+      EXPECT_LT(prev.point.id(), cur.point.id());
+    }
+  }
+  // Everything measured was either in the top-budget prefix or is the
+  // incumbent (which is never pruned).
+  ASSERT_GE(outcome.plan.frontier.size(), 2u);
+  const tuning::ExecutionPoint incumbent;  // manual-omp/t0/fused/cg+none
+  for (const tuning::FrontierEntry& e : outcome.plan.frontier) {
+    bool in_prefix = false;
+    for (int i = 0; i < options.budget; ++i) {
+      if (outcome.considered[static_cast<std::size_t>(i)].point == e.point) {
+        in_prefix = true;
+      }
+    }
+    EXPECT_TRUE(in_prefix || e.point == incumbent) << e.point.id();
+  }
+}
+
+TEST(Search, TuneIsBitDeterministicAndCachesPerfectly) {
+  results::ResultStore store;
+  const tl::ProblemConfig problem = tiny_problem(24, 2);
+  tuning::TuneOptions options;
+  options.deck_label = "determinism-test";
+  options.budget = 4;
+  options.samples = 1;
+
+  const tuning::TuneOutcome first = tuning::tune(store, problem, options);
+  EXPECT_GT(first.measured, 0);
+  EXPECT_EQ(first.cached, 0);
+
+  // Second tune against the store the first one populated: every cell is a
+  // cache hit and the plan JSON is bit-identical.
+  const tuning::TuneOutcome second = tuning::tune(store, problem, options);
+  EXPECT_EQ(second.measured, 0);
+  EXPECT_EQ(second.cached, static_cast<int>(second.plan.frontier.size()));
+  EXPECT_EQ(tuning::plan_to_json(first.plan).dump(2),
+            tuning::plan_to_json(second.plan).dump(2));
+
+  // The winner can never lose to the incumbent: the incumbent is always in
+  // the measured frontier and the winner is the fastest converged entry.
+  EXPECT_GT(second.plan.incumbent_median_s, 0.0);
+  EXPECT_LE(second.plan.winner_median_s, second.plan.incumbent_median_s);
+
+  // Reset the override the tune left installed (the feedback loop is
+  // process-global by design).
+  machine::set_host_overrides({});
+}
+
+TEST(Search, TuneRowsAreExcludedFromTheCalibrationFit) {
+  // A store holding nothing but tune rows must behave like an empty store
+  // for calibration purposes: the fit falls back to the fixed constants, so
+  // re-tuning cannot feed its own measurements back into its own scores.
+  results::ResultStore store;
+  const tl::ProblemConfig problem = tiny_problem(16, 1);
+  tuning::TuneOptions options;
+  options.deck_label = "self-feed-test";
+  options.budget = 2;
+  options.samples = 1;
+  const tuning::TuneOutcome first = tuning::tune(store, problem, options);
+  EXPECT_FALSE(first.fit.ok);
+  EXPECT_FALSE(first.plan.calibrated);
+  const tuning::TuneOutcome second = tuning::tune(store, problem, options);
+  EXPECT_FALSE(second.fit.ok) << "tune:* rows leaked into the calibration";
+  EXPECT_DOUBLE_EQ(second.plan.scored_bw_gbs, first.plan.scored_bw_gbs);
+  EXPECT_EQ(second.plan.bw_source, "fallback");
+  machine::set_host_overrides({});
+}
+
+}  // namespace

@@ -122,10 +122,12 @@ TEST_F(ValidationSweepTest, ErrorBandsJoinThePaperNumbers) {
   // Table III bands: one per framework per P(app) column.
   int table3_bands = 0;
   const validation::ErrorBand* knl_quote = nullptr;
+  const validation::ErrorBand* xeon_quote = nullptr;
   for (const validation::ErrorBand& b : report.bands) {
     EXPECT_TRUE(std::isfinite(b.rel_error)) << b.name;
     if (b.name.rfind("table3/", 0) == 0) ++table3_bands;
     if (b.name == "quoted/kokkos-omp/knl") knl_quote = &b;
+    if (b.name == "quoted/kokkos-omp/xeon") xeon_quote = &b;
   }
   EXPECT_EQ(table3_bands, 8);
   // §IV-B quotes Kokkos OpenMP at 11.02 s on the KNL at 1000^2; the
@@ -133,6 +135,15 @@ TEST_F(ValidationSweepTest, ErrorBandsJoinThePaperNumbers) {
   ASSERT_NE(knl_quote, nullptr);
   EXPECT_NEAR(knl_quote->ours, knl_quote->paper,
               0.25 * knl_quote->paper);
+  // The Xeon quote (4.49 s) is structurally out of reach: honouring both
+  // the [T3] 64.1% bandwidth anchor and the §IV-B raja<kokkos ordering
+  // floors the projection at ~3.4x the quote (see efficiency.cpp).  The
+  // PR 5 launch-multiplier recalibration pinned the band at ~+240% (a 48^2
+  // source sweep) / ~+260% (this 32^2 one — the measured traffic mix moves
+  // it a little); gate it so the known overshoot cannot silently widen.
+  ASSERT_NE(xeon_quote, nullptr);
+  EXPECT_GT(xeon_quote->rel_error, 0.0);      // it is an overshoot
+  EXPECT_LE(xeon_quote->rel_error, 2.65);     // and it stays recalibrated
 }
 
 TEST_F(ValidationSweepTest, ReportIsBitIdenticalForTheSameStore) {
@@ -301,6 +312,13 @@ TEST(Calibration, StoreRowsAreNormalizedPerExecutionUnit) {
   other.key = "k3";
   other.variant = "kokkos-omp";
   store.put(other);
+
+  // A row the tuner stored (deck label under kTuneDeckPrefix): ignored,
+  // otherwise running `tune` would change every later fit on the store.
+  results::ResultRow tuned = solve;
+  tuned.key = "k4";
+  tuned.deck = std::string(validation::kTuneDeckPrefix) + "tea_bm_1";
+  store.put(tuned);
 
   const auto rows =
       validation::calibration_rows(store, {"serial", "manual-omp"});

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 #include "results/compare.hpp"
 #include "results/result_store.hpp"
 #include "results/sweep.hpp"
+#include "tuning/plan.hpp"
+#include "tuning/search.hpp"
 #include "validation/validation.hpp"
 
 namespace {
@@ -63,6 +66,16 @@ int usage() {
       "           time the hot-path kernels (5-point stencil, dot, fused\n"
       "           op+dot) into the store; with --baseline, print per-row\n"
       "           speedups against a previously saved kernel sweep\n"
+      "  tune     (--deck PATH | --mesh N [--steps N]) [--store P]\n"
+      "           [--budget N] [--samples N] [--label L]\n"
+      "           [--out plan.json] [--report frontier.md]\n"
+      "           [--no-calibration] [--baseline plan.json]\n"
+      "           search the execution-plan space: model-prune every\n"
+      "           candidate on the calibrated host model, measure the\n"
+      "           survivors through the store cache, and write the winning\n"
+      "           TunedPlan (run `tea <deck> --plan plan.json` to use it);\n"
+      "           with --baseline, fail if the plan's structural identity\n"
+      "           (schema/deck/budget) drifted from a committed plan\n"
       "  merge    <out.json> <in1.json> [in2.json ...]\n"
       "           merge stores (later inputs win on key collisions)\n"
       "\n"
@@ -399,6 +412,97 @@ int cmd_kernels(const tl::Cli& cli) {
   return 0;
 }
 
+int cmd_tune(const tl::Cli& cli) {
+  // Resolve the problem: an explicit deck file, or the canonical bench
+  // problem (the same construction `run` uses, so store keys line up).
+  tl::ProblemConfig problem;
+  std::string label;
+  if (const auto deck = cli.get("deck")) {
+    problem = tl::Config::load(*deck).problem();
+    label = std::filesystem::path(*deck).stem().string();
+  } else if (cli.has("mesh")) {
+    const auto defaults = bench::HarnessOptions::from_env(1000);
+    const int mesh = static_cast<int>(cli.get_long("mesh", 48));
+    const int steps =
+        static_cast<int>(cli.get_long("steps", defaults.bench_steps));
+    problem = results::bench_problem(mesh, steps);
+    label = "bench-" + std::to_string(mesh);
+  } else {
+    std::fprintf(stderr, "tune needs --deck PATH or --mesh N\n");
+    return usage();
+  }
+
+  tuning::TuneOptions options;
+  options.deck_label = cli.get_or("label", label);
+  options.budget = static_cast<int>(cli.get_long("budget", options.budget));
+  options.samples = static_cast<int>(
+      cli.get_long("samples", bench::HarnessOptions::from_env(1000).samples));
+  options.use_calibration = !cli.has("no-calibration");
+  options.verbose = true;
+
+  const std::string path = resolve_store_path(cli);
+  results::ResultStore store = results::ResultStore::load(path);
+  std::printf("tune: %s (%dx%d, %d steps) budget %d -> %s\n",
+              options.deck_label.c_str(), problem.x_cells, problem.y_cells,
+              problem.end_step, options.budget, path.c_str());
+  const tuning::TuneOutcome outcome = tuning::tune(store, problem, options);
+  store.save(path);
+
+  const tuning::TunedPlan& plan = outcome.plan;
+  std::printf(
+      "tune done: %zu candidates considered, %d measured, %d cache hits\n",
+      outcome.considered.size(), outcome.measured, outcome.cached);
+  std::printf("winner: %s  median %.4fs (incumbent %.4fs)\n",
+              plan.winner.id().c_str(), plan.winner_median_s,
+              plan.incumbent_median_s);
+  std::printf("model constants: %.2f GB/s (%s), %.2f us/launch (%s)%s\n",
+              plan.scored_bw_gbs, plan.bw_source.c_str(),
+              plan.scored_launch_overhead_us, plan.launch_source.c_str(),
+              plan.calibrated ? " — calibration fed back into host_machine()"
+                              : "");
+
+  const std::string out_path = cli.get_or("out", "BENCH_tuned_plan.json");
+  tuning::save_plan(plan, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (const auto report = cli.get("report")) {
+    std::ofstream out(*report);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report->c_str());
+      return 2;
+    }
+    out << tuning::frontier_markdown(outcome);
+    std::printf("wrote %s\n", report->c_str());
+  }
+
+  if (const auto b = cli.get("baseline")) {
+    // Structural gate only: wall times — and therefore the winner — are
+    // machine-local, but the plan's identity (schema, problem, search
+    // width) must match the committed artifact exactly.  Bit-determinism
+    // across runs on one machine is asserted separately by re-tuning.
+    const tuning::TunedPlan base = tuning::load_plan(*b);
+    int mismatches = 0;
+    const auto check = [&](const char* what, const std::string& ours,
+                           const std::string& theirs) {
+      if (ours == theirs) return;
+      std::fprintf(stderr, "baseline mismatch: %s '%s' != '%s'\n", what,
+                   ours.c_str(), theirs.c_str());
+      ++mismatches;
+    };
+    check("deck", plan.deck, base.deck);
+    check("deck_hash", plan.deck_hash, base.deck_hash);
+    check("budget", std::to_string(plan.budget), std::to_string(base.budget));
+    check("mesh", std::to_string(plan.mesh_x), std::to_string(base.mesh_x));
+    if (plan.winner.id() != base.winner.id()) {
+      std::printf("note: winner differs from baseline (%s vs %s) — expected "
+                  "across machines\n",
+                  plan.winner.id().c_str(), base.winner.id().c_str());
+    }
+    std::printf("baseline gate: %s\n", mismatches == 0 ? "PASS" : "FAIL");
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}
+
 int cmd_merge(const tl::Cli& cli) {
   if (cli.positional().size() < 3) return usage();
   const std::string out_path = cli.positional()[1];
@@ -431,6 +535,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(cli);
     if (command == "diff") return cmd_diff(cli);
     if (command == "kernels") return cmd_kernels(cli);
+    if (command == "tune") return cmd_tune(cli);
     if (command == "merge") return cmd_merge(cli);
   } catch (const tl::Error& e) {
     std::fprintf(stderr, "tea_sweep %s: %s\n", command.c_str(), e.what());
