@@ -13,6 +13,17 @@ int main() {
       bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
   bench::print_figure("Fig. 1a — 1000^2 dataset (CPU systems)", rows, options);
   const int failures = bench::check_shapes(rows, {}, 1000);
+
+  // Beyond the paper: the same matrix slice on a strongly anisotropic
+  // operator (the tea_aniso family, dx = 4*dy), where the conduction terms
+  // differ by 16x and solver behaviour departs from the isotropic figure.
+  const auto aniso_rows = bench::run_problem_variants(
+      {"manual-omp", "ops-tiled"}, {"xeon", "knl"}, options,
+      results::aniso_bench_problem(options.bench_mesh, options.bench_steps,
+                                   options.eps),
+      "bench-aniso-" + std::to_string(options.bench_mesh));
+  bench::print_figure("Anisotropic workload (tea_aniso family, CPU)",
+                      aniso_rows, options);
   bench::print_store_stats();
   std::printf("fig1_cpu shape failures: %d\n", failures);
   return 0;

@@ -24,6 +24,16 @@ int main() {
   const double gap = 100.0 * (best_cpu - best_gpu) / best_cpu;
   std::printf("best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 3.04%%)\n",
               best_cpu, best_gpu, gap);
+
+  // Non-isotropic companion rows (tea_aniso family, dx = 4*dy) on the GPU
+  // simulation backends.
+  const auto aniso_rows = bench::run_problem_variants(
+      {"manual-cuda", "kokkos-cuda"}, {"p100"}, options,
+      results::aniso_bench_problem(options.bench_mesh, options.bench_steps,
+                                   options.eps),
+      "bench-aniso-" + std::to_string(options.bench_mesh));
+  bench::print_figure("Anisotropic workload (tea_aniso family, GPU)",
+                      aniso_rows, options);
   bench::print_store_stats();
   std::printf("fig1_gpu shape failures: %d\n", failures);
   return 0;

@@ -13,6 +13,16 @@ int main() {
       bench::run_variants(bench::cpu_variants(), {"xeon", "knl"}, options);
   bench::print_figure("Fig. 2a — 4000^2 dataset (CPU systems)", rows, options);
   const int failures = bench::check_shapes(rows, {}, 4000);
+
+  // Non-isotropic companion rows (tea_aniso family, dx = 4*dy); same host
+  // rows as fig1's aniso table, re-projected to 4000^2.
+  const auto aniso_rows = bench::run_problem_variants(
+      {"manual-omp", "ops-tiled"}, {"xeon", "knl"}, options,
+      results::aniso_bench_problem(options.bench_mesh, options.bench_steps,
+                                   options.eps),
+      "bench-aniso-" + std::to_string(options.bench_mesh));
+  bench::print_figure("Anisotropic workload (tea_aniso family, CPU)",
+                      aniso_rows, options);
   bench::print_store_stats();
   std::printf("fig2_cpu shape failures: %d\n", failures);
   return 0;

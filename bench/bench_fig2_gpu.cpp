@@ -23,6 +23,16 @@ int main() {
   std::printf(
       "best CPU %.2fs vs best GPU %.2fs -> gap %.2f%% (paper: 50.57%%)\n",
       best_cpu, best_gpu, gap);
+
+  // Non-isotropic companion rows (tea_aniso family, dx = 4*dy) on the GPU
+  // simulation backends; shares fig1_gpu's host rows via the store.
+  const auto aniso_rows = bench::run_problem_variants(
+      {"manual-cuda", "kokkos-cuda"}, {"p100"}, options,
+      results::aniso_bench_problem(options.bench_mesh, options.bench_steps,
+                                   options.eps),
+      "bench-aniso-" + std::to_string(options.bench_mesh));
+  bench::print_figure("Anisotropic workload (tea_aniso family, GPU)",
+                      aniso_rows, options);
   bench::print_store_stats();
   std::printf("fig2_gpu shape failures: %d\n", failures);
   return 0;

@@ -100,9 +100,17 @@ results::ResultRow measure(const std::string& variant,
 std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
                                        const std::vector<std::string>& machines,
                                        const HarnessOptions& options) {
-  const tl::ProblemConfig problem =
+  return run_problem_variants(
+      variants, machines, options,
       results::bench_problem(options.bench_mesh, options.bench_steps,
-                             options.eps);
+                             options.eps),
+      "bench-" + std::to_string(options.bench_mesh));
+}
+
+std::vector<VariantTimes> run_problem_variants(
+    const std::vector<std::string>& variants,
+    const std::vector<std::string>& machines, const HarnessOptions& options,
+    const tl::ProblemConfig& problem, const std::string& deck_label) {
   tea::RunOptions run_options;
   run_options.ranks = options.ranks;
   run_options.fuse_operator_dot = options.fuse_operator_dot;
@@ -111,8 +119,6 @@ std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
   results::ResultStore& store = shared_store();
   std::vector<results::ResultRow> rows;
   std::vector<bool> cached;
-  const std::string deck_label =
-      "bench-" + std::to_string(options.bench_mesh);
   for (const std::string& variant : variants) {
     results::MeasureSpec spec;
     spec.variant = variant;

@@ -87,6 +87,15 @@ std::vector<VariantTimes> run_variants(const std::vector<std::string>& variants,
                                        const std::vector<std::string>& machines,
                                        const HarnessOptions& options);
 
+/// Same matrix slice over an explicit problem (stored under `deck_label`) —
+/// the path the figure benches use for the non-isotropic workload rows
+/// (results::aniso_bench_problem).  run_variants() delegates here with the
+/// canonical bench problem.
+std::vector<VariantTimes> run_problem_variants(
+    const std::vector<std::string>& variants,
+    const std::vector<std::string>& machines, const HarnessOptions& options,
+    const tl::ProblemConfig& problem, const std::string& deck_label);
+
 /// Fetch-or-measure one ad-hoc cell (the ablation/scaling benches' path).
 results::ResultRow measure(const std::string& variant,
                            const tl::ProblemConfig& problem,

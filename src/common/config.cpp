@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -17,6 +18,18 @@ std::string normalise_number(std::string s) {
     if (c == 'd' || c == 'D') c = 'e';
   }
   return s;
+}
+
+// Deck numerics must be finite: strtod happily accepts "nan" and "inf", and
+// a NaN extent would sail through the `xmax <= xmin` sanity check below
+// (every comparison with NaN is false) straight into the mesh setup.
+double parse_finite(std::string_view s, const std::string& what) {
+  const double v = parse_double(s);
+  if (!std::isfinite(v)) {
+    throw ConfigError(what + " must be finite, got '" + std::string(trim(s)) +
+                      "'");
+  }
+  return v;
 }
 
 Geometry parse_geometry(const std::string& v) {
@@ -38,21 +51,46 @@ StateConfig parse_state_line(const std::vector<std::string>& tokens) {
     }
     const std::string key = to_lower(kv[0]);
     const std::string val = normalise_number(kv[1]);
-    if (key == "density") st.density = parse_double(val);
-    else if (key == "energy") st.energy = parse_double(val);
+    const std::string what = "state attribute " + key;
+    if (key == "density") st.density = parse_finite(val, what);
+    else if (key == "energy") st.energy = parse_finite(val, what);
     else if (key == "geometry") st.geometry = parse_geometry(kv[1]);
-    else if (key == "xmin") st.xmin = parse_double(val);
-    else if (key == "xmax") st.xmax = parse_double(val);
-    else if (key == "ymin") st.ymin = parse_double(val);
-    else if (key == "ymax") st.ymax = parse_double(val);
-    else if (key == "xcentre" || key == "xcenter") st.cx = parse_double(val);
-    else if (key == "ycentre" || key == "ycenter") st.cy = parse_double(val);
-    else if (key == "radius") st.radius = parse_double(val);
+    else if (key == "xmin") st.xmin = parse_finite(val, what);
+    else if (key == "xmax") st.xmax = parse_finite(val, what);
+    else if (key == "ymin") st.ymin = parse_finite(val, what);
+    else if (key == "ymax") st.ymax = parse_finite(val, what);
+    else if (key == "xcentre" || key == "xcenter") st.cx = parse_finite(val, what);
+    else if (key == "ycentre" || key == "ycenter") st.cy = parse_finite(val, what);
+    else if (key == "radius") st.radius = parse_finite(val, what);
     else throw ConfigError("unknown state attribute '" + key + "'");
   }
   if (st.density <= 0.0) {
     throw ConfigError("state " + std::to_string(st.index) +
                       " must have positive density");
+  }
+  if (st.energy < 0.0) {
+    throw ConfigError("state " + std::to_string(st.index) +
+                      " must have non-negative energy");
+  }
+  // Region sanity for the painted states: a zero-area region never covers a
+  // cell centre, so it would silently paint nothing — reject it instead.
+  if (st.index > 1) {
+    const std::string where = "state " + std::to_string(st.index);
+    switch (st.geometry) {
+      case Geometry::kRectangle:
+        if (st.xmax <= st.xmin || st.ymax <= st.ymin) {
+          throw ConfigError(where + ": rectangle region has zero or negative "
+                            "area (need xmin < xmax and ymin < ymax)");
+        }
+        break;
+      case Geometry::kCircle:
+        if (st.radius <= 0.0) {
+          throw ConfigError(where + ": circle region needs a positive radius");
+        }
+        break;
+      case Geometry::kPoint:
+        break;  // a point has no extent to validate
+    }
   }
   return st;
 }
@@ -111,14 +149,14 @@ Config Config::parse(const std::string& text) {
 
       if (key == "x_cells") p.x_cells = static_cast<int>(parse_long(val));
       else if (key == "y_cells") p.y_cells = static_cast<int>(parse_long(val));
-      else if (key == "xmin") p.xmin = parse_double(val);
-      else if (key == "xmax") p.xmax = parse_double(val);
-      else if (key == "ymin") p.ymin = parse_double(val);
-      else if (key == "ymax") p.ymax = parse_double(val);
-      else if (key == "initial_timestep") p.initial_timestep = parse_double(val);
+      else if (key == "xmin") p.xmin = parse_finite(val, key);
+      else if (key == "xmax") p.xmax = parse_finite(val, key);
+      else if (key == "ymin") p.ymin = parse_finite(val, key);
+      else if (key == "ymax") p.ymax = parse_finite(val, key);
+      else if (key == "initial_timestep") p.initial_timestep = parse_finite(val, key);
       else if (key == "end_step") p.end_step = static_cast<int>(parse_long(val));
       else if (key == "tl_max_iters") p.max_iters = static_cast<int>(parse_long(val));
-      else if (key == "tl_eps") p.eps = parse_double(val);
+      else if (key == "tl_eps") p.eps = parse_finite(val, key);
       else if (key == "tl_use_jacobi") p.solver = SolverKind::kJacobi;
       else if (key == "tl_use_cg") p.solver = SolverKind::kCg;
       else if (key == "tl_use_chebyshev") p.solver = SolverKind::kCheby;
@@ -159,6 +197,18 @@ Config Config::parse(const std::string& text) {
   }
   if (p.xmax <= p.xmin || p.ymax <= p.ymin) {
     throw ConfigError("domain extents must be increasing");
+  }
+  if (p.initial_timestep <= 0.0) {
+    throw ConfigError("initial_timestep must be positive");
+  }
+  if (p.end_step < 1) throw ConfigError("end_step must be >= 1");
+  if (p.eps <= 0.0) throw ConfigError("tl_eps must be positive");
+  if (p.max_iters < 1) throw ConfigError("tl_max_iters must be >= 1");
+  if (p.ppcg_inner_steps < 1) {
+    throw ConfigError("tl_ppcg_inner_steps must be >= 1");
+  }
+  if (p.cheby_cg_presteps < 1) {
+    throw ConfigError("tl_cheby_cg_presteps must be >= 1");
   }
   if (p.halo_depth < 1) throw ConfigError("halo_depth must be >= 1");
   if (p.states.empty()) {

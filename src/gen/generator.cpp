@@ -1,0 +1,231 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gen {
+
+namespace {
+
+/// Per-deck sub-seed: SplitMix64-style mix of (seed, index) so each deck has
+/// an independent stream and is invariant under --count.
+std::uint64_t deck_seed(std::uint64_t seed, int index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Log-uniform in [lo, hi]: the physically natural distribution for
+/// densities, energies and tolerances that span decades.
+double log_uniform(tl::Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+/// Round to 6 significant digits.  Sampled values carry no information below
+/// that, and shorter literals keep the decks readable and the on-disk bytes
+/// obviously stable (to_deck itself prints full precision).
+double round6(double v) {
+  if (v == 0.0) return 0.0;
+  const double mag = std::pow(10.0, 5 - std::floor(std::log10(std::fabs(v))));
+  return std::round(v * mag) / mag;
+}
+
+tl::StateConfig sampled_state(tl::Rng& rng, int index,
+                              const tl::ProblemConfig& p, bool stress) {
+  tl::StateConfig st;
+  st.index = index;
+  st.density = round6(log_uniform(rng, 0.05, stress ? 5.0e4 : 1.0e3));
+  st.energy = round6(log_uniform(rng, 1.0e-3, 50.0));
+
+  const double w = p.xmax - p.xmin;
+  const double h = p.ymax - p.ymin;
+  const double dx = p.dx();
+  const double dy = p.dy();
+  // Geometry families: random rectangle, full-width layered slab, circle,
+  // point.  Slabs get extra weight so layered problems are common.
+  const std::uint64_t kind = rng.next_below(5);
+  switch (kind) {
+    case 0:
+    case 1: {  // random sub-rectangle; stress shrinks it to one cell wide
+      st.geometry = tl::Geometry::kRectangle;
+      const double min_w = stress ? 1.0 * dx : 2.0 * dx;
+      const double min_h = stress ? 1.0 * dy : 2.0 * dy;
+      const double rw =
+          stress ? min_w : rng.uniform(min_w, std::max(min_w, 0.6 * w));
+      const double rh = rng.uniform(min_h, std::max(min_h, 0.6 * h));
+      st.xmin = round6(p.xmin + rng.uniform(0.0, std::max(0.0, w - rw)));
+      st.ymin = round6(p.ymin + rng.uniform(0.0, std::max(0.0, h - rh)));
+      st.xmax = round6(std::min(p.xmax, st.xmin + rw));
+      st.ymax = round6(std::min(p.ymax, st.ymin + rh));
+      break;
+    }
+    case 2: {  // layered slab: full x range, a horizontal band of the domain
+      st.geometry = tl::Geometry::kRectangle;
+      st.xmin = p.xmin;
+      st.xmax = p.xmax;
+      const double min_h = stress ? 1.0 * dy : 2.0 * dy;
+      const double bh = stress ? min_h
+                               : rng.uniform(min_h, std::max(min_h, 0.4 * h));
+      st.ymin = round6(p.ymin + rng.uniform(0.0, std::max(0.0, h - bh)));
+      st.ymax = round6(std::min(p.ymax, st.ymin + bh));
+      break;
+    }
+    case 3: {  // circle
+      st.geometry = tl::Geometry::kCircle;
+      st.cx = round6(rng.uniform(p.xmin + 0.2 * w, p.xmax - 0.2 * w));
+      st.cy = round6(rng.uniform(p.ymin + 0.2 * h, p.ymax - 0.2 * h));
+      const double min_r = std::max(dx, dy);
+      st.radius =
+          round6(rng.uniform(min_r, std::max(min_r, 0.25 * std::min(w, h))));
+      break;
+    }
+    default: {  // point source
+      st.geometry = tl::Geometry::kPoint;
+      st.cx = round6(rng.uniform(p.xmin, p.xmax));
+      st.cy = round6(rng.uniform(p.ymin, p.ymax));
+      break;
+    }
+  }
+  // Guard the degenerate rounding corner (round6 collapsing an interval).
+  if (st.geometry == tl::Geometry::kRectangle) {
+    if (st.xmax <= st.xmin) st.xmax = st.xmin + dx;
+    if (st.ymax <= st.ymin) st.ymax = st.ymin + dy;
+  }
+  return st;
+}
+
+tl::ProblemConfig sampled_problem(tl::Rng& rng, const GenOptions& o) {
+  tl::ProblemConfig p;
+  p.x_cells = static_cast<int>(rng.uniform_int(o.min_cells, o.max_cells));
+  p.y_cells = static_cast<int>(rng.uniform_int(o.min_cells, o.max_cells));
+
+  // Domain: y extent is sampled; the x extent encodes the cell aspect ratio.
+  // Half the population is isotropic; the rest samples dx/dy log-uniformly
+  // up to the committed tea_aniso 4:1 — and up to 16:1 under stress.
+  p.xmin = 0.0;
+  p.ymin = 0.0;
+  p.ymax = round6(rng.uniform(4.0, 12.0));
+  const double dy = p.ymax / p.y_cells;
+  double aspect = 1.0;
+  if (o.stress || rng.next_below(2) == 0) {
+    const double max_aspect = o.stress ? 16.0 : 4.0;
+    aspect = log_uniform(rng, 1.0 / max_aspect, max_aspect);
+  }
+  p.xmax = round6(aspect * dy * p.x_cells);
+
+  p.initial_timestep = round6(rng.uniform(0.001, 0.008));
+  p.end_step = static_cast<int>(rng.uniform_int(2, 4));
+
+  // Solver / preconditioner / tolerance.  Jacobi converges like the worst
+  // smoothing factor of (I + rx*L), so it gets a looser (but still honest)
+  // tolerance band; stress mode instead pushes every solver toward machine
+  // precision and occasionally starves it of iterations outright.
+  const std::uint64_t s = rng.next_below(4);
+  p.solver = s == 0   ? tl::SolverKind::kJacobi
+             : s == 1 ? tl::SolverKind::kCg
+             : s == 2 ? tl::SolverKind::kCheby
+                      : tl::SolverKind::kPpcg;
+  if (o.stress) {
+    p.eps = round6(log_uniform(rng, 1.0e-16, 1.0e-14));
+  } else if (p.solver == tl::SolverKind::kJacobi) {
+    p.eps = round6(log_uniform(rng, 1.0e-9, 1.0e-6));
+  } else {
+    p.eps = round6(log_uniform(rng, 1.0e-14, 1.0e-8));
+  }
+  if (p.solver == tl::SolverKind::kCg || p.solver == tl::SolverKind::kPpcg) {
+    if (rng.next_below(5) < 2) p.preconditioner = tl::PreconKind::kJacDiag;
+  }
+  if (rng.next_below(4) == 0) p.coefficient = tl::CoefficientKind::kDensity;
+  p.ppcg_inner_steps = static_cast<int>(rng.uniform_int(4, 12));
+  p.cheby_cg_presteps = static_cast<int>(rng.uniform_int(20, 40));
+  p.max_iters = 10000;
+  if (o.stress && rng.next_below(2) == 0) {
+    // Max-iteration cliff: a budget far below what the tolerance needs.
+    p.max_iters = static_cast<int>(rng.uniform_int(4, 32));
+  }
+
+  // Materials: ambient plus 1..4 painted regions.
+  tl::StateConfig ambient;
+  ambient.index = 1;
+  ambient.density = round6(log_uniform(rng, 0.1, 1.0e3));
+  ambient.energy = round6(log_uniform(rng, 1.0e-4, 10.0));
+  p.states.push_back(ambient);
+  const int regions = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < regions; ++r) {
+    p.states.push_back(sampled_state(rng, 2 + r, p, o.stress));
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<GeneratedDeck> generate(const GenOptions& options) {
+  if (options.count < 1) throw tl::Error("gen: count must be >= 1");
+  if (options.min_cells < 4 || options.max_cells < options.min_cells) {
+    throw tl::Error("gen: need 4 <= min-cells <= max-cells");
+  }
+  std::vector<GeneratedDeck> out;
+  out.reserve(static_cast<std::size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    tl::Rng rng(deck_seed(options.seed, i));
+    GeneratedDeck deck;
+    deck.index = i;
+    std::ostringstream name;
+    name << "gen" << (options.stress ? "_stress" : "") << "_s" << options.seed
+         << "_" << (i < 100 ? i < 10 ? "00" : "0" : "") << i;
+    deck.name = name.str();
+    deck.problem = sampled_problem(rng, options);
+    // The generator must never emit a deck its own parser rejects; the
+    // round-trip also canonicalises the problem to exactly what a consumer
+    // reading the file back will see.
+    deck.problem = tl::Config::parse(tl::to_deck(deck.problem)).problem();
+    out.push_back(std::move(deck));
+  }
+  return out;
+}
+
+std::string deck_text(const GeneratedDeck& deck, const GenOptions& options) {
+  std::ostringstream os;
+  os << "! " << deck.name << " — generated workload deck (do not hand-edit).\n"
+     << "! Regenerate byte-identically with:\n"
+     // --count from the deck's own index, not options.count: deck i must be
+     // byte-invariant under population size (it regenerates as the last
+     // member of an (i+1)-deck population).
+     << "!   tea_sweep gen --seed " << options.seed << " --count "
+     << (deck.index + 1) << (options.stress ? " --stress" : "")
+     << (options.min_cells != GenOptions{}.min_cells ||
+                 options.max_cells != GenOptions{}.max_cells
+             ? " --min-cells " + std::to_string(options.min_cells) +
+                   " --max-cells " + std::to_string(options.max_cells)
+             : "")
+     << "\n";
+  os << tl::to_deck(deck.problem);
+  return os.str();
+}
+
+std::vector<std::string> write_population(
+    const std::vector<GeneratedDeck>& decks, const GenOptions& options,
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw tl::Error("gen: cannot create directory '" + dir + "'");
+  std::vector<std::string> paths;
+  for (const GeneratedDeck& deck : decks) {
+    const std::string path = dir + "/" + deck.name + ".in";
+    std::ofstream out(path, std::ios::binary);  // byte-stable across hosts
+    if (!out) throw tl::Error("gen: cannot write '" + path + "'");
+    out << deck_text(deck, options);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace gen

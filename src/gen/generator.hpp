@@ -1,0 +1,59 @@
+// generator.hpp — seeded, deterministic input-deck generator: the workload
+// *population* behind the property suite, the `gen-smoke` CI job and the
+// population-scored tuner (ROADMAP "scenario diversity").
+//
+// Sampling is driven entirely by the repo's own tl::Rng (xoshiro256**, no
+// std::random_device, no std::distribution — those differ across standard
+// libraries), and every deck gets its own sub-seeded stream, so:
+//   * the same seed always produces byte-identical deck files, and
+//   * deck i is independent of --count: a 5-deck population is a prefix of
+//     the 20-deck population for the same seed.
+//
+// The sampled space covers geometry (circles, points, layered slabs, random
+// multi-region rectangles), cell anisotropy (up to the committed tea_aniso
+// 4:1 in the smoke population, far beyond it under --stress), mesh size,
+// solver, preconditioner, coefficient form and eps.  Stress mode aims the
+// generator at the hostile corner instead: 1-cell-wide regions, extreme
+// anisotropy and density contrast, eps near machine precision and
+// max-iteration cliffs — decks that are *expected* to break solvers, whose
+// failures get promoted into examples/decks/regressions/ (docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace gen {
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  int count = 20;
+  bool stress = false;  // sample the hostile corner of the space
+  int min_cells = 24;   // sampled mesh-edge bounds
+  int max_cells = 96;
+};
+
+struct GeneratedDeck {
+  std::string name;  // "gen_s<seed>_<NNN>" / "gen_stress_s<seed>_<NNN>"
+  int index = 0;     // position in the population (the NNN in the name)
+  tl::ProblemConfig problem;
+};
+
+/// Deterministic population for `options`.  Every deck is round-tripped
+/// through the deck parser before being returned, so a generated problem can
+/// never be one the parser would reject.
+std::vector<GeneratedDeck> generate(const GenOptions& options);
+
+/// Canonical on-disk text of one deck: a deterministic provenance header
+/// (how to regenerate it — no timestamps) plus tl::to_deck.
+std::string deck_text(const GeneratedDeck& deck, const GenOptions& options);
+
+/// Write `<dir>/<name>.in` for every deck (creating `dir`); returns the
+/// paths written, in population order.
+std::vector<std::string> write_population(
+    const std::vector<GeneratedDeck>& decks, const GenOptions& options,
+    const std::string& dir);
+
+}  // namespace gen

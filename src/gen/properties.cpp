@@ -1,0 +1,259 @@
+#include "gen/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/backends/manual_host.hpp"
+#include "core/driver.hpp"
+#include "core/problem.hpp"
+#include "core/registry.hpp"
+
+namespace gen {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+/// Serial reference run with field access: the driver marches the deck on a
+/// bare manual host backend so the final temperature field can be read back
+/// (run_simulation does not expose fields).
+struct ReferenceRun {
+  tea::RunResult run;
+  std::vector<double> u;  // final temperature, interior cells
+};
+
+ReferenceRun reference_run(const tl::ProblemConfig& problem) {
+  ReferenceRun ref;
+  tea::ManualHostBackend backend("serial", nullptr, nullptr);
+  const tea::TeaDriver driver(problem);
+  ref.run = driver.run(backend);
+  ref.u.resize(static_cast<std::size_t>(problem.x_cells) * problem.y_cells);
+  backend.read_field(tea::FieldId::kU, tl::span<double>(ref.u));
+  return ref;
+}
+
+}  // namespace
+
+std::string PropertyReport::failures() const {
+  std::string out;
+  for (const PropertyResult& r : results) {
+    if (r.pass) continue;
+    if (!out.empty()) out += ",";
+    out += r.id;
+  }
+  return out;
+}
+
+void painted_u_range(const tl::ProblemConfig& problem, double* lo, double* hi) {
+  // One painting rule for the whole repo: reuse the core sampler rather than
+  // re-deriving the cell-centre containment logic here.
+  const tea::StateSampler sampler(problem);
+  *lo = 0.0;
+  *hi = 0.0;
+  bool first = true;
+  for (int j = 0; j < problem.y_cells; ++j) {
+    for (int i = 0; i < problem.x_cells; ++i) {
+      const double u = sampler.density_at(i, j) * sampler.energy_at(i, j);
+      if (first || u < *lo) *lo = u;
+      if (first || u > *hi) *hi = u;
+      first = false;
+    }
+  }
+}
+
+PropertyReport check_properties(const std::string& name,
+                                const tl::ProblemConfig& problem,
+                                const PropertyOptions& options) {
+  PropertyReport report;
+  report.deck = name;
+  const auto add = [&report](const std::string& id, bool pass,
+                             const std::string& detail) {
+    report.results.push_back({id, pass, detail});
+  };
+
+  const ReferenceRun ref = reference_run(problem);
+  report.converged = ref.run.all_converged();
+
+  // Conservation/bounds/agreement are exact only for an exact solve.  An
+  // iterative solve stopped at residual r carries algebraic error
+  // e = A^-1 r with ||e|| <= ||r|| (A = I + rx*L, L PSD, so ||A^-1|| <= 1),
+  // and the generated population samples eps across decades — so every band
+  // is a floor plus the *measured* accumulated residual norms, a rigorous
+  // envelope rather than a tuned fudge.  Safety factor 8 covers final_rr
+  // being a preconditioned norm under jac_diag and a checkpointed
+  // (every-20-sweep) norm under Jacobi.
+  const double cells =
+      static_cast<double>(problem.x_cells) * problem.y_cells;
+  const auto residual_norm_sum = [](const tea::RunResult& run) {
+    double sum = 0.0;
+    for (const tea::StepResult& s : run.steps) {
+      sum += std::sqrt(std::max(0.0, s.solve.final_rr));
+    }
+    return sum;
+  };
+  constexpr double kResidualSafety = 8.0;
+
+  // 1. Convergence: every step's solve reached its tolerance.  A generated
+  // deck that fails here is a finding — promote it (docs/TESTING.md).
+  {
+    int failed_steps = 0;
+    for (const tea::StepResult& s : ref.run.steps) {
+      failed_steps += s.solve.converged ? 0 : 1;
+    }
+    std::ostringstream d;
+    d << ref.run.total_iterations << " iterations over "
+      << ref.run.steps.size() << " steps";
+    if (failed_steps > 0) d << "; " << failed_steps << " steps hit max_iters";
+    add("converged", report.converged, d.str());
+  }
+
+  // 2. Finiteness: no NaN/Inf in the final field or the summary.
+  {
+    bool finite = std::isfinite(ref.run.final_summary.temp) &&
+                  std::isfinite(ref.run.final_summary.ie) &&
+                  std::isfinite(ref.run.final_summary.mass);
+    std::size_t bad_cells = 0;
+    for (const double v : ref.u) {
+      if (!std::isfinite(v)) ++bad_cells;
+    }
+    finite = finite && bad_cells == 0;
+    add("finite", finite,
+        bad_cells == 0 ? "field and summary finite"
+                       : std::to_string(bad_cells) + " non-finite cells");
+  }
+
+  // 3. Conservation: reflective boundaries conserve the volume-weighted
+  // temperature sum across every step; density and volume are never touched,
+  // so mass/vol must be constant to round-off.  An iterative solve stopped
+  // at residual r leaks |sum(e)| <= sqrt(cells) * ||r||_2 into the sum
+  // (A = I + rx*L with L PSD, so ||A^-1|| <= 1), so the band grows by the
+  // accumulated measured residuals — a rigorous envelope, not a fudge.
+  {
+    const tea::FieldSummary& first = ref.run.steps.front().summary;
+    double worst_temp = 0.0, worst_exact = 0.0;
+    for (const tea::StepResult& s : ref.run.steps) {
+      worst_temp = std::max(
+          worst_temp, std::fabs(s.summary.temp - first.temp) /
+                          std::max(std::fabs(first.temp), 1e-300));
+      worst_exact = std::max(
+          {worst_exact,
+           std::fabs(s.summary.mass - first.mass) /
+               std::max(std::fabs(first.mass), 1e-300),
+           std::fabs(s.summary.vol - first.vol) /
+               std::max(std::fabs(first.vol), 1e-300)});
+    }
+    // |sum(vol*e)| <= vol_cell * sqrt(cells) * ||r||_2, accumulated per step
+    // = total_vol * ||r||_2 / sqrt(cells).
+    const double leak =
+        first.vol * residual_norm_sum(ref.run) / std::sqrt(cells);
+    const double tol =
+        options.conservation_rtol +
+        kResidualSafety * leak / std::max(std::fabs(first.temp), 1e-300);
+    const bool pass = worst_temp <= tol && worst_exact <= 1e-12;
+    add("conservation", pass,
+        "temp drift " + fmt(worst_temp) + " (tol " + fmt(tol) +
+            "), mass/vol drift " + fmt(worst_exact));
+  }
+
+  // 4. Discrete maximum principle: backward-Euler diffusion cannot push the
+  // temperature outside the painted initial extremes.
+  {
+    double lo = 0.0, hi = 0.0;
+    painted_u_range(problem, &lo, &hi);
+    const auto [min_it, max_it] = std::minmax_element(ref.u.begin(), ref.u.end());
+    // ||e||_inf <= ||e||_2 <= ||r||_2 per step, accumulated.
+    const double slack = options.bound_rtol * std::max(hi - lo, hi) +
+                         kResidualSafety * residual_norm_sum(ref.run);
+    const bool pass = *min_it >= lo - slack && *max_it <= hi + slack;
+    add("max-principle", pass,
+        "field [" + fmt(*min_it) + ", " + fmt(*max_it) + "] vs painted [" +
+            fmt(lo) + ", " + fmt(hi) + "]");
+  }
+
+  // 5. Cross-backend agreement on the final summary (and on the convergence
+  // verdict itself — a backend that converges when the reference does not
+  // disagrees about the *problem*, not just about round-off).
+  for (const std::string& backend : options.agreement_backends) {
+    const tea::RunResult other = tea::run_simulation(backend, problem);
+    const double temp_delta =
+        std::fabs(other.final_summary.temp - ref.run.final_summary.temp) /
+        std::max(std::fabs(ref.run.final_summary.temp), 1e-300);
+    const double ie_delta =
+        std::fabs(other.final_summary.ie - ref.run.final_summary.ie) /
+        std::max(std::fabs(ref.run.final_summary.ie), 1e-300);
+    // Both runs carry their own algebraic error; the summary gap is bounded
+    // by the two accumulated residual envelopes (same algebra as the
+    // conservation band).
+    const double leak = ref.run.final_summary.vol *
+                        (residual_norm_sum(ref.run) + residual_norm_sum(other)) /
+                        std::sqrt(cells);
+    const double tol =
+        options.agreement_rtol +
+        kResidualSafety * leak /
+            std::max(std::fabs(ref.run.final_summary.temp), 1e-300);
+    const bool pass = other.all_converged() == report.converged &&
+                      temp_delta <= tol && ie_delta <= tol;
+    add("agree:" + backend, pass,
+        "temp delta " + fmt(temp_delta) + ", ie delta " + fmt(ie_delta) +
+            (other.all_converged() == report.converged
+                 ? ""
+                 : ", convergence verdict differs"));
+  }
+  return report;
+}
+
+OrderEstimate convergence_order(const tl::ProblemConfig& base, int coarse_cells,
+                                int levels) {
+  OrderEstimate est;
+  if (levels < 3) {
+    est.detail = "need >= 3 refinement levels";
+    return est;
+  }
+  bool all_converged = true;
+  for (int k = 0; k < levels; ++k) {
+    tl::ProblemConfig p = base;
+    const int n = coarse_cells << k;
+    p.x_cells = n;
+    p.y_cells = n;
+    const ReferenceRun ref = reference_run(p);
+    all_converged = all_converged && ref.run.all_converged();
+    est.meshes.push_back(n);
+    // RMS over the (uniform) mesh = the L2 volume functional, second-order
+    // convergent wherever the discretisation is.
+    double ss = 0.0;
+    for (const double v : ref.u) ss += v * v;
+    est.values.push_back(std::sqrt(ss / static_cast<double>(ref.u.size())));
+  }
+  const std::size_t last = est.values.size() - 1;
+  const double coarse_diff = est.values[last - 2] - est.values[last - 1];
+  const double fine_diff = est.values[last - 1] - est.values[last];
+  std::ostringstream d;
+  d << "F = [";
+  for (std::size_t i = 0; i < est.values.size(); ++i) {
+    d << (i ? ", " : "") << fmt(est.values[i]);
+  }
+  d << "], diffs " << fmt(coarse_diff) << " -> " << fmt(fine_diff);
+  // The Richardson quotient is meaningless once the successive differences
+  // sink into solver tolerance / round-off, or if a level failed to solve.
+  const double scale = std::fabs(est.values[last]);
+  if (!all_converged) {
+    est.detail = "a refinement level did not converge; " + d.str();
+    return est;
+  }
+  if (std::fabs(fine_diff) < 1e-12 * std::max(scale, 1e-300)) {
+    est.detail = "differences below noise floor; " + d.str();
+    return est;
+  }
+  est.order = std::log2(std::fabs(coarse_diff / fine_diff));
+  est.ok = true;
+  est.detail = d.str();
+  return est;
+}
+
+}  // namespace gen

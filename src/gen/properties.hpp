@@ -1,0 +1,97 @@
+// properties.hpp — the metamorphic property evaluator: correctness checks
+// that need no golden table, so they can judge *generated* decks (see
+// gen/generator.hpp and docs/TESTING.md).
+//
+// Where the golden suite pins exact iteration counts and residuals for the
+// eight committed decks, these properties hold for every well-posed deck the
+// generator can emit:
+//   * convergence   — every step's solve reaches its tolerance,
+//   * finiteness    — the final field and summary carry no NaN/Inf,
+//   * conservation  — reflective boundaries conserve the volume-weighted
+//                     temperature sum every step, and mass/volume exactly,
+//   * max-principle — backward-Euler diffusion keeps the temperature inside
+//                     the painted initial extremes,
+//   * agreement     — serial vs threaded vs tiled backends agree on the
+//                     final summary (the row_reduce4 determinism contract
+//                     makes the manual host family bitwise-identical; other
+//                     families get a tight relative band).
+//
+// check_properties() is shared by tests/test_properties.cpp and the
+// `tea_sweep gen --check` CLI path, so CI and ctest can never disagree about
+// what "passes the property suite" means.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace gen {
+
+struct PropertyOptions {
+  /// The reference run is always the serial manual host backend (field-level
+  /// checks need read_field); these are compared against it.
+  std::vector<std::string> agreement_backends = {"manual-omp", "ops-tiled"};
+  /// Floors for the relative bands.  The effective band is the floor plus
+  /// an envelope computed from the run's *measured* final residuals
+  /// (||A^-1|| <= 1 for A = I + rx*L, so algebraic error is bounded by the
+  /// residual norm) — decks with loose tolerances get proportionally
+  /// looser, but still rigorous, property bands.
+  double conservation_rtol = 1e-8;
+  double agreement_rtol = 1e-7;
+  double bound_rtol = 1e-9;
+};
+
+struct PropertyResult {
+  std::string id;  // "converged", "finite", "conservation", "max-principle",
+                   // "agree:<backend>"
+  bool pass = false;
+  std::string detail;  // human diagnostic with the measured numbers
+};
+
+struct PropertyReport {
+  std::string deck;
+  bool converged = false;  // the reference run converged on every step
+  std::vector<PropertyResult> results;
+
+  bool ok() const {
+    for (const PropertyResult& r : results) {
+      if (!r.pass) return false;
+    }
+    return !results.empty();
+  }
+  /// Ids of the failed properties, comma-joined ("" when ok).
+  std::string failures() const;
+};
+
+/// Painted-temperature extremes [lo, hi] of u = energy * density under the
+/// cell-centre painting rule — the discrete maximum-principle bounds.
+void painted_u_range(const tl::ProblemConfig& problem, double* lo, double* hi);
+
+/// Evaluate the full property suite for one problem.
+PropertyReport check_properties(const std::string& name,
+                                const tl::ProblemConfig& problem,
+                                const PropertyOptions& options = {});
+
+// --- mesh-refinement convergence order --------------------------------------
+
+struct OrderEstimate {
+  std::vector<int> meshes;     // the refinement family (edge cells)
+  std::vector<double> values;  // functional (RMS of u) per level
+  double order = 0.0;          // Richardson estimate from the last 3 levels
+  bool ok = false;             // every level converged, differences usable
+  std::string detail;
+};
+
+/// Observed spatial convergence order of the discretisation: run `base` on
+/// `levels` nested meshes (coarse_cells, 2x, 4x, ...; dt and the physical
+/// problem fixed), take F(h) = RMS of the final temperature field (a smooth
+/// volume functional — the field max sits in a flat region and converges at
+/// a deceptive, much higher rate), and estimate
+/// p = log2(|F(h)-F(h/2)| / |F(h/2)-F(h/4)|).  The five-point operator is
+/// second order, so p ≈ 2 for any solver that actually solves the system —
+/// the first solver-accuracy check that needs no golden table.
+OrderEstimate convergence_order(const tl::ProblemConfig& base, int coarse_cells,
+                                int levels = 3);
+
+}  // namespace gen

@@ -41,6 +41,40 @@ tl::ProblemConfig bench_problem(int mesh, int steps, double eps) {
   return cfg.problem();
 }
 
+tl::ProblemConfig aniso_bench_problem(int mesh, int steps, double eps) {
+  // Programmatic twin of examples/decks/tea_aniso.in at mesh `mesh`: square
+  // cell counts over a 4:1 domain make dx = 4*dy, so rx*Kx and ry*Ky differ
+  // by 16x.  Bench binaries cannot load decks (no TEA_SOURCE_DIR), so the
+  // deck and this function must stay in sync; test_decks pins that.
+  tl::ProblemConfig p;
+  p.x_cells = mesh;
+  p.y_cells = mesh;
+  p.xmin = 0.0;
+  p.xmax = 40.0;
+  p.ymin = 0.0;
+  p.ymax = 10.0;
+  p.initial_timestep = 0.004;
+  p.end_step = steps;
+  p.eps = eps;
+  p.max_iters = 10000;
+  p.solver = tl::SolverKind::kCg;
+  tl::StateConfig ambient;
+  ambient.index = 1;
+  ambient.density = 100.0;
+  ambient.energy = 0.0001;
+  tl::StateConfig strip;
+  strip.index = 2;
+  strip.density = 0.1;
+  strip.energy = 25.0;
+  strip.geometry = tl::Geometry::kRectangle;
+  strip.xmin = 0.0;
+  strip.xmax = 40.0;
+  strip.ymin = 0.0;
+  strip.ymax = 2.0;
+  p.states = {ambient, strip};
+  return p;
+}
+
 std::string toolchain_flags() { return TL_TOOLCHAIN_FLAGS; }
 
 std::string git_revision() { return TL_GIT_REV; }

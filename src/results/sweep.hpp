@@ -28,6 +28,14 @@ struct MeasureSpec {
 /// function so their store keys agree.
 tl::ProblemConfig bench_problem(int mesh, int steps, double eps = 1.0e-15);
 
+/// The anisotropic bench problem: the same hot-strip physics as
+/// bench_problem on a 4:1 domain (examples/decks/tea_aniso.in at mesh
+/// `mesh`), so dx = 4*dy and the operator's rx/ry split is exercised by the
+/// figure benches too.  Constructed programmatically — bench binaries have
+/// no deck directory at runtime.
+tl::ProblemConfig aniso_bench_problem(int mesh, int steps,
+                                      double eps = 1.0e-15);
+
 /// Provenance recorded into every new row.
 std::string toolchain_flags();   // compile flags of the kernel libraries
 std::string git_revision();      // short rev at configure time

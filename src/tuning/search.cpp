@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "core/backends/ref_kernels.hpp"
 #include "machine/efficiency.hpp"
 #include "machine/roofline.hpp"
@@ -326,10 +328,41 @@ tl::ProblemConfig point_problem(const tl::ProblemConfig& problem,
   return p;
 }
 
+/// FNV-1a over the concatenated per-member problem hashes: the population
+/// identity for multi-member plans.  A single-member population keeps the
+/// raw problem_hash so existing single-deck plan baselines stay bit-stable.
+std::string population_hash(const std::vector<results::SweepProblem>& pop) {
+  if (pop.size() == 1) return results::problem_hash(pop.front().problem);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const results::SweepProblem& member : pop) {
+    for (const char c : results::problem_hash(member.problem)) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "pop:%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
 
 TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
                  const TuneOptions& options) {
+  return tune_population(store, {{options.deck_label, problem}}, options);
+}
+
+TuneOutcome tune_population(
+    results::ResultStore& store,
+    const std::vector<results::SweepProblem>& population,
+    const TuneOptions& options) {
+  if (population.empty()) {
+    throw tl::Error("tune: population must not be empty");
+  }
+  // Candidate enumeration and the plan's mesh/steps metadata key off the
+  // lead member; scoring and measurement span the whole population.
+  const tl::ProblemConfig& problem = population.front().problem;
   TuneOutcome outcome;
 
   // --- calibration: fit the host constants and feed them through
@@ -363,12 +396,18 @@ TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
   machine::set_host_overrides(overrides);
   const machine::MachineModel host = machine::host_machine();
 
-  // --- phase 1: score and prune.
+  // --- phase 1: score and prune.  A candidate's score is the *sum* of its
+  // model projections over every population member: the plan optimises the
+  // aggregate workload, not any single deck.
   const std::vector<ExecutionPoint> space =
       enumerate_candidates(problem, host.cores);
   const ExecutionPoint incumbent = space.front();
   for (const ExecutionPoint& point : space) {
-    outcome.considered.push_back({point, model_seconds(problem, point, host)});
+    double total = 0.0;
+    for (const results::SweepProblem& member : population) {
+      total += model_seconds(member.problem, point, host);
+    }
+    outcome.considered.push_back({point, total});
   }
   std::stable_sort(outcome.considered.begin(), outcome.considered.end(),
                    [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -396,33 +435,40 @@ TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
     }
   }
 
-  // --- phase 2: measured refinement through the store cache.
-  const std::string row_label = kTuneDeckPrefix + options.deck_label;
+  // --- phase 2: measured refinement through the store cache.  Every
+  // survivor runs on every population member under that member's own
+  // "tune:<label>" row, so the calibration exclusion covers all of them; a
+  // candidate's measured score is the total median across members, and it
+  // must converge on *every* member to be eligible.
   for (const ScoredCandidate& c : survivors) {
-    results::MeasureSpec spec;
-    spec.variant = c.point.variant;
-    spec.deck_label = row_label;
-    spec.problem = point_problem(problem, c.point);
-    spec.options = point_options(c.point);
-    spec.samples = options.samples;
-    const int misses_before = store.misses();
-    const results::ResultRow row = results::measure(store, spec);
-    const bool was_cached = store.misses() == misses_before;
-    ++(was_cached ? outcome.cached : outcome.measured);
-    if (options.verbose) {
-      std::printf("  [%s] %-44s model %.4fs  median %.4fs%s\n",
-                  was_cached ? "cache" : " run ", c.point.id().c_str(),
-                  c.model_seconds, row.timing.median_s,
-                  row.converged ? "" : "  (did not converge)");
-    }
-
     FrontierEntry e;
     e.point = c.point;
     e.model_seconds = c.model_seconds;
-    e.converged = row.converged;
-    e.median_s = row.timing.median_s;
-    e.min_s = row.timing.min_s;
-    e.store_key = row.key;
+    e.converged = true;
+    e.median_s = 0.0;
+    e.min_s = 0.0;
+    for (const results::SweepProblem& member : population) {
+      results::MeasureSpec spec;
+      spec.variant = c.point.variant;
+      spec.deck_label = kTuneDeckPrefix + member.label;
+      spec.problem = point_problem(member.problem, c.point);
+      spec.options = point_options(c.point);
+      spec.samples = options.samples;
+      const int misses_before = store.misses();
+      const results::ResultRow row = results::measure(store, spec);
+      const bool was_cached = store.misses() == misses_before;
+      ++(was_cached ? outcome.cached : outcome.measured);
+      if (options.verbose) {
+        std::printf("  [%s] %-44s %-20s median %.4fs%s\n",
+                    was_cached ? "cache" : " run ", c.point.id().c_str(),
+                    member.label.c_str(), row.timing.median_s,
+                    row.converged ? "" : "  (did not converge)");
+      }
+      e.converged = e.converged && row.converged;
+      e.median_s += row.timing.median_s;
+      e.min_s += row.timing.min_s;
+      if (e.store_key.empty()) e.store_key = row.key;
+    }
     outcome.plan.frontier.push_back(std::move(e));
   }
 
@@ -440,7 +486,7 @@ TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
   // do not converge under their own configuration are not tunable input).
   TunedPlan& plan = outcome.plan;
   plan.deck = options.deck_label;
-  plan.deck_hash = results::problem_hash(problem);
+  plan.deck_hash = population_hash(population);
   plan.mesh_x = problem.x_cells;
   plan.mesh_y = problem.y_cells;
   plan.steps = problem.end_step;

@@ -27,6 +27,7 @@
 #include "machine/instrumentation.hpp"
 #include "machine/machine_model.hpp"
 #include "results/result_store.hpp"
+#include "results/sweep.hpp"
 #include "tuning/plan.hpp"
 #include "validation/calibrate.hpp"
 
@@ -89,6 +90,21 @@ tea::RunOptions point_options(const ExecutionPoint& point);
 /// (the scoring fallbacks are scoped to the tune).
 TuneOutcome tune(results::ResultStore& store, const tl::ProblemConfig& problem,
                  const TuneOptions& options);
+
+/// Population tune: one plan that wins *in aggregate* over a workload
+/// distribution (e.g. a generated deck family — see gen/generator.hpp).
+/// Model scores are the sum of per-member model projections; the measured
+/// refinement runs every survivor on every member and ranks by total median
+/// (a candidate must converge on every member to win).  Each member stores
+/// rows under its own "tune:<label>" so the calibration exclusion still
+/// holds.  A single-member population is bit-identical to tune(): same row
+/// labels, same deck_hash, same plan JSON — the committed tune-smoke
+/// baseline keeps gating.  The plan's mesh/steps fields describe the first
+/// member; deck_hash for a multi-member population is a combined hash over
+/// every member's problem_hash.
+TuneOutcome tune_population(results::ResultStore& store,
+                            const std::vector<results::SweepProblem>& population,
+                            const TuneOptions& options);
 
 /// Human-readable frontier report (markdown).
 std::string frontier_markdown(const TuneOutcome& outcome);

@@ -8,6 +8,7 @@
 
 #include "common/config.hpp"
 #include "core/registry.hpp"
+#include "results/sweep.hpp"
 
 namespace {
 
@@ -310,6 +311,92 @@ TEST(Decks, MalformedValuesAreRejected) {
   // Semantic validation after a clean parse.
   EXPECT_THROW(tl::Config::parse(deck("x_cells=-4")), tl::ConfigError);
   EXPECT_THROW(tl::Config::parse(deck("halo_depth=0")), tl::ConfigError);
+}
+
+TEST(Decks, NonFiniteValuesAreRejected) {
+  // strtod happily parses "nan" and "inf", and NaN then sails through every
+  // ordered sanity check (all comparisons are false), so the parser must
+  // reject non-finite values explicitly — at the line that names them, not
+  // as a solver blow-up ten minutes later.
+  const auto deck = [](const std::string& line) {
+    return "*tea\nstate 1 density=1 energy=1\n" + line + "\n*endtea";
+  };
+  EXPECT_THROW(tl::Config::parse(deck("xmax=nan")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("ymax=inf")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("xmin=-inf")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("initial_timestep=nan")),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_eps=inf")), tl::ConfigError);
+  EXPECT_THROW(
+      tl::Config::parse("*tea\nstate 1 density=nan energy=1\n*endtea"),
+      tl::ConfigError);
+  EXPECT_THROW(
+      tl::Config::parse("*tea\nstate 1 density=1 energy=inf\n*endtea"),
+      tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "state 2 density=1 energy=1 geometry=circle "
+                                 "xcentre=nan ycentre=5 radius=1\n*endtea"),
+               tl::ConfigError);
+}
+
+TEST(Decks, UnphysicalValuesAreRejected) {
+  const auto deck = [](const std::string& line) {
+    return "*tea\nstate 1 density=1 energy=1\n" + line + "\n*endtea";
+  };
+  // Degenerate or inverted domain extents.
+  EXPECT_THROW(tl::Config::parse(deck("xmin=10.0 xmax=10.0")),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("ymin=5.0 ymax=1.0")), tl::ConfigError);
+  // Non-positive timestep, tolerance and iteration budgets.
+  EXPECT_THROW(tl::Config::parse(deck("initial_timestep=0.0")),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("initial_timestep=-0.004")),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_eps=0.0")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_eps=-1e-10")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_max_iters=0")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("end_step=0")), tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_ppcg_inner_steps=0")),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse(deck("tl_cheby_cg_presteps=0")),
+               tl::ConfigError);
+  // Negative material energy.
+  EXPECT_THROW(
+      tl::Config::parse("*tea\nstate 1 density=1 energy=-1\n*endtea"),
+      tl::ConfigError);
+  // Zero-area painted regions: an empty rectangle, a zero-radius circle.
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "state 2 density=2 energy=2 "
+                                 "geometry=rectangle xmin=1 xmax=1 ymin=0 "
+                                 "ymax=2\n*endtea"),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "state 2 density=2 energy=2 "
+                                 "geometry=rectangle xmin=0 xmax=2 ymin=3 "
+                                 "ymax=1\n*endtea"),
+               tl::ConfigError);
+  EXPECT_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                 "state 2 density=2 energy=2 geometry=circle "
+                                 "xcentre=5 ycentre=5 radius=0\n*endtea"),
+               tl::ConfigError);
+  // The ambient state (index 1) covers everything and carries no geometry;
+  // a point region has no area by construction.  Both stay accepted.
+  EXPECT_NO_THROW(tl::Config::parse("*tea\nstate 1 density=1 energy=1\n"
+                                    "state 2 density=2 energy=2 "
+                                    "geometry=point xcentre=5 ycentre=5\n"
+                                    "*endtea"));
+}
+
+TEST(Decks, AnisoBenchProblemMatchesTheCommittedDeck) {
+  // The figure benches cannot load deck files (no TEA_SOURCE_DIR), so the
+  // anisotropic bench rows are built programmatically; this pins the two
+  // constructions together so they cannot drift apart.
+  const tl::Config cfg =
+      tl::Config::load((decks_dir() / "tea_aniso.in").string());
+  const tl::ProblemConfig& deck = cfg.problem();
+  const tl::ProblemConfig built = results::aniso_bench_problem(
+      deck.x_cells, deck.end_step, deck.eps);
+  expect_same_problem(deck, built, "tea_aniso.in vs aniso_bench_problem");
 }
 
 TEST(Decks, PpcgPreconDeckExercisesExtensions) {

@@ -27,6 +27,8 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "gen/generator.hpp"
+#include "gen/properties.hpp"
 #include "machine/machine_model.hpp"
 #include "results/compare.hpp"
 #include "results/result_store.hpp"
@@ -44,7 +46,18 @@ int usage() {
       "commands:\n"
       "  run      [--store P] [--mesh N] [--steps N] [--samples N] [--ranks N]\n"
       "           [--variants a,b,..] [--decks] [--decks-dir DIR]\n"
-      "           execute the sweep matrix through the store cache\n"
+      "           [--gen-seed S [--gen-count N]]\n"
+      "           execute the sweep matrix through the store cache;\n"
+      "           --gen-seed appends a generated deck population to the\n"
+      "           problem list (same sampling as `gen`)\n"
+      "  gen      --seed S [--count N] [--out DIR] [--stress] [--check]\n"
+      "           [--min-cells N] [--max-cells N]\n"
+      "           emit a seeded deterministic deck population (same seed =>\n"
+      "           byte-identical decks; deck i does not depend on --count);\n"
+      "           --stress samples hostile corners (1-cell regions, extreme\n"
+      "           anisotropy, eps near machine precision, max-iter cliffs);\n"
+      "           --check runs the metamorphic property suite over the\n"
+      "           population and exits 1 if any deck fails\n"
       "  query    [--store P] [--variant V] [--deck D]\n"
       "           print stored rows\n"
       "  compare  [--store P] [--mesh N] [--steps N] [--ranks N] [--paper-mesh N]\n"
@@ -66,7 +79,8 @@ int usage() {
       "           time the hot-path kernels (5-point stencil, dot, fused\n"
       "           op+dot) into the store; with --baseline, print per-row\n"
       "           speedups against a previously saved kernel sweep\n"
-      "  tune     (--deck PATH | --mesh N [--steps N]) [--store P]\n"
+      "  tune     (--deck PATH | --mesh N [--steps N] | --gen-seed S\n"
+      "           [--gen-count N]) [--store P]\n"
       "           [--budget N] [--samples N] [--label L]\n"
       "           [--out plan.json] [--report frontier.md]\n"
       "           [--no-calibration] [--baseline plan.json]\n"
@@ -74,6 +88,8 @@ int usage() {
       "           candidate on the calibrated host model, measure the\n"
       "           survivors through the store cache, and write the winning\n"
       "           TunedPlan (run `tea <deck> --plan plan.json` to use it);\n"
+      "           --gen-seed tunes one plan over a generated population\n"
+      "           (the winner must converge on every member);\n"
       "           with --baseline, fail if the plan's structural identity\n"
       "           (schema/deck/budget) drifted from a committed plan\n"
       "  merge    <out.json> <in1.json> [in2.json ...]\n"
@@ -92,6 +108,87 @@ std::string resolve_store_path(const tl::Cli& cli) {
 std::string decks_dir(const tl::Cli& cli) {
   if (const auto d = cli.get("decks-dir")) return *d;
   return std::string(TEA_SOURCE_DIR) + "/examples/decks";
+}
+
+/// Generator options shared by `gen`, `run --gen-seed` and
+/// `tune --gen-seed` (the latter two use the gen-* key spellings so they
+/// cannot collide with their own --samples/--count-style flags).
+gen::GenOptions gen_options_from_cli(const tl::Cli& cli,
+                                     const std::string& seed_key,
+                                     const std::string& count_key,
+                                     int default_count) {
+  gen::GenOptions o;
+  o.seed = static_cast<std::uint64_t>(cli.get_long(seed_key, 1));
+  o.count = static_cast<int>(cli.get_long(count_key, default_count));
+  o.stress = cli.has("stress");
+  o.min_cells = static_cast<int>(cli.get_long("min-cells", o.min_cells));
+  o.max_cells = static_cast<int>(cli.get_long("max-cells", o.max_cells));
+  return o;
+}
+
+int cmd_gen(const tl::Cli& cli) {
+  if (!cli.has("seed")) {
+    std::fprintf(stderr, "gen needs --seed S (determinism is the point)\n");
+    return usage();
+  }
+  const gen::GenOptions options = gen_options_from_cli(cli, "seed", "count", 20);
+  const std::vector<gen::GeneratedDeck> decks = gen::generate(options);
+
+  tl::Table table({"deck", "mesh", "domain", "solver", "precon", "eps",
+                   "steps", "max_iters", "states"});
+  const auto sci = [](double v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%.1e", v);
+    return std::string(buf);
+  };
+  for (const gen::GeneratedDeck& d : decks) {
+    const tl::ProblemConfig& p = d.problem;
+    table.add_row({d.name,
+                   std::to_string(p.x_cells) + "x" + std::to_string(p.y_cells),
+                   tl::Table::num(p.xmax - p.xmin, 2) + "x" +
+                       tl::Table::num(p.ymax - p.ymin, 2),
+                   tl::to_string(p.solver), tl::to_string(p.preconditioner),
+                   sci(p.eps), std::to_string(p.end_step),
+                   std::to_string(p.max_iters),
+                   std::to_string(p.states.size())});
+  }
+  std::printf("== generated population: seed %llu, %d decks%s ==\n%s\n",
+              static_cast<unsigned long long>(options.seed), options.count,
+              options.stress ? " (stress)" : "", table.to_ascii().c_str());
+
+  if (const auto out = cli.get("out")) {
+    const std::vector<std::string> paths =
+        gen::write_population(decks, options, *out);
+    std::printf("wrote %zu decks to %s/\n", paths.size(), out->c_str());
+  }
+
+  if (!cli.has("check")) return 0;
+
+  // The metamorphic property suite over the population — the same evaluator
+  // ctest runs (gen::check_properties), so CI and the CLI cannot disagree.
+  int failed = 0;
+  for (const gen::GeneratedDeck& d : decks) {
+    const gen::PropertyReport report = gen::check_properties(d.name, d.problem);
+    if (report.ok()) {
+      std::printf("[PASS] %s\n", d.name.c_str());
+      continue;
+    }
+    ++failed;
+    std::printf("[FAIL] %s: %s\n", d.name.c_str(), report.failures().c_str());
+    for (const gen::PropertyResult& r : report.results) {
+      if (!r.pass) {
+        std::printf("       %-14s %s\n", r.id.c_str(), r.detail.c_str());
+      }
+    }
+  }
+  std::printf("property suite: %d/%zu decks pass\n",
+              static_cast<int>(decks.size()) - failed, decks.size());
+  if (failed > 0) {
+    std::printf(
+        "promote failing decks: write them with --out, copy the deck into "
+        "examples/decks/regressions/ and pin it in tests (docs/TESTING.md)\n");
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_run(const tl::Cli& cli) {
@@ -118,6 +215,15 @@ int cmd_run(const tl::Cli& cli) {
     }
     for (const std::string& s : skipped) {
       std::fprintf(stderr, "skipping deck %s\n", s.c_str());
+    }
+  }
+  if (cli.has("gen-seed")) {
+    // Sweep a generated workload population (deterministic per seed, so the
+    // resulting rows are as cacheable as any committed deck's).
+    const gen::GenOptions gen_options =
+        gen_options_from_cli(cli, "gen-seed", "gen-count", 8);
+    for (const gen::GeneratedDeck& d : gen::generate(gen_options)) {
+      config.problems.push_back({d.name, d.problem});
     }
   }
 
@@ -413,22 +519,32 @@ int cmd_kernels(const tl::Cli& cli) {
 }
 
 int cmd_tune(const tl::Cli& cli) {
-  // Resolve the problem: an explicit deck file, or the canonical bench
-  // problem (the same construction `run` uses, so store keys line up).
-  tl::ProblemConfig problem;
+  // Resolve the workload: an explicit deck file, the canonical bench
+  // problem (the same construction `run` uses, so store keys line up), or a
+  // generated population (--gen-seed) tuned as one aggregate workload.
+  std::vector<results::SweepProblem> population;
   std::string label;
   if (const auto deck = cli.get("deck")) {
-    problem = tl::Config::load(*deck).problem();
     label = std::filesystem::path(*deck).stem().string();
+    population.push_back({label, tl::Config::load(*deck).problem()});
+  } else if (cli.has("gen-seed")) {
+    const gen::GenOptions gen_options =
+        gen_options_from_cli(cli, "gen-seed", "gen-count", 4);
+    for (const gen::GeneratedDeck& d : gen::generate(gen_options)) {
+      population.push_back({d.name, d.problem});
+    }
+    label = "gen-s" + std::to_string(gen_options.seed) + "-n" +
+            std::to_string(gen_options.count) +
+            (gen_options.stress ? "-stress" : "");
   } else if (cli.has("mesh")) {
     const auto defaults = bench::HarnessOptions::from_env(1000);
     const int mesh = static_cast<int>(cli.get_long("mesh", 48));
     const int steps =
         static_cast<int>(cli.get_long("steps", defaults.bench_steps));
-    problem = results::bench_problem(mesh, steps);
     label = "bench-" + std::to_string(mesh);
+    population.push_back({label, results::bench_problem(mesh, steps)});
   } else {
-    std::fprintf(stderr, "tune needs --deck PATH or --mesh N\n");
+    std::fprintf(stderr, "tune needs --deck PATH, --mesh N or --gen-seed S\n");
     return usage();
   }
 
@@ -442,10 +558,13 @@ int cmd_tune(const tl::Cli& cli) {
 
   const std::string path = resolve_store_path(cli);
   results::ResultStore store = results::ResultStore::load(path);
-  std::printf("tune: %s (%dx%d, %d steps) budget %d -> %s\n",
-              options.deck_label.c_str(), problem.x_cells, problem.y_cells,
-              problem.end_step, options.budget, path.c_str());
-  const tuning::TuneOutcome outcome = tuning::tune(store, problem, options);
+  const tl::ProblemConfig& lead = population.front().problem;
+  std::printf("tune: %s (%zu member%s, lead %dx%d, %d steps) budget %d -> %s\n",
+              options.deck_label.c_str(), population.size(),
+              population.size() == 1 ? "" : "s", lead.x_cells, lead.y_cells,
+              lead.end_step, options.budget, path.c_str());
+  const tuning::TuneOutcome outcome =
+      tuning::tune_population(store, population, options);
   store.save(path);
 
   const tuning::TunedPlan& plan = outcome.plan;
@@ -530,6 +649,7 @@ int main(int argc, char** argv) {
   const std::string& command = cli.positional()[0];
   try {
     if (command == "run") return cmd_run(cli);
+    if (command == "gen") return cmd_gen(cli);
     if (command == "query") return cmd_query(cli);
     if (command == "compare") return cmd_compare(cli);
     if (command == "validate") return cmd_validate(cli);
