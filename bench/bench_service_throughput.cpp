@@ -1,0 +1,144 @@
+// bench_service_throughput — synthetic traffic replay through the solve
+// service (src/service): solves/sec and latency percentiles under batching
+// and arena reuse, persisted as regression-gated store rows.
+//
+// Two cases, both seeded through the deck generator so the workload is
+// fully reproducible: the smoke population, and the --stress hostile corner
+// as the tail-latency case (near-singular decks drive iteration counts —
+// and therefore p99 — up).  Replays run in *portable* mode (no tuning: the
+// deck's own solver on manual-omp with a fixed worker/pool shape), so the
+// row's instrumentation counters and iteration totals are bit-deterministic
+// across hosts and the service-smoke CI job can gate them exactly, the way
+// bench-smoke gates the kernel benches.  Wall-clock statistics stay
+// machine-local and get a loose tolerance instead.
+//
+// The counter delta is captured around the WHOLE replay: instrumentation is
+// process-global, so per-request deltas under concurrent workers would
+// interleave, but the replay-wide total is independent of scheduling.
+//
+// Env knobs: TEA_SERVICE_SEED (default 3), TEA_SERVICE_COUNT (3),
+// TEA_SERVICE_REPEAT (4), TEA_SERVICE_WORKERS (2), TEA_SERVICE_THREADS (2).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/table.hpp"
+#include "machine/instrumentation.hpp"
+#include "results/result_store.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+struct CaseResult {
+  std::string name;
+  service::ReplayReport report;
+  results::ResultRow row;
+};
+
+CaseResult run_case(const std::string& name, const gen::GenOptions& gen_options,
+                    int repeats, const service::ServiceOptions& svc_options) {
+  CaseResult out;
+  out.name = name;
+  const std::vector<service::SolveRequest> requests =
+      service::requests_from_gen(gen_options);
+
+  service::SolveService daemon(svc_options, nullptr);
+  const machine::CounterScope scope;  // whole-replay delta (see header note)
+  out.report = service::run_replay(daemon, requests, repeats);
+  daemon.shutdown();
+
+  // One store row per case.  The key hashes the full replay identity —
+  // population problems, repeat count and service shape — so changing the
+  // workload changes the key instead of silently overwriting the old row.
+  results::ResultRow row;
+  std::string identity = "service-replay/" + name;
+  for (const service::SolveRequest& request : requests)
+    identity += "/" + results::problem_key(request.problem);
+  identity += "/r" + std::to_string(repeats) +
+              "/w" + std::to_string(svc_options.workers) +
+              "/t" + std::to_string(svc_options.threads_per_worker) +
+              "/b" + std::to_string(svc_options.max_batch);
+  row.key = "service-replay/" + results::fnv1a_key(identity);
+  row.variant = "service-replay-" + name;
+  row.deck = "service-" + name;
+  row.deck_hash = results::fnv1a_key(identity);
+  row.solver = "service";
+  row.threads = svc_options.threads_per_worker;
+  row.ranks = svc_options.workers;  // worker shards, reusing the rank slot
+
+  std::vector<double> latencies;
+  bool all_converged = !out.report.responses.empty();
+  for (const service::SolveResponse& response : out.report.responses) {
+    latencies.push_back(response.latency_seconds);
+    row.iterations += response.iterations;
+    row.inner_iterations += response.inner_iterations;
+    all_converged = all_converged && response.ok() && response.converged;
+  }
+  row.converged = all_converged;
+  row.timing = results::TimingStats::from_samples(latencies);
+  row.p99_s = out.report.p99_s;
+  row.throughput_sps = out.report.throughput_sps;
+  row.counters = scope.delta();
+  out.row = row;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  gen::GenOptions gen_options;
+  gen_options.seed = static_cast<std::uint64_t>(env_long("TEA_SERVICE_SEED", 3));
+  gen_options.count = static_cast<int>(env_long("TEA_SERVICE_COUNT", 3));
+  const int repeats = static_cast<int>(env_long("TEA_SERVICE_REPEAT", 4));
+
+  service::ServiceOptions svc_options;
+  svc_options.workers = static_cast<int>(env_long("TEA_SERVICE_WORKERS", 2));
+  svc_options.threads_per_worker =
+      static_cast<int>(env_long("TEA_SERVICE_THREADS", 2));
+  svc_options.queue_capacity = 8;  // small bound: exercises backpressure
+  svc_options.max_batch = 4;
+  svc_options.enable_tuning = false;  // portable mode — see header comment
+
+  std::printf("== Service throughput: seeded replay (seed %llu, %d decks x "
+              "%d repeats, %d workers x %d threads) ==\n",
+              static_cast<unsigned long long>(gen_options.seed),
+              gen_options.count, repeats, svc_options.workers,
+              svc_options.threads_per_worker);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(run_case("gen", gen_options, repeats, svc_options));
+  gen::GenOptions stress_options = gen_options;
+  stress_options.stress = true;  // the tail-latency case
+  cases.push_back(run_case("stress", stress_options, repeats, svc_options));
+
+  tl::Table table({"case", "solves", "solves/s", "p50 ms", "p99 ms",
+                   "iters", "conv", "batches", "arena reuse", "rejects"});
+  for (const CaseResult& c : cases) {
+    table.add_row(
+        {c.name, std::to_string(c.report.responses.size()),
+         tl::Table::num(c.report.throughput_sps, 2),
+         tl::Table::num(c.report.p50_s * 1e3, 2),
+         tl::Table::num(c.report.p99_s * 1e3, 2),
+         std::to_string(c.row.iterations), c.row.converged ? "yes" : "NO",
+         std::to_string(c.report.stats.batches),
+         std::to_string(c.report.stats.arena.reused),
+         std::to_string(c.report.backpressure_rejects)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  results::ResultStore& store = bench::shared_store();
+  for (const CaseResult& c : cases) store.put(c.row);
+  // Save unconditionally: put() replaces same-key rows in place, which
+  // sync_store()'s row-count dirtiness check cannot see.
+  store.save(bench::store_path());
+  bench::print_store_stats();
+  return 0;
+}

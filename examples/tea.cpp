@@ -7,6 +7,10 @@
 //   $ ./examples/tea --report tea.out       # tea.out-style run report
 //   $ ./examples/tea --vtk out.vtk          # ParaView/VisIt field snapshot
 //   $ ./examples/tea deck.in --plan plan.json   # run a tea_sweep-tuned plan
+//
+// --plan fails loudly (exit 2) on a missing or malformed plan file and on a
+// plan tuned for a different problem; --plan-force downgrades the mismatch
+// to a warning.
 #include <cstdio>
 
 #include <memory>
@@ -54,16 +58,31 @@ int main(int argc, char** argv) {
     try {
       const tuning::TunedPlan plan = tuning::load_plan(*plan_path);
       if (plan.deck_hash != results::problem_hash(config.problem())) {
-        std::fprintf(stderr,
-                     "warning: plan %s was tuned for a different problem "
-                     "(deck '%s'); applying anyway\n",
-                     plan_path->c_str(), plan.deck.c_str());
+        if (cli.has("plan-force")) {
+          std::fprintf(stderr,
+                       "warning: plan %s was tuned for a different problem "
+                       "(deck '%s'); applying anyway (--plan-force)\n",
+                       plan_path->c_str(), plan.deck.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "error: plan %s was tuned for a different problem "
+                       "(plan deck '%s', hash %s; this deck hashes to %s).\n"
+                       "A mismatched plan silently runs the wrong "
+                       "solver/backend configuration — re-tune with "
+                       "`tea_sweep tune --deck <this deck>`, or pass "
+                       "--plan-force to apply it anyway.\n",
+                       plan_path->c_str(), plan.deck.c_str(),
+                       plan.deck_hash.c_str(),
+                       results::problem_hash(config.problem()).c_str());
+          return 2;
+        }
       }
       backend = tuning::apply_plan(plan, &config.problem(), &options);
       std::printf("tuned plan %s: %s\n", plan_path->c_str(),
                   plan.winner.id().c_str());
     } catch (const tl::Error& e) {
-      std::fprintf(stderr, "error reading plan: %s\n", e.what());
+      std::fprintf(stderr, "error: cannot use plan %s: %s\n",
+                   plan_path->c_str(), e.what());
       return 2;
     }
   }

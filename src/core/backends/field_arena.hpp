@@ -1,0 +1,83 @@
+// field_arena.hpp — a pool of FieldStore slabs keyed by partition geometry.
+//
+// A TeaLeaf solve allocates one multi-field slab (tens of MB at production
+// meshes) and pays a page-fault storm to first-touch it.  A service running
+// thousands of solves over a handful of distinct meshes pays that cost once
+// per (geometry, generation) here: released slabs are kept and handed back
+// to the next solve with the same geometry, re-zeroed through the acquiring
+// pool's static row partition.  Because the pages are already mapped — and
+// were first-touched with the same partition the kernels use — the NUMA
+// placement of every row survives reuse, and a reused store is bit-identical
+// to a freshly constructed one (FieldStore::reset).
+//
+// Thread-safe: service workers acquire and release concurrently.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/backends/field_store.hpp"
+
+namespace tea {
+
+class FieldArena {
+public:
+  struct Stats {
+    long allocated = 0;  // slabs constructed fresh
+    long reused = 0;     // slabs served from the pool
+  };
+
+  /// Get a zeroed FieldStore for `geom`: a pooled slab with the same
+  /// geometry when one is free (reset through `pool`), a fresh allocation
+  /// otherwise.  Return it with release() when the solve is done.
+  std::unique_ptr<FieldStore> acquire(const PartitionGeom& geom,
+                                      tlp::ThreadPool* pool) {
+    std::unique_ptr<FieldStore> store;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if ((*it)->geom() == geom) {
+          store = std::move(*it);
+          free_.erase(it);
+          ++stats_.reused;
+          break;
+        }
+      }
+      if (store == nullptr) ++stats_.allocated;
+    }
+    if (store != nullptr) {
+      // Re-zero outside the lock: clearing a big slab must not serialise
+      // the other workers' acquires.  This thread is the sole owner now.
+      store->reset(pool);
+      return store;
+    }
+    return std::make_unique<FieldStore>(geom, pool);
+  }
+
+  /// Return a store to the pool for reuse.  Null is tolerated (a backend
+  /// that never completed setup).
+  void release(std::unique_ptr<FieldStore> store) {
+    if (store == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(store));
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Number of slabs currently pooled (test hook).
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<FieldStore>> free_;
+  Stats stats_;
+};
+
+}  // namespace tea

@@ -47,6 +47,11 @@ struct PartitionGeom {
   int gnx = 0, gny = 0;
   int halo = 2;
 
+  bool operator==(const PartitionGeom& o) const {
+    return x0 == o.x0 && y0 == o.y0 && nx == o.nx && ny == o.ny &&
+           gnx == o.gnx && gny == o.gny && halo == o.halo;
+  }
+
   bool at_xlo() const { return x0 == 0; }
   bool at_xhi() const { return x0 + nx == gnx; }
   bool at_ylo() const { return y0 == 0; }
@@ -70,28 +75,19 @@ public:
       : geom_(geom),
         slab_(static_cast<std::size_t>(kNumFields) * geom.padded_cells(),
               tl::uninitialized) {
-    const long rows_per_field = geom_.padded_ny();
-    const long row_width = geom_.padded_nx();
-    const auto touch_rows = [&](double* base, long lo, long hi) {
-      double* TL_RESTRICT out = base + lo * row_width;
-      const long count = (hi - lo) * row_width;
-      for (long k = 0; k < count; ++k) out[k] = 0.0;
-    };
-    for (int f = 0; f < kNumFields; ++f) {
-      double* base = slab_.data() +
-                     static_cast<std::size_t>(f) *
-                         static_cast<std::size_t>(geom_.padded_cells());
-      if (pool != nullptr) {
-        // Rows [lo, hi) of this field go to the thread that will compute
-        // them (parallel_for's static partition matches the kernels' row
-        // split up to the halo offset).
-        pool->parallel_for(0, rows_per_field, [&](long lo, long hi) {
-          touch_rows(base, lo, hi);
-        });
-      } else {
-        touch_rows(base, 0, rows_per_field);
-      }
-    }
+    zero_fill(pool);
+  }
+
+  /// Return the store to its just-constructed state: every field zero, the
+  /// slot permutation identity.  The slab itself is kept, which is what the
+  /// service arena (field_arena.hpp) amortises: the pages are already mapped
+  /// — and, because zeroing runs through the same pool-static row partition
+  /// as the first touch, already resident on the right NUMA node — so a
+  /// reused store is bit-identical to a fresh one without paying the
+  /// allocation + page-fault cost again.
+  void reset(tlp::ThreadPool* pool = nullptr) {
+    slot_ = identity_slots();
+    zero_fill(pool);
   }
 
   const PartitionGeom& geom() const { return geom_; }
@@ -123,6 +119,31 @@ public:
   }
 
 private:
+  void zero_fill(tlp::ThreadPool* pool) {
+    const long rows_per_field = geom_.padded_ny();
+    const long row_width = geom_.padded_nx();
+    const auto touch_rows = [&](double* base, long lo, long hi) {
+      double* TL_RESTRICT out = base + lo * row_width;
+      const long count = (hi - lo) * row_width;
+      for (long k = 0; k < count; ++k) out[k] = 0.0;
+    };
+    for (int f = 0; f < kNumFields; ++f) {
+      double* field_base = slab_.data() +
+                           static_cast<std::size_t>(f) *
+                               static_cast<std::size_t>(geom_.padded_cells());
+      if (pool != nullptr) {
+        // Rows [lo, hi) of this field go to the thread that will compute
+        // them (parallel_for's static partition matches the kernels' row
+        // split up to the halo offset).
+        pool->parallel_for(0, rows_per_field, [&](long lo, long hi) {
+          touch_rows(field_base, lo, hi);
+        });
+      } else {
+        touch_rows(field_base, 0, rows_per_field);
+      }
+    }
+  }
+
   double* base(FieldId f) {
     return slab_.data() + static_cast<std::size_t>(slot_[static_cast<int>(f)]) *
                               static_cast<std::size_t>(geom_.padded_cells());

@@ -185,11 +185,15 @@ void charge_kernel(const PartitionGeom& g, const ref::KernelCost& c,
 }  // namespace
 
 ManualHostBackend::ManualHostBackend(std::string id, tlp::ThreadPool* pool,
-                                     minimpi::Comm* comm)
-    : id_(std::move(id)), pool_(pool), comm_(comm) {
+                                     minimpi::Comm* comm, FieldArena* arena)
+    : id_(std::move(id)), pool_(pool), comm_(comm), arena_(arena) {
   if (comm_ != nullptr) {
     cart_ = std::make_unique<minimpi::Cart2D>(*comm_);
   }
+}
+
+ManualHostBackend::~ManualHostBackend() {
+  if (arena_ != nullptr) arena_->release(std::move(store_));
 }
 
 void ManualHostBackend::setup(const tl::ProblemConfig& cfg) {
@@ -211,7 +215,11 @@ void ManualHostBackend::setup(const tl::ProblemConfig& cfg) {
   }
   // First-touch through the pool: each worker pages in the rows it will
   // later compute, so on NUMA hosts field rows live on the worker's node.
-  store_ = std::make_unique<FieldStore>(geom, pool_);
+  // With an arena the slab is leased instead — already mapped (and NUMA-
+  // placed) by an earlier solve with this geometry, re-zeroed to the same
+  // state a fresh allocation would have.
+  store_ = arena_ != nullptr ? arena_->acquire(geom, pool_)
+                             : std::make_unique<FieldStore>(geom, pool_);
 
   const StateSampler sampler(cfg);
   cell_volume_ = sampler.cell_volume();

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/backend.hpp"
+#include "core/backends/field_arena.hpp"
 #include "core/backends/field_store.hpp"
 #include "minimpi/cart.hpp"
 #include "minimpi/comm.hpp"
@@ -24,9 +25,13 @@ namespace tea {
 class ManualHostBackend final : public Backend {
 public:
   /// `pool` may be null (serial rows); `comm` may be null (undecomposed).
-  /// The backend does not own either.
-  ManualHostBackend(std::string id, tlp::ThreadPool* pool,
-                    minimpi::Comm* comm);
+  /// `arena` may be null (own a fresh FieldStore, the default); with one,
+  /// setup() leases the field slab from the arena and the destructor
+  /// returns it — the solve-service path that amortises field allocation
+  /// across back-to-back solves.  The backend owns none of the three.
+  ManualHostBackend(std::string id, tlp::ThreadPool* pool, minimpi::Comm* comm,
+                    FieldArena* arena = nullptr);
+  ~ManualHostBackend() override;
 
   std::string id() const override { return id_; }
   void setup(const tl::ProblemConfig& cfg) override;
@@ -69,6 +74,7 @@ private:
   std::string id_;
   tlp::ThreadPool* pool_;
   minimpi::Comm* comm_;
+  FieldArena* arena_;
   std::unique_ptr<minimpi::Cart2D> cart_;
   std::unique_ptr<FieldStore> store_;
   double cell_volume_ = 0.0;

@@ -32,11 +32,9 @@ TimingStats TimingStats::from_samples(std::vector<double> samples) {
   return s;
 }
 
-namespace {
-
 // FNV-1a, printed as 16 hex digits.  Collision-resistant enough for a store
 // of at most a few thousand rows, and dependency-free.
-std::string fnv1a_hex(const std::string& text) {
+std::string fnv1a_key(const std::string& text) {
   std::uint64_t h = 1469598103934665603ull;
   for (const char c : text) {
     h ^= static_cast<unsigned char>(c);
@@ -47,9 +45,7 @@ std::string fnv1a_hex(const std::string& text) {
   return buf;
 }
 
-}  // namespace
-
-std::string problem_hash(const tl::ProblemConfig& p) {
+std::string problem_key(const tl::ProblemConfig& p) {
   std::ostringstream os;
   os.precision(17);
   os << p.x_cells << '|' << p.y_cells << '|' << p.xmin << '|' << p.xmax << '|'
@@ -64,7 +60,7 @@ std::string problem_hash(const tl::ProblemConfig& p) {
        << st.ymin << ',' << st.ymax << ',' << st.cx << ',' << st.cy << ','
        << st.radius;
   }
-  return fnv1a_hex(os.str());
+  return fnv1a_key(os.str());
 }
 
 std::string measurement_key(const std::string& variant,
@@ -79,7 +75,7 @@ std::string measurement_key(const std::string& variant,
   // Appended only when non-default so every pre-existing key (and the
   // committed baselines keyed on them) stays stable.
   if (!options.fuse_operator_dot) os << "|unfused";
-  return fnv1a_hex(os.str());
+  return fnv1a_key(os.str());
 }
 
 namespace {
@@ -142,6 +138,10 @@ Json row_to_json(const ResultRow& r) {
   j.set("wall_median_s", Json(r.timing.median_s));
   j.set("wall_mean_s", Json(r.timing.mean_s));
   j.set("wall_stddev_s", Json(r.timing.stddev_s));
+  // Written only for service-replay rows, so ordinary rows (and the
+  // committed baselines diffed against them) keep their existing layout.
+  if (r.p99_s > 0.0) j.set("p99_s", Json(r.p99_s));
+  if (r.throughput_sps > 0.0) j.set("throughput_sps", Json(r.throughput_sps));
   j.set("iterations", Json(static_cast<std::int64_t>(r.iterations)));
   j.set("inner_iterations", Json(static_cast<std::int64_t>(r.inner_iterations)));
   j.set("converged", Json(r.converged));
@@ -187,6 +187,8 @@ ResultRow row_from_json(const Json& j) {
     for (const Json& v : s->items()) samples.push_back(v.as_double());
   }
   r.timing = TimingStats::from_samples(std::move(samples));
+  r.p99_s = j.get_double("p99_s", 0.0);
+  r.throughput_sps = j.get_double("throughput_sps", 0.0);
   r.iterations = static_cast<long>(j.get_int("iterations", 0));
   r.inner_iterations = static_cast<long>(j.get_int("inner_iterations", 0));
   if (const Json* c = j.get("converged")) r.converged = c->as_bool();

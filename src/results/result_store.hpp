@@ -74,6 +74,12 @@ struct ResultRow {
   bool fused = true;  // fused apply_operator_dot (RunOptions.fuse_operator_dot)
 
   TimingStats timing;
+  // Service-replay metrics (src/service): for `service-replay/*` rows the
+  // timing samples are per-request latencies, p99 is the tail-latency gate
+  // statistic and throughput is end-to-end solves/sec.  Zero (and omitted
+  // from the JSON) for ordinary measurement rows.
+  double p99_s = 0.0;
+  double throughput_sps = 0.0;
   long iterations = 0;        // outer solver iterations, summed over steps
   long inner_iterations = 0;  // Chebyshev/PPCG inner iterations
   bool converged = false;
@@ -87,10 +93,23 @@ struct ResultRow {
   std::string timestamp;  // ISO-8601 UTC at measurement time
 };
 
-/// Canonical hash of a problem: every ProblemConfig field that affects the
+/// The store's FNV-1a keying primitive, printed as 16 hex digits.  Public so
+/// every layer that derives keys from store identities (the tuner's
+/// population hash, the service's plan cache) composes this one function
+/// instead of re-implementing the constants.
+std::string fnv1a_key(const std::string& text);
+
+/// Canonical key of a problem: every ProblemConfig field that affects the
 /// numerics participates (unlike tl::to_deck, which writes only the keys the
-/// upstream deck format has).
-std::string problem_hash(const tl::ProblemConfig& problem);
+/// upstream deck format has).  This is THE problem identity of the repo —
+/// result rows (`deck_hash`), tuned plans and the solve service's plan cache
+/// all key on it, so "same problem" means the same thing everywhere.
+std::string problem_key(const tl::ProblemConfig& problem);
+
+/// Historical name for problem_key (row field is still called `deck_hash`).
+inline std::string problem_hash(const tl::ProblemConfig& problem) {
+  return problem_key(problem);
+}
 
 /// Content-addressed key for (variant, problem, options).
 std::string measurement_key(const std::string& variant,

@@ -1,0 +1,95 @@
+#include "service/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace service {
+
+double latency_percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const auto index = static_cast<std::size_t>(
+      std::floor(q * static_cast<double>(samples.size() - 1) + 0.5));
+  return samples[index];
+}
+
+std::vector<SolveRequest> requests_from_gen(const gen::GenOptions& options) {
+  std::vector<SolveRequest> requests;
+  for (const gen::GeneratedDeck& deck : gen::generate(options)) {
+    SolveRequest request;
+    request.label = deck.name;
+    request.problem = deck.problem;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<SolveRequest> requests_from_population(
+    const std::vector<results::SweepProblem>& population) {
+  std::vector<SolveRequest> requests;
+  for (const results::SweepProblem& member : population) {
+    SolveRequest request;
+    request.label = member.label;
+    request.problem = member.problem;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+ReplayReport run_replay(SolveService& service,
+                        const std::vector<SolveRequest>& requests,
+                        int repeats) {
+  service.start();
+  ReplayReport report;
+  if (requests.empty() || repeats < 1) return report;
+
+  std::deque<Ticket> outstanding;
+  const auto drain_oldest = [&] {
+    report.responses.push_back(service.wait(outstanding.front()));
+    outstanding.pop_front();
+  };
+
+  const tl::StopWatch watch;
+  for (int round = 0; round < repeats; ++round) {
+    for (const SolveRequest& request : requests) {
+      for (;;) {
+        Ticket ticket = service.submit(request);
+        if (ticket != nullptr) {
+          outstanding.push_back(std::move(ticket));
+          break;
+        }
+        // Queue full: backpressure.  Draining one response frees at least
+        // one slot (a worker has necessarily popped a group by then).
+        ++report.backpressure_rejects;
+        if (outstanding.empty())
+          throw tl::Error(
+              "replay: admission refused with no outstanding work "
+              "(service shut down?)");
+        drain_oldest();
+      }
+    }
+  }
+  while (!outstanding.empty()) drain_oldest();
+  report.wall_seconds = watch.seconds();
+
+  std::vector<double> latencies;
+  latencies.reserve(report.responses.size());
+  for (const SolveResponse& response : report.responses)
+    latencies.push_back(response.latency_seconds);
+  report.p50_s = latency_percentile(latencies, 0.50);
+  report.p99_s = latency_percentile(latencies, 0.99);
+  report.throughput_sps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.responses.size()) / report.wall_seconds
+          : 0.0;
+  report.stats = service.stats();
+  return report;
+}
+
+}  // namespace service

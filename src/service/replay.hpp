@@ -1,0 +1,58 @@
+// replay.hpp — synthetic traffic replay over a SolveService.
+//
+// The one traffic driver shared by the tead CLI and bench_service_throughput:
+// submit a request list `repeats` times in order, apply backpressure when
+// admission refuses (wait for the oldest outstanding response, then retry),
+// and report end-to-end throughput plus the latency distribution.  Traffic
+// comes from the deck generator (gen/generator.hpp) so a seed fully
+// determines the workload — including the --stress hostile corner, which is
+// the tail-latency case the bench persists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "results/sweep.hpp"
+#include "service/service.hpp"
+
+namespace service {
+
+struct ReplayReport {
+  std::vector<SolveResponse> responses;  // submission order
+  double wall_seconds = 0.0;     // first submit -> last response
+  double throughput_sps = 0.0;   // responses / wall_seconds
+  double p50_s = 0.0;            // latency percentiles over all responses
+  double p99_s = 0.0;
+  long backpressure_rejects = 0;  // admissions refused then retried
+  ServiceStats stats;             // service stats at replay end
+
+  bool all_ok() const {
+    for (const SolveResponse& r : responses)
+      if (!r.ok()) return false;
+    return !responses.empty();
+  }
+};
+
+/// Replay `requests` x `repeats` through `service` (started if necessary).
+/// Submission is single-producer and in order; rejected submissions retry
+/// after draining the oldest outstanding ticket, so every request is
+/// eventually served and the queue bound shows up as backpressure_rejects
+/// rather than lost work.
+ReplayReport run_replay(SolveService& service,
+                        const std::vector<SolveRequest>& requests,
+                        int repeats = 1);
+
+/// Deterministic replay traffic from the deck generator: one request per
+/// generated deck, labelled with the deck name.
+std::vector<SolveRequest> requests_from_gen(const gen::GenOptions& options);
+
+/// Requests from an existing sweep population (label + problem pairs).
+std::vector<SolveRequest> requests_from_population(
+    const std::vector<results::SweepProblem>& population);
+
+/// Nearest-rank percentile of `samples` (q in [0,1]); 0 when empty.
+double latency_percentile(std::vector<double> samples, double q);
+
+}  // namespace service

@@ -1,0 +1,221 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/backends/manual_host.hpp"
+#include "core/driver.hpp"
+#include "tuning/plan.hpp"
+
+namespace service {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions options, results::ResultStore* store)
+    : options_(std::move(options)),
+      store_(store),
+      plan_cache_(options_.plan_cache_capacity, options_.plan_cache_path),
+      queue_(options_.queue_capacity) {
+  if (options_.enable_tuning && store_ == nullptr)
+    throw tl::ConfigError(
+        "SolveService: tuning enabled but no result store supplied");
+  if (options_.workers < 1)
+    throw tl::ConfigError("SolveService: need at least one worker");
+  plan_cache_.load();
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+Ticket SolveService::submit(SolveRequest request) {
+  QueuedRequest queued;
+  queued.key = PlanCache::key_for(request.problem);
+  queued.submitted = Clock::now();
+  queued.ticket = std::make_shared<TicketState>();
+  queued.request = std::move(request);
+  Ticket ticket = queued.ticket;
+  if (!queue_.try_push(std::move(queued))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+SolveResponse SolveService::wait(const Ticket& ticket) const {
+  TL_REQUIRE(ticket != nullptr, "wait() on a rejected (null) ticket");
+  std::unique_lock<std::mutex> lock(ticket->mutex);
+  ticket->done_cv.wait(lock, [&] { return ticket->done; });
+  return ticket->response;
+}
+
+void SolveService::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_ || shut_down_) return;
+  started_ = true;
+  for (int w = 0; w < options_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->pool =
+        std::make_unique<tlp::ThreadPool>(std::max(1, options_.threads_per_worker));
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { worker_loop(*raw); });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+void SolveService::shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();  // refuse new admissions; queued requests drain
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Without workers (never started), fail whatever is still queued so
+  // wait() never deadlocks on a drained-but-unserved ticket.
+  for (QueuedRequest& dropped : queue_.close_and_drain()) {
+    SolveResponse response;
+    response.label = dropped.request.label;
+    response.key = dropped.key;
+    response.error = "service shut down before the request was served";
+    {
+      std::lock_guard<std::mutex> ticket_lock(dropped.ticket->mutex);
+      dropped.ticket->response = std::move(response);
+      dropped.ticket->done = true;
+    }
+    dropped.ticket->done_cv.notify_all();
+  }
+  plan_cache_.save();
+}
+
+SolveService::ResolvedPlan SolveService::resolve(
+    const tl::ProblemConfig& problem, const std::string& key) {
+  ResolvedPlan resolved;
+  resolved.problem = problem;
+  if (!options_.enable_tuning) {
+    // Portable mode: the deck's own solver/preconditioner on the default
+    // variant.  This is what CI gates with exact counters — tuned winners
+    // are machine-local, deck defaults are not.
+    resolved.variant = options_.default_variant;
+    resolved.run.threads = options_.threads_per_worker;
+    return resolved;
+  }
+  tuning::TuneOptions tune_options = options_.tune;
+  // Deterministic per-problem label: plan rows and cache bytes must not
+  // depend on which request's label reached the tuner first.
+  tune_options.deck_label = "svc-" + key.substr(0, 12);
+  const tuning::TunedPlan plan =
+      plan_cache_.fetch_or_tune(*store_, problem, tune_options);
+  resolved.variant =
+      tuning::apply_plan(plan, &resolved.problem, &resolved.run);
+  return resolved;
+}
+
+tea::RunResult SolveService::execute(const ResolvedPlan& plan,
+                                     Worker& worker) {
+  // Host-family variants run through the worker's own shard: its pool for
+  // threading, its arena for the field slab.  Everything else (distributed
+  // and accelerator variants manage their own contexts) goes through the
+  // ordinary one-shot entry point.
+  if (plan.variant == "serial" || plan.variant == "manual-omp") {
+    const tea::TeaDriver driver(plan.problem);
+    tea::ManualHostBackend backend(
+        plan.variant, plan.variant == "serial" ? nullptr : worker.pool.get(),
+        nullptr, &worker.arena);
+    backend.set_fused_operator_dot(plan.run.fuse_operator_dot);
+    return driver.run(backend);
+  }
+  return tea::run_simulation(plan.variant, plan.problem, plan.run);
+}
+
+void SolveService::worker_loop(Worker& worker) {
+  for (;;) {
+    std::vector<QueuedRequest> group = queue_.pop_group(
+        options_.max_batch, [](const QueuedRequest& head,
+                               const QueuedRequest& other) {
+          return head.key == other.key;
+        });
+    if (group.empty()) return;  // closed and drained
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (group.size() > 1)
+      batched_solves_.fetch_add(static_cast<long>(group.size()),
+                                std::memory_order_relaxed);
+
+    // One plan resolution per group: same key means byte-identical
+    // canonical problem, so the head's plan serves every member.
+    ResolvedPlan plan;
+    std::string resolve_error;
+    try {
+      plan = resolve(group.front().request.problem, group.front().key);
+    } catch (const std::exception& e) {
+      resolve_error = e.what();
+    }
+
+    const Clock::time_point dequeued = Clock::now();
+    for (QueuedRequest& queued : group) {
+      SolveResponse response;
+      response.label = queued.request.label;
+      response.key = queued.key;
+      response.variant = plan.variant;
+      response.batch_size = static_cast<int>(group.size());
+      response.queue_seconds = seconds_between(queued.submitted, dequeued);
+      if (!resolve_error.empty()) {
+        response.error = "plan resolution failed: " + resolve_error;
+      } else {
+        try {
+          const tl::StopWatch watch;
+          const tea::RunResult result = execute(plan, worker);
+          response.solve_seconds = watch.seconds();
+          response.converged = result.all_converged();
+          response.iterations = result.total_iterations;
+          for (const tea::StepResult& step : result.steps)
+            response.inner_iterations += step.solve.inner_iterations;
+          if (!result.steps.empty()) {
+            response.initial_rr = result.steps.front().solve.initial_rr;
+            response.final_rr = result.steps.back().solve.final_rr;
+          }
+          response.final_temperature = result.final_summary.temp;
+        } catch (const std::exception& e) {
+          response.error = e.what();
+        }
+      }
+      response.latency_seconds =
+          seconds_between(queued.submitted, Clock::now());
+      {
+        std::lock_guard<std::mutex> ticket_lock(queued.ticket->mutex);
+        queued.ticket->response = std::move(response);
+        queued.ticket->done = true;
+      }
+      queued.ticket->done_cv.notify_all();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batched_solves = batched_solves_.load(std::memory_order_relaxed);
+  out.plan = plan_cache_.stats();
+  for (const auto& worker : workers_) {
+    const tea::FieldArena::Stats arena = worker->arena.stats();
+    out.arena.allocated += arena.allocated;
+    out.arena.reused += arena.reused;
+  }
+  return out;
+}
+
+}  // namespace service

@@ -1,0 +1,111 @@
+// task_queue.hpp — bounded multi-producer/multi-consumer queue with
+// admission control, the request spine of the solve service (src/service).
+//
+// Unlike tlp::ThreadPool — fork-join regions for the *inside* of one solve —
+// this queue carries whole units of work between producers (request
+// submitters) and long-lived consumers (service workers, each of which owns
+// a ThreadPool for its solves).  Admission is non-blocking by design:
+// try_push refuses when the queue is at capacity instead of blocking the
+// producer, which is what lets a loaded service shed traffic at the front
+// door rather than stacking unbounded latency behind it.
+//
+// Consumers may take several entries at once (pop_group): the head entry
+// plus every other queued entry matching a caller-supplied predicate, which
+// is how the service forms batches of plan-compatible requests.  Mutex+CV is
+// the right tool here — queue traffic is per-solve (milliseconds at least),
+// not per-kernel, so lock-free handoff would buy nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tlp {
+
+template <typename T>
+class BoundedTaskQueue {
+public:
+  explicit BoundedTaskQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admission control: enqueue unless the queue is full or closed.
+  /// Never blocks.  Returns false on refusal.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocking consume: wait for an entry (or close), then return the head
+  /// entry plus up to `max_group - 1` further queued entries for which
+  /// `compatible(head, other)` holds, preserving queue order.  Entries that
+  /// do not match stay queued.  An empty result means closed-and-drained.
+  template <typename Compatible>
+  std::vector<T> pop_group(std::size_t max_group, Compatible&& compatible) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<T> group;
+    if (items_.empty()) return group;  // closed and drained
+    group.push_back(std::move(items_.front()));
+    items_.pop_front();
+    for (auto it = items_.begin();
+         it != items_.end() && group.size() < max_group;) {
+      if (compatible(group.front(), *it)) {
+        group.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return group;
+  }
+
+  /// Close the queue: every subsequent try_push is refused.  Entries already
+  /// queued remain poppable (drain), and blocked consumers wake up.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Close and discard everything still queued; returns the discarded
+  /// entries so the caller can fail them out loudly.
+  std::vector<T> close_and_drain() {
+    std::vector<T> dropped;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      for (T& item : items_) dropped.push_back(std::move(item));
+      items_.clear();
+    }
+    ready_.notify_all();
+    return dropped;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tlp

@@ -328,22 +328,16 @@ tl::ProblemConfig point_problem(const tl::ProblemConfig& problem,
   return p;
 }
 
-/// FNV-1a over the concatenated per-member problem hashes: the population
-/// identity for multi-member plans.  A single-member population keeps the
-/// raw problem_hash so existing single-deck plan baselines stay bit-stable.
+/// results::fnv1a_key over the concatenated per-member problem keys: the
+/// population identity for multi-member plans.  A single-member population
+/// keeps the raw problem_key so single-deck plan baselines stay bit-stable.
 std::string population_hash(const std::vector<results::SweepProblem>& pop) {
-  if (pop.size() == 1) return results::problem_hash(pop.front().problem);
-  std::uint64_t h = 1469598103934665603ULL;
+  if (pop.size() == 1) return results::problem_key(pop.front().problem);
+  std::string concat;
   for (const results::SweepProblem& member : pop) {
-    for (const char c : results::problem_hash(member.problem)) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ULL;
-    }
+    concat += results::problem_key(member.problem);
   }
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "pop:%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
+  return "pop:" + results::fnv1a_key(concat);
 }
 
 }  // namespace

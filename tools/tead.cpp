@@ -1,0 +1,158 @@
+// tead — thin CLI frontend over the in-process solve service (src/service).
+//
+// Builds a request list (deck files and/or a seeded generated population),
+// replays it through a SolveService, and prints the per-request outcomes
+// plus the service counters: throughput, latency percentiles, plan-cache
+// hits/misses/tunes and field-arena reuse.  Everything the daemon does —
+// admission control, per-deck TunedPlan caching, batching over the
+// FieldStore arena — is library code exercised identically by the tests and
+// bench_service_throughput; this binary only parses flags and renders
+// tables (see docs/SERVICE.md).
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/cli.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "results/result_store.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: tead (--decks a.in,b.in,.. | --gen-seed S [--gen-count N]\n"
+      "            [--stress]) [options]\n"
+      "\n"
+      "replay solve traffic through the in-process solve service\n"
+      "\n"
+      "traffic:\n"
+      "  --decks P1,P2,..   deck files, one request each\n"
+      "  --gen-seed S       seeded generated population (tea_sweep gen)\n"
+      "  --gen-count N      population size (default 4)\n"
+      "  --stress           sample the generator's hostile corner\n"
+      "  --repeat N         replay the request list N times (default 1)\n"
+      "\n"
+      "service:\n"
+      "  --workers N        worker shards (default 2)\n"
+      "  --threads N        solve-pool width per worker (default 2)\n"
+      "  --queue N          admission bound (default 64)\n"
+      "  --batch N          max same-problem requests per batch (default 4)\n"
+      "  --no-tune          skip tuning: deck defaults on --variant\n"
+      "  --variant V        no-tune backend variant (default manual-omp)\n"
+      "  --budget N         tune refinement width (default 4)\n"
+      "  --samples N        tune timing samples (default 1)\n"
+      "  --store P          result store backing tune measurements\n"
+      "                     (default: $TEA_RESULTS or BENCH_results.json)\n"
+      "  --plan-cache P     persisted plan cache (default <store>.plans.json;\n"
+      "                     'none' disables persistence)\n"
+      "  --cache-capacity N plan-cache LRU bound (default 32)\n");
+  return 2;
+}
+
+std::string fmt_ms(double seconds) {
+  return tl::Table::num(seconds * 1e3, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tl::Cli cli(argc, argv);
+  try {
+    // Traffic.
+    std::vector<service::SolveRequest> requests;
+    if (const auto decks = cli.get("decks")) {
+      for (const std::string& path : tl::split(*decks, ',')) {
+        service::SolveRequest request;
+        request.label = path;
+        request.problem = tl::Config::load(path).problem();
+        requests.push_back(std::move(request));
+      }
+    }
+    if (cli.has("gen-seed")) {
+      gen::GenOptions gen_options;
+      gen_options.seed =
+          static_cast<std::uint64_t>(cli.get_long("gen-seed", 1));
+      gen_options.count = static_cast<int>(cli.get_long("gen-count", 4));
+      gen_options.stress = cli.has("stress");
+      for (service::SolveRequest& request :
+           service::requests_from_gen(gen_options))
+        requests.push_back(std::move(request));
+    }
+    if (requests.empty()) {
+      std::fprintf(stderr, "tead: no traffic (need --decks or --gen-seed)\n");
+      return usage();
+    }
+    const int repeats = static_cast<int>(cli.get_long("repeat", 1));
+
+    // Service.
+    service::ServiceOptions options;
+    options.workers = static_cast<int>(cli.get_long("workers", 2));
+    options.threads_per_worker = static_cast<int>(cli.get_long("threads", 2));
+    options.queue_capacity =
+        static_cast<std::size_t>(cli.get_long("queue", 64));
+    options.max_batch = static_cast<std::size_t>(cli.get_long("batch", 4));
+    options.enable_tuning = !cli.has("no-tune");
+    options.default_variant = cli.get_or("variant", "manual-omp");
+    options.tune.budget = static_cast<int>(cli.get_long("budget", 4));
+    options.tune.samples = static_cast<int>(cli.get_long("samples", 1));
+    options.plan_cache_capacity =
+        static_cast<std::size_t>(cli.get_long("cache-capacity", 32));
+
+    const std::string store_path = cli.get_or("store", bench::store_path());
+    std::string cache_path = cli.get_or("plan-cache", store_path + ".plans.json");
+    if (cache_path == "none") cache_path.clear();
+    options.plan_cache_path = cache_path;
+
+    results::ResultStore store = results::ResultStore::load(store_path);
+    service::ReplayReport report;
+    {
+      service::SolveService daemon(options, &store);
+      report = service::run_replay(daemon, requests, repeats);
+      daemon.shutdown();  // persists the plan cache
+    }
+    if (options.enable_tuning) store.save(store_path);
+
+    tl::Table table({"request", "variant", "conv", "iters", "batch",
+                     "queue_ms", "solve_ms", "latency_ms"});
+    for (const service::SolveResponse& response : report.responses) {
+      if (!response.ok()) {
+        std::fprintf(stderr, "tead: %s failed: %s\n", response.label.c_str(),
+                     response.error.c_str());
+        continue;
+      }
+      table.add_row({response.label, response.variant,
+                     response.converged ? "yes" : "NO",
+                     std::to_string(response.iterations),
+                     std::to_string(response.batch_size),
+                     fmt_ms(response.queue_seconds),
+                     fmt_ms(response.solve_seconds),
+                     fmt_ms(response.latency_seconds)});
+    }
+    std::printf("%s\n", table.to_ascii().c_str());
+
+    const service::ServiceStats& stats = report.stats;
+    std::printf(
+        "replay: %zu responses in %.3f s  (%.2f solves/s, p50 %.2f ms, "
+        "p99 %.2f ms, %ld backpressure rejects)\n",
+        report.responses.size(), report.wall_seconds, report.throughput_sps,
+        report.p50_s * 1e3, report.p99_s * 1e3, report.backpressure_rejects);
+    std::printf(
+        "service: %ld batches (%ld batched solves), plan cache %ld hits / "
+        "%ld misses / %ld tunes / %ld evictions, arena %ld allocated / "
+        "%ld reused\n",
+        stats.batches, stats.batched_solves, stats.plan.hits,
+        stats.plan.misses, stats.plan.tunes, stats.plan.evictions,
+        stats.arena.allocated, stats.arena.reused);
+    return report.all_ok() ? 0 : 1;
+  } catch (const tl::Error& e) {
+    std::fprintf(stderr, "tead: %s\n", e.what());
+    return 2;
+  }
+}
