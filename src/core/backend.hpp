@@ -19,6 +19,14 @@
 
 namespace tea {
 
+/// Phases of the driver's deterministic counter window (TeaDriver::run
+/// brackets its CounterScope with Backend::counter_fence calls).
+enum class CounterFence {
+  kReady,  // pre-open: every rank reports setup complete to rank 0
+  kGo,     // post-open: rank 0 releases the ranks into the counted region
+  kDone,   // pre-close: every rank's report is its final counter charge
+};
+
 class Backend {
 public:
   virtual ~Backend() = default;
@@ -74,6 +82,38 @@ public:
   /// r = u0 - A u.  Requires u halo depth >= 1.
   virtual void compute_residual() = 0;
 
+  // --- fused halo-refresh + kernel entry points --------------------------------
+  // The solvers always refresh a field's halo immediately before the stencil
+  // that reads it; these fused entries let a distributed backend overlap the
+  // exchange with interior-cell compute (split-phase HaloExchange).  The
+  // defaults are the blocking pair, and overlapped overrides must be bitwise
+  // identical to them — same per-cell arithmetic, reductions through the
+  // same deterministic row_reduce4 association.
+
+  /// update_halo({in}, 1) then out = A in.
+  virtual void exchange_apply_operator(FieldId in, FieldId out) {
+    update_halo({in}, 1);
+    apply_operator(in, out);
+  }
+
+  /// update_halo({in}, 1) then fused out = A in; return <in, out>.
+  virtual double exchange_apply_operator_dot(FieldId in, FieldId out) {
+    update_halo({in}, 1);
+    return apply_operator_dot(in, out);
+  }
+
+  /// update_halo({u}, 1) then r = u0 - A u.
+  virtual void exchange_compute_residual() {
+    update_halo({FieldId::kU}, 1);
+    compute_residual();
+  }
+
+  /// update_halo({u}, 1) then one Jacobi sweep; returns the global error sum.
+  virtual double exchange_jacobi_iterate() {
+    update_halo({FieldId::kU}, 1);
+    return jacobi_iterate();
+  }
+
   virtual void copy_field(FieldId src, FieldId dst) = 0;
 
   /// dst = s * src.
@@ -120,6 +160,14 @@ public:
   /// a distributed run; always for shared-memory variants).  Keeps logical
   /// launch/iteration counts from being multiplied by the rank count.
   virtual bool counts_globally() const { return true; }
+
+  /// Rank synchronisation bracketing the driver's counter window.  Counters
+  /// are process-global, so rank 0's CounterScope delta is only deterministic
+  /// if no sibling rank charges before the window opens (kReady happens-before
+  /// the open, kGo happens-after) or after it closes (a rank's kDone token is
+  /// its final charge, collected by rank 0 before the close).  Shared-memory
+  /// backends have no sibling ranks — the default is a no-op.
+  virtual void counter_fence(CounterFence) {}
 
   // --- field access (visualisation, tests) ------------------------------------
 

@@ -31,6 +31,16 @@ inline ConstCellView shifted(ConstCellView v, int j0) {
   return ConstCellView{ref::row(v, j0), v.stride};
 }
 
+// Column shift: `xshift(v, i0)(i, j)` == `v(i0 + i, j)` — lets the row-band
+// kernels run over a column sub-range (the overlapped interior/boundary
+// split) without new loop bodies.
+inline CellView xshift(CellView v, int i0) {
+  return CellView{v.origin + i0, v.stride};
+}
+inline ConstCellView xshift(ConstCellView v, int i0) {
+  return ConstCellView{v.origin + i0, v.stride};
+}
+
 TL_TARGET_CLONES void op_band(ConstCellView in, CellView out, ConstCellView kx,
                               ConstCellView ky, double rx, double ry, int nx,
                               int j0, int j1) {
@@ -101,6 +111,24 @@ TL_TARGET_CLONES double jacobi_band(ConstCellView uold, ConstCellView u0,
   return ref::jacobi_sweep(shifted(uold, j0), shifted(u0, j0), shifted(u, j0),
                            shifted(kx, j0), shifted(ky, j0), rx, ry, nx,
                            j1 - j0);
+}
+
+/// Sum |a - b| over a row band, reduced exactly like dot_band.  This is the
+/// overlapped Jacobi error pass: w holds each unew bitwise, so re-reading
+/// |w - u_old| reproduces the fused sweep's |unew - uold| terms through the
+/// same per-row row_reduce4 association.
+TL_TARGET_CLONES double absdiff_band(ConstCellView a, ConstCellView b, int nx,
+                                     int j0, int j1) {
+  const ConstCellView as = shifted(a, j0);
+  const ConstCellView bs = shifted(b, j0);
+  double acc = 0.0;
+  for (int j = 0; j < j1 - j0; ++j) {
+    const double* TL_RESTRICT ar = ref::row(as, j);
+    const double* TL_RESTRICT br = ref::row(bs, j);
+    acc += ref::row_reduce4(nx,
+                            [&](int i) { return std::fabs(ar[i] - br[i]); });
+  }
+  return acc;
 }
 
 TL_TARGET_CLONES void precondition_band(CellView d, ConstCellView s,
@@ -342,6 +370,95 @@ void ManualHostBackend::compute_residual() {
   charge_kernel(geom(), ref::kCostResidual, comm_);
 }
 
+template <typename BandFn>
+void ManualHostBackend::overlap_exchange(FieldId exchanged,
+                                         const BandFn& band) {
+  const int nx = geom().nx;
+  const int ny = geom().ny;
+  HaloExchange hx(store_->view(exchanged), geom(), comm_, cart_.get(),
+                  /*depth=*/1);
+  hx.begin();
+  if (nx >= 3 && ny >= 3) {
+    // Interior cells read no halo value, so they compute while the strips
+    // are in flight; the one-cell boundary ring waits for the receives.
+    if (pool_ != nullptr) {
+      pool_->parallel_for(1, ny - 1, [&](long lo, long hi) {
+        band(1, nx - 2, static_cast<int>(lo), static_cast<int>(hi));
+      });
+    } else {
+      band(1, nx - 2, 1, ny - 1);
+    }
+    hx.finish();
+    band(0, nx, 0, 1);
+    band(0, nx, ny - 1, ny);
+    band(0, 1, 1, ny - 1);
+    band(nx - 1, 1, 1, ny - 1);
+  } else {
+    // Degenerate block: every cell touches the halo; no interior to overlap.
+    hx.finish();
+    rows([&](int j0, int j1) { band(0, nx, j0, j1); });
+  }
+}
+
+void ManualHostBackend::exchange_apply_operator(FieldId in, FieldId out) {
+  if (comm_ == nullptr) return Backend::exchange_apply_operator(in, out);
+  ConstCellView vin = store_->cview(in);
+  CellView vout = store_->view(out);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  overlap_exchange(in, [&](int i0, int bnx, int j0, int j1) {
+    op_band(xshift(vin, i0), xshift(vout, i0), xshift(kx, i0), xshift(ky, i0),
+            rx_, ry_, bnx, j0, j1);
+  });
+  charge_kernel(geom(), ref::kCostOperator, comm_);
+}
+
+double ManualHostBackend::exchange_apply_operator_dot(FieldId in, FieldId out) {
+  if (comm_ == nullptr) return Backend::exchange_apply_operator_dot(in, out);
+  // Overlapped operator, then the canonical dot pass: its per-row
+  // row_reduce4(in * out) is exactly the association the fused kernel folds
+  // its reduction through, so the value matches the blocking path bitwise.
+  exchange_apply_operator(in, out);
+  return dot(in, out);
+}
+
+void ManualHostBackend::exchange_compute_residual() {
+  if (comm_ == nullptr) return Backend::exchange_compute_residual();
+  ConstCellView u = store_->cview(FieldId::kU);
+  ConstCellView u0 = store_->cview(FieldId::kU0);
+  CellView r = store_->view(FieldId::kR);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  overlap_exchange(FieldId::kU, [&](int i0, int bnx, int j0, int j1) {
+    residual_band(xshift(u, i0), xshift(u0, i0), xshift(r, i0), xshift(kx, i0),
+                  xshift(ky, i0), rx_, ry_, bnx, j0, j1);
+  });
+  charge_kernel(geom(), ref::kCostResidual, comm_);
+}
+
+double ManualHostBackend::exchange_jacobi_iterate() {
+  if (comm_ == nullptr) return Backend::exchange_jacobi_iterate();
+  ConstCellView uold = store_->cview(FieldId::kU);
+  ConstCellView u0 = store_->cview(FieldId::kU0);
+  CellView w = store_->view(FieldId::kW);
+  ConstCellView kx = store_->cview(FieldId::kKx);
+  ConstCellView ky = store_->cview(FieldId::kKy);
+  // Sweep with the exchange in flight; per-band error partials are discarded
+  // because the split changes their association.
+  overlap_exchange(FieldId::kU, [&](int i0, int bnx, int j0, int j1) {
+    (void)jacobi_band(xshift(uold, i0), xshift(u0, i0), xshift(w, i0),
+                      xshift(kx, i0), xshift(ky, i0), rx_, ry_, bnx, j0, j1);
+  });
+  ConstCellView wc = store_->cview(FieldId::kW);
+  const int nx = geom().nx;
+  const double err = reduce_rows(
+      [&](int j0, int j1) { return absdiff_band(wc, uold, nx, j0, j1); });
+  store_->swap_fields(FieldId::kW, FieldId::kU);
+  charge_kernel(geom(), ref::kCostJacobi, comm_);
+  charge_kernel(geom(), ref::kCostDot, comm_, /*is_reduction=*/true);
+  return err;
+}
+
 void ManualHostBackend::copy_field(FieldId src, FieldId dst) {
   ConstCellView s = store_->cview(src);
   CellView d = store_->view(dst);
@@ -471,6 +588,10 @@ void ManualHostBackend::update_halo(std::initializer_list<FieldId> fields,
   for (const FieldId f : fields) {
     exchange_and_reflect(store_->view(f), geom(), comm_, cart_.get(), depth);
   }
+}
+
+void ManualHostBackend::counter_fence(CounterFence phase) {
+  if (comm_ != nullptr) tea::counter_fence(*comm_, phase);
 }
 
 void ManualHostBackend::finalise() {

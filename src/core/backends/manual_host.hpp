@@ -41,6 +41,14 @@ public:
   void apply_operator(FieldId in, FieldId out) override;
   double apply_operator_dot(FieldId in, FieldId out) override;
   void compute_residual() override;
+  // Overlapped split-phase exchanges: interior stencil while strips fly,
+  // boundary ring after finish.  Bitwise identical to the blocking defaults
+  // (pure per-cell writes; reductions re-read through the canonical
+  // row_reduce4 passes).  Undecomposed instances use the defaults.
+  void exchange_apply_operator(FieldId in, FieldId out) override;
+  double exchange_apply_operator_dot(FieldId in, FieldId out) override;
+  void exchange_compute_residual() override;
+  double exchange_jacobi_iterate() override;
   void copy_field(FieldId src, FieldId dst) override;
   void scale_copy(FieldId dst, FieldId src, double s) override;
   double dot(FieldId a, FieldId b) override;
@@ -57,6 +65,7 @@ public:
   bool counts_globally() const override {
     return comm_ == nullptr || comm_->rank() == 0;
   }
+  void counter_fence(CounterFence phase) override;
   LocalExtent local_extent() const override;
   void read_field(FieldId f, tl::span<double> out) override;
 
@@ -70,6 +79,11 @@ private:
   /// Row-wise mapped reduction returning the comm-wide combined value.
   template <typename MapFn>
   double reduce_rows(const MapFn& fn);
+  /// Split-phase exchange of one layer of `exchanged` overlapped with the
+  /// interior cells of a stencil pass; `band(i0, bnx, j0, j1)` computes
+  /// local columns [i0, i0+bnx) of rows [j0, j1).
+  template <typename BandFn>
+  void overlap_exchange(FieldId exchanged, const BandFn& band);
 
   std::string id_;
   tlp::ThreadPool* pool_;

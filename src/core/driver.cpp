@@ -15,8 +15,15 @@ RunResult TeaDriver::run(Backend& backend) const {
   const double rx = dt / (cfg_.dx() * cfg_.dx());
   const double ry = dt / (cfg_.dy() * cfg_.dy());
 
+  // Deterministic counter window: every rank has finished setup before the
+  // scope opens (kReady), no rank charges before rank 0's scope exists (kGo),
+  // and every rank's final charge precedes the close (kDone).  Without the
+  // fences, rank 0's delta over the process-global counters would race with
+  // sibling ranks still in setup or still forwarding the final broadcast.
+  backend.counter_fence(CounterFence::kReady);
   const machine::CounterScope counter_scope;
   const tl::StopWatch watch;
+  backend.counter_fence(CounterFence::kGo);
 
   for (int step = 1; step <= cfg_.end_step; ++step) {
     backend.set_rx_ry(rx, ry);
@@ -40,6 +47,7 @@ RunResult TeaDriver::run(Backend& backend) const {
     result.steps.push_back(sr);
   }
 
+  backend.counter_fence(CounterFence::kDone);
   result.wall_seconds = watch.seconds();
   result.counters = counter_scope.delta();
   result.final_summary = result.steps.back().summary;

@@ -1,7 +1,5 @@
 #include "core/halo.hpp"
 
-#include <vector>
-
 #include "common/error.hpp"
 #include "core/backends/ref_kernels.hpp"
 #include "machine/instrumentation.hpp"
@@ -9,108 +7,171 @@
 namespace tea {
 
 namespace {
+// Tags name the direction of travel; a receive matches the neighbour's send
+// towards this rank.  Per-(source, tag) FIFO matching keeps multi-field
+// exchange rounds ordered.
 constexpr minimpi::Tag kTagToLeft = 4001;
 constexpr minimpi::Tag kTagToRight = 4002;
 constexpr minimpi::Tag kTagToDown = 4003;
 constexpr minimpi::Tag kTagToUp = 4004;
+// Counter-window fence tokens (tea::counter_fence).  At most one token per
+// (pair, direction) is ever in flight — rank 0 drains a phase completely
+// before any rank can enter the next — so one tag serves all three phases.
+constexpr minimpi::Tag kTagFence = 4005;
+
+enum Direction { kLeft = 0, kRight = 1, kDown = 2, kUp = 3 };
 }  // namespace
+
+HaloExchange::HaloExchange(CellView f, const PartitionGeom& geom,
+                           minimpi::Comm* comm, const minimpi::Cart2D* cart,
+                           int depth)
+    : f_(f), geom_(geom), comm_(comm), cart_(cart), depth_(depth) {
+  TL_REQUIRE(depth <= geom.halo, "exchange depth exceeds halo depth");
+  if (comm_ != nullptr) {
+    TL_REQUIRE(cart_ != nullptr, "distributed exchange needs a topology");
+  }
+}
+
+void HaloExchange::begin() {
+  TL_REQUIRE(!begun_, "HaloExchange::begin called twice");
+  begun_ = true;
+  if (comm_ == nullptr) return;
+
+  const int nx = geom_.nx;
+  const int ny = geom_.ny;
+  const std::size_t x_msg = static_cast<std::size_t>(depth_) * ny;
+  const std::size_t y_msg = static_cast<std::size_t>(depth_) * nx;
+  const int nbr[4] = {cart_->left(), cart_->right(), cart_->down(),
+                      cart_->up()};
+  const minimpi::Tag recv_tag[4] = {kTagToRight, kTagToLeft, kTagToUp,
+                                    kTagToDown};
+  const minimpi::Tag send_tag[4] = {kTagToLeft, kTagToRight, kTagToDown,
+                                    kTagToUp};
+
+  // Post all four receives first (kProcNull receives complete empty), then
+  // pack and eagerly send the boundary strips, so by the time finish() runs
+  // every neighbour's data is likely already queued.
+  for (int d = 0; d < 4; ++d) {
+    recv_[d].resize(d < 2 ? x_msg : y_msg);
+    reqs_[d] = comm_->irecv(tl::span<double>(recv_[d]), nbr[d], recv_tag[d]);
+  }
+
+  const int col0[2] = {0, nx - depth_};   // strips sent left / right
+  for (int d = kLeft; d <= kRight; ++d) {
+    if (nbr[d] == minimpi::kProcNull) continue;
+    send_[d].resize(x_msg);
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < depth_; ++k) {
+        send_[d][static_cast<std::size_t>(j) * depth_ + k] = f_(col0[d] + k, j);
+      }
+    }
+    (void)comm_->isend(tl::span<const double>(send_[d]), nbr[d], send_tag[d]);
+  }
+  const int row0[2] = {0, ny - depth_};   // strips sent down / up
+  for (int d = kDown; d <= kUp; ++d) {
+    if (nbr[d] == minimpi::kProcNull) continue;
+    send_[d].resize(y_msg);
+    for (int k = 0; k < depth_; ++k) {
+      for (int i = 0; i < nx; ++i) {
+        send_[d][static_cast<std::size_t>(k) * nx + i] = f_(i, row0[d - 2] + k);
+      }
+    }
+    (void)comm_->isend(tl::span<const double>(send_[d]), nbr[d], send_tag[d]);
+  }
+}
+
+void HaloExchange::finish() {
+  TL_REQUIRE(begun_, "HaloExchange::finish before begin");
+  const int nx = geom_.nx;
+  const int ny = geom_.ny;
+
+  if (comm_ != nullptr) {
+    comm_->waitall(tl::span<minimpi::Request>(reqs_, 4));
+
+    // Unpack: x halos from the side neighbours, y halos from above/below.
+    if (cart_->left() != minimpi::kProcNull) {
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth_; ++k) {
+          f_(-depth_ + k, j) =
+              recv_[kLeft][static_cast<std::size_t>(j) * depth_ + k];
+        }
+      }
+    }
+    if (cart_->right() != minimpi::kProcNull) {
+      for (int j = 0; j < ny; ++j) {
+        for (int k = 0; k < depth_; ++k) {
+          f_(nx + k, j) =
+              recv_[kRight][static_cast<std::size_t>(j) * depth_ + k];
+        }
+      }
+    }
+    if (cart_->down() != minimpi::kProcNull) {
+      for (int k = 0; k < depth_; ++k) {
+        for (int i = 0; i < nx; ++i) {
+          f_(i, -depth_ + k) =
+              recv_[kDown][static_cast<std::size_t>(k) * nx + i];
+        }
+      }
+    }
+    if (cart_->up() != minimpi::kProcNull) {
+      for (int k = 0; k < depth_; ++k) {
+        for (int i = 0; i < nx; ++i) {
+          f_(i, ny + k) = recv_[kUp][static_cast<std::size_t>(k) * nx + i];
+        }
+      }
+    }
+
+    // Charge only the messages actually exchanged: a null neighbour moves no
+    // bytes, so domain-edge ranks pay for fewer strips than interior ranks.
+    // Every existing neighbour contributes one sent and one received strip.
+    std::int64_t moved = 0;
+    const std::size_t x_msg = static_cast<std::size_t>(depth_) * ny;
+    const std::size_t y_msg = static_cast<std::size_t>(depth_) * nx;
+    if (cart_->left() != minimpi::kProcNull) moved += 2 * x_msg;
+    if (cart_->right() != minimpi::kProcNull) moved += 2 * x_msg;
+    if (cart_->down() != minimpi::kProcNull) moved += 2 * y_msg;
+    if (cart_->up() != minimpi::kProcNull) moved += 2 * y_msg;
+    const std::int64_t bytes = moved * static_cast<std::int64_t>(sizeof(double));
+    machine::Instrumentation::global().add_traffic(bytes, bytes, 0);
+  }
+
+  const bool xlo = cart_ == nullptr || cart_->left() == minimpi::kProcNull;
+  const bool xhi = cart_ == nullptr || cart_->right() == minimpi::kProcNull;
+  const bool ylo = cart_ == nullptr || cart_->down() == minimpi::kProcNull;
+  const bool yhi = cart_ == nullptr || cart_->up() == minimpi::kProcNull;
+  ref::reflect_halo(f_, nx, ny, depth_, xlo, xhi, ylo, yhi);
+
+  if (comm_ == nullptr || comm_->rank() == 0) {
+    machine::Instrumentation::global().add_halo_exchange();
+  }
+}
 
 void exchange_and_reflect(CellView f, const PartitionGeom& geom,
                           minimpi::Comm* comm, const minimpi::Cart2D* cart,
                           int depth) {
-  TL_REQUIRE(depth <= geom.halo, "exchange depth exceeds halo depth");
-  const int nx = geom.nx;
-  const int ny = geom.ny;
+  HaloExchange hx(f, geom, comm, cart, depth);
+  hx.begin();
+  hx.finish();
+}
 
-  if (comm != nullptr) {
-    TL_REQUIRE(cart != nullptr, "distributed exchange needs a topology");
-    const std::size_t x_msg = static_cast<std::size_t>(depth) * ny;
-    std::vector<double> buf(x_msg);
-    std::vector<double> in(x_msg);
-
-    // X phase: boundary interior columns <-> side halos.
-    if (cart->left() != minimpi::kProcNull) {
-      for (int j = 0; j < ny; ++j) {
-        for (int k = 0; k < depth; ++k) {
-          buf[static_cast<std::size_t>(j) * depth + k] = f(k, j);
-        }
-      }
-      comm->send(tl::span<const double>(buf), cart->left(), kTagToLeft);
+void counter_fence(minimpi::Comm& comm, CounterFence phase) {
+  const int n = comm.size();
+  if (n <= 1) return;
+  const char token = 0;
+  if (phase == CounterFence::kGo) {
+    if (comm.rank() == 0) {
+      for (int r = 1; r < n; ++r) comm.send_value(token, r, kTagFence);
+    } else {
+      (void)comm.recv_value<char>(0, kTagFence);
     }
-    if (cart->right() != minimpi::kProcNull) {
-      comm->recv(tl::span<double>(in), cart->right(), kTagToLeft);
-      for (int j = 0; j < ny; ++j) {
-        for (int k = 0; k < depth; ++k) {
-          f(nx + k, j) = in[static_cast<std::size_t>(j) * depth + k];
-        }
-      }
-      for (int j = 0; j < ny; ++j) {
-        for (int k = 0; k < depth; ++k) {
-          buf[static_cast<std::size_t>(j) * depth + k] = f(nx - depth + k, j);
-        }
-      }
-      comm->send(tl::span<const double>(buf), cart->right(), kTagToRight);
-    }
-    if (cart->left() != minimpi::kProcNull) {
-      comm->recv(tl::span<double>(in), cart->left(), kTagToRight);
-      for (int j = 0; j < ny; ++j) {
-        for (int k = 0; k < depth; ++k) {
-          f(-depth + k, j) = in[static_cast<std::size_t>(j) * depth + k];
-        }
-      }
-    }
-
-    // Y phase, rows spanning the x halo so corners propagate.
-    const int row_lo = -depth;
-    const int row_w = nx + 2 * depth;
-    const std::size_t y_msg = static_cast<std::size_t>(depth) * row_w;
-    buf.resize(y_msg);
-    in.resize(y_msg);
-    if (cart->down() != minimpi::kProcNull) {
-      for (int k = 0; k < depth; ++k) {
-        for (int i = 0; i < row_w; ++i) {
-          buf[static_cast<std::size_t>(k) * row_w + i] = f(row_lo + i, k);
-        }
-      }
-      comm->send(tl::span<const double>(buf), cart->down(), kTagToDown);
-    }
-    if (cart->up() != minimpi::kProcNull) {
-      comm->recv(tl::span<double>(in), cart->up(), kTagToDown);
-      for (int k = 0; k < depth; ++k) {
-        for (int i = 0; i < row_w; ++i) {
-          f(row_lo + i, ny + k) = in[static_cast<std::size_t>(k) * row_w + i];
-        }
-      }
-      for (int k = 0; k < depth; ++k) {
-        for (int i = 0; i < row_w; ++i) {
-          buf[static_cast<std::size_t>(k) * row_w + i] =
-              f(row_lo + i, ny - depth + k);
-        }
-      }
-      comm->send(tl::span<const double>(buf), cart->up(), kTagToUp);
-    }
-    if (cart->down() != minimpi::kProcNull) {
-      comm->recv(tl::span<double>(in), cart->down(), kTagToUp);
-      for (int k = 0; k < depth; ++k) {
-        for (int i = 0; i < row_w; ++i) {
-          f(row_lo + i, -depth + k) = in[static_cast<std::size_t>(k) * row_w + i];
-        }
-      }
-    }
-
-    const std::int64_t bytes =
-        static_cast<std::int64_t>(2 * (x_msg + y_msg)) * sizeof(double);
-    machine::Instrumentation::global().add_traffic(bytes, bytes, 0);
+    return;
   }
-
-  const bool xlo = cart == nullptr || cart->left() == minimpi::kProcNull;
-  const bool xhi = cart == nullptr || cart->right() == minimpi::kProcNull;
-  const bool ylo = cart == nullptr || cart->down() == minimpi::kProcNull;
-  const bool yhi = cart == nullptr || cart->up() == minimpi::kProcNull;
-  ref::reflect_halo(f, nx, ny, depth, xlo, xhi, ylo, yhi);
-
-  if (comm == nullptr || comm->rank() == 0) {
-    machine::Instrumentation::global().add_halo_exchange();
+  // kReady / kDone fan in: a rank's token is sequenced after everything it
+  // charged in the phase, and rank 0 cannot proceed until it holds them all.
+  if (comm.rank() == 0) {
+    for (int r = 1; r < n; ++r) (void)comm.recv_value<char>(r, kTagFence);
+  } else {
+    comm.send_value(token, 0, kTagFence);
   }
 }
 

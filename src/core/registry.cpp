@@ -39,8 +39,10 @@ bool backend_is_gpu(const std::string& id) {
 }
 
 bool backend_has_fused_operator_dot(const std::string& id) {
-  return id == "serial" || id == "manual-omp" || id == "manual-mpi" ||
-         id == "manual-hybrid";
+  // The distributed manual variants run the overlapped split exchange, whose
+  // operator and dot are separate passes by construction — the fused flag is
+  // a no-op there, so they are excluded to keep measurement keys canonical.
+  return id == "serial" || id == "manual-omp";
 }
 
 namespace {

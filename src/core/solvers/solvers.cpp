@@ -25,8 +25,7 @@ double cg_iterations(Backend& b, int iters, double eps_rr, double rr0,
                      std::vector<double>* betas) {
   double rro = stats.final_rr;
   for (int it = 0; it < iters; ++it) {
-    b.update_halo({kP}, 1);
-    const double pw = b.apply_operator_dot(kP, kW);
+    const double pw = b.exchange_apply_operator_dot(kP, kW);
     if (pw == 0.0) {  // direction annihilated: already converged (or breakdown)
       stats.converged = rro <= eps_rr * rr0;
       break;
@@ -53,8 +52,7 @@ double cg_iterations(Backend& b, int iters, double eps_rr, double rr0,
 
 /// Common start: residual from the current u, plus its squared norm.
 double init_residual(Backend& b) {
-  b.update_halo({kU}, 1);
-  b.compute_residual();
+  b.exchange_compute_residual();
   return b.dot(kR, kR);
 }
 
@@ -90,8 +88,7 @@ SolveStats solve_cg(Backend& b, const SolveOptions& o) {
     b.copy_field(kZ, kP);
     double rz = b.dot(kR, kZ);
     for (int it = 0; it < o.max_iters; ++it) {
-      b.update_halo({kP}, 1);
-      const double pw = b.apply_operator_dot(kP, kW);
+      const double pw = b.exchange_apply_operator_dot(kP, kW);
       if (pw == 0.0) break;
       const double alpha = rz / pw;
       b.axpy(kU, alpha, kP);
@@ -129,12 +126,10 @@ SolveStats solve_jacobi(Backend& b, const SolveOptions& o) {
   // confirm with the true residual (same eps semantics as the Krylov paths)
   // every 20 sweeps so the stats are comparable.
   for (int it = 0; it < o.max_iters; ++it) {
-    b.update_halo({kU}, 1);
-    (void)b.jacobi_iterate();
+    (void)b.exchange_jacobi_iterate();
     ++stats.iterations;
     if ((it + 1) % 20 == 0 || it + 1 == o.max_iters) {
-      b.update_halo({kU}, 1);
-      b.compute_residual();
+      b.exchange_compute_residual();
       const double rrn = b.dot(kR, kR);
       stats.final_rr = rrn;
       if (rrn <= o.eps * rr0) {
@@ -171,8 +166,7 @@ SolveStats solve_cheby(Backend& b, const SolveOptions& o) {
   b.scale_copy(kSd, kR, 1.0 / c.theta);
   double rho_old = 1.0 / c.sigma;
   for (int it = stats.iterations; it < o.max_iters; ++it) {
-    b.update_halo({kSd}, 1);
-    b.apply_operator(kSd, kW);
+    b.exchange_apply_operator(kSd, kW);
     const double rho_new = 1.0 / (2.0 * c.sigma - rho_old);
     const double alpha = rho_new * rho_old;
     const double beta = 2.0 * rho_new / c.delta;
@@ -221,8 +215,7 @@ SolveStats solve_ppcg(Backend& b, const SolveOptions& o) {
     b.scale_copy(kSd, kRInner, 1.0 / c.theta);
     double rho_old = 1.0 / c.sigma;
     for (int k = 0; k < o.ppcg_inner_steps; ++k) {
-      b.update_halo({kSd}, 1);
-      b.apply_operator(kSd, kW);
+      b.exchange_apply_operator(kSd, kW);
       const double rho_new = 1.0 / (2.0 * c.sigma - rho_old);
       b.smooth_update(kZ, kRInner, kW, kSd, rho_new * rho_old,
                       2.0 * rho_new / c.delta);
@@ -237,8 +230,7 @@ SolveStats solve_ppcg(Backend& b, const SolveOptions& o) {
   rro = b.dot(kR, kZ);
 
   for (int it = stats.iterations; it < o.max_iters; ++it) {
-    b.update_halo({kP}, 1);
-    const double pw = b.apply_operator_dot(kP, kW);
+    const double pw = b.exchange_apply_operator_dot(kP, kW);
     if (pw == 0.0) {
       stats.converged = stats.final_rr <= o.eps * rr0;
       break;

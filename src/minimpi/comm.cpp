@@ -62,14 +62,34 @@ Status Comm::recv_bytes(void* data, std::size_t bytes, int source, Tag tag) {
                                                                  data, bytes);
 }
 
-Status Comm::wait(Request& request) {
-  if (request.done_) return Status{};
+bool Comm::test(Request& request) {
+  if (request.done_) return true;
   TL_REQUIRE(request.kind_ == Request::Kind::kRecv,
              "only receive requests can be pending");
-  const Status st = recv_bytes(request.data_, request.bytes_, request.source_,
+  if (request.source_ == kProcNull) {
+    request.status_ = Status{};
+    request.status_.source = kProcNull;
+    request.status_.tag = request.tag_;
+    request.done_ = true;
+    return true;
+  }
+  const auto st =
+      world_.mailboxes_[static_cast<std::size_t>(rank_)]->try_pop(
+          request.source_, request.tag_, request.data_, request.bytes_);
+  if (!st) return false;
+  request.status_ = *st;
+  request.done_ = true;
+  return true;
+}
+
+Status Comm::wait(Request& request) {
+  if (request.done_) return request.status_;
+  TL_REQUIRE(request.kind_ == Request::Kind::kRecv,
+             "only receive requests can be pending");
+  request.status_ = recv_bytes(request.data_, request.bytes_, request.source_,
                                request.tag_);
   request.done_ = true;
-  return st;
+  return request.status_;
 }
 
 std::vector<Status> Comm::waitall(tl::span<Request> requests) {

@@ -89,6 +89,11 @@ public:
                                  tag);
   }
 
+  /// Non-blocking progress (MPI_Test): complete the request if its message
+  /// has arrived.  Returns true when the request is (now) complete; the
+  /// completion metadata is left in request.status().
+  bool test(Request& request);
+
   Status wait(Request& request);
   std::vector<Status> waitall(tl::span<Request> requests);
 

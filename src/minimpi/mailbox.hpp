@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "minimpi/types.hpp"
 
 namespace minimpi {
@@ -33,7 +34,8 @@ public:
   }
 
   /// Block until a message matching (source|kAnySource, tag|kAnyTag) is
-  /// available, copy at most `capacity` bytes into `out`, and return status.
+  /// available, copy it into `out`, and return status.  A matching message
+  /// larger than `capacity` is a hard error (MPI_ERR_TRUNCATE semantics).
   /// Polls briefly before sleeping: halo exchanges and reduction trees are
   /// latency-bound, and the peer's send is usually microseconds away.
   Status pop(int source, Tag tag, void* out, std::size_t capacity) {
@@ -67,6 +69,13 @@ public:
     return false;
   }
 
+  /// Non-blocking pop: complete a matching receive if one is queued.
+  std::optional<Status> try_pop(int source, Tag tag, void* out,
+                                std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return try_pop_locked(source, tag, out, capacity);
+  }
+
   std::size_t pending() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
@@ -88,13 +97,19 @@ private:
                                        std::size_t capacity) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (!matches(*it, source, tag)) continue;
+      // Truncation is a hard failure, as in MPI: silently delivering a
+      // clipped payload while reporting the full size corrupts the receiver.
+      TL_REQUIRE(it->payload.size() <= capacity,
+                 "recv truncation: message of " +
+                     std::to_string(it->payload.size()) +
+                     " bytes exceeds receive buffer of " +
+                     std::to_string(capacity));
       Status st;
       st.source = it->source;
       st.tag = it->tag;
       st.bytes = it->payload.size();
       if (st.bytes > 0 && out != nullptr) {
-        std::memcpy(out, it->payload.data(),
-                    st.bytes < capacity ? st.bytes : capacity);
+        std::memcpy(out, it->payload.data(), st.bytes);
       }
       queue_.erase(it);
       return st;

@@ -1,7 +1,9 @@
 // request.hpp — nonblocking-operation handles.  With minimpi's eager sends a
-// send request is born complete; a receive request performs its (blocking)
-// matching when waited on, which preserves MPI's completion semantics for the
-// post-exchange-then-waitall pattern TeaLeaf's halo code uses.
+// send request is born complete; a receive request matches lazily — either
+// incrementally through Comm::test() (non-blocking progress, what the
+// overlapped halo exchange polls while computing interior cells) or
+// terminally through Comm::wait().  Both preserve MPI's completion semantics
+// for the post-exchange-then-waitall pattern TeaLeaf's halo code uses.
 #pragma once
 
 #include <cstddef>
@@ -38,12 +40,16 @@ public:
   bool done() const noexcept { return done_; }
   bool is_recv() const noexcept { return kind_ == Kind::kRecv; }
 
+  /// Completion status (valid once done(); a send's status is empty).
+  const Status& status() const noexcept { return status_; }
+
 private:
   friend class Comm;
   enum class Kind { kNull, kSend, kRecv };
 
   Kind kind_ = Kind::kNull;
   bool done_ = false;
+  Status status_{};
   Comm* comm_ = nullptr;
   void* data_ = nullptr;
   std::size_t bytes_ = 0;

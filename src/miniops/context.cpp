@@ -228,9 +228,15 @@ void Context::exchange_internal(Dat& dat, int depth) {
     }
   }
 
-  // Pack + unpack both touch the exchanged cells once.
-  const std::int64_t bytes =
-      static_cast<std::int64_t>(2 * (x_msg + y_msg)) * sizeof(double);
+  // Pack + unpack both touch the exchanged cells once.  Count only the
+  // strips actually exchanged: a null neighbour moves no bytes, so
+  // domain-edge ranks pay less than interior ranks.
+  std::int64_t moved = 0;
+  if (cart.left() != minimpi::kProcNull) moved += 2 * static_cast<std::int64_t>(x_msg);
+  if (cart.right() != minimpi::kProcNull) moved += 2 * static_cast<std::int64_t>(x_msg);
+  if (cart.down() != minimpi::kProcNull) moved += 2 * static_cast<std::int64_t>(y_msg);
+  if (cart.up() != minimpi::kProcNull) moved += 2 * static_cast<std::int64_t>(y_msg);
+  const std::int64_t bytes = moved * static_cast<std::int64_t>(sizeof(double));
   instr().add_traffic(bytes, bytes, 0);
 }
 

@@ -164,8 +164,7 @@ machine::Counters estimate_counters(const tl::ProblemConfig& problem,
   c.reductions = to_i64(total_reductions);
   c.halo_exchanges = to_i64(total_halos);
   c.solver_iterations = to_i64(steps * outer);
-  if (point.variant == "manual-mpi" || point.variant == "ops-mpi" ||
-      point.variant == "ops-tiled") {
+  if (tea::backend_is_distributed(point.variant)) {
     // Block decomposition: every halo refresh moves one ring of ghost cells
     // per rank pair.
     const double ranks = std::max(1, point.ranks);
@@ -214,8 +213,10 @@ machine::EfficiencyProfile host_profile(const ExecutionPoint& point,
     active = 1;
   } else if (point.threads > 0) {
     active = point.threads;
-  } else if (point.variant == "manual-mpi" || point.variant == "ops-mpi" ||
-             point.variant == "ops-tiled") {
+  } else if (point.variant == "manual-hybrid" ||
+             point.variant == "ops-hybrid") {
+    active = point.ranks * std::max(1, point.hybrid_threads);
+  } else if (tea::backend_is_distributed(point.variant)) {
     active = point.ranks;
   }
   const double thread_scale =
@@ -286,6 +287,13 @@ std::vector<ExecutionPoint> enumerate_candidates(
       ExecutionPoint p = base;
       p.variant = "manual-mpi";
       p.ranks = r;
+      push(p);
+    }
+    for (const int r : {2, 4}) {  // manual-hybrid x ranks, 2 threads per rank
+      ExecutionPoint p = base;
+      p.variant = "manual-hybrid";
+      p.ranks = r;
+      p.hybrid_threads = 2;
       push(p);
     }
     {  // ops family

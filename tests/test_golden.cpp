@@ -1,6 +1,7 @@
 // Golden numerics regression suite: freezes outer/inner iteration counts,
 // final residuals and the conserved temperature sum for every solver on every
-// shipped deck, against baselines committed below.  Any kernel, threading or
+// shipped deck, against baselines committed in golden_cases.hpp (shared with
+// the multi-rank suite).  Any kernel, threading or
 // summation-order change that shifts the numerics beyond the tight tolerances
 // here is a regression (or a deliberate re-baseline, which must be explained
 // in the commit that regenerates the table).
@@ -9,7 +10,8 @@
 //
 //   TEA_GOLDEN_REGEN=1 ./test_golden --gtest_filter=Golden/GoldenCaseTest.*
 //
-// prints the kGolden table in C++ source form; paste it over the table below.
+// prints the kGolden table in C++ source form; paste it over the table in
+// golden_cases.hpp.
 // Regeneration uses the identical configuration code as the checks, so the
 // frozen numbers can never drift from the harness that produced them.
 //
@@ -26,125 +28,21 @@
 
 #include "common/config.hpp"
 #include "core/registry.hpp"
+#include "golden_cases.hpp"
 
 namespace {
 
+using golden::GoldenCase;
+using golden::clamp_budgets;
+using golden::decks_dir;
+using golden::golden_config;
+using golden::kConvergedResidualFactor;
+using golden::kGolden;
+using golden::kInitialRrRelTol;
+using golden::kResidualRelTol;
+using golden::kTempRelTol;
+
 namespace fs = std::filesystem;
-
-fs::path decks_dir() {
-  for (fs::path p :
-       {fs::path(TEA_SOURCE_DIR) / "examples" / "decks",
-        fs::path("examples/decks"), fs::path("../examples/decks")}) {
-    if (fs::exists(p)) return p;
-  }
-  return {};
-}
-
-struct GoldenCase {
-  const char* deck;     // deck file stem under examples/decks
-  const char* solver;   // jacobi | cg | chebyshev | ppcg
-  // Frozen configuration (what the case actually runs).
-  int steps;
-  double eps;
-  int max_iters;
-  // Frozen results.
-  long outer;           // total outer solver iterations over all steps
-  long inner;           // total PPCG/Chebyshev inner smoothing steps
-  int converged;        // every step converged within max_iters
-  double initial_rr;    // ||r0||^2 of the last step (pre-solve residual)
-  double final_rr;      // squared residual at exit of the last step
-  double temp;          // conserved temperature sum after the last step
-};
-
-// Tolerances.  Iteration counts and convergence flags match exactly — those
-// are the hard freeze.  The value tolerances are set to what the solver
-// semantics actually pin down: a solve only determines u to the eps * rr0
-// convergence threshold, and the second step starts from the first step's
-// approximate solution, so ULP-level kernel reordering (e.g. a vectorized
-// reduction) legitimately moves multi-step quantities at the ~sqrt(eps)
-// scale.  Real kernel bugs (a wrong stencil coefficient, a dropped row)
-// move them at O(1).
-constexpr double kTempRelTol = 1.0e-8;        // conserved temperature sum
-constexpr double kInitialRrRelTol = 1.0e-5;   // last step's pre-solve ||r0||^2
-// Non-converged (fixed-budget) exit residuals are deterministic functions of
-// the sweep count and stay within a tight relative band; converged exits sit
-// wherever the crossing iteration landed below threshold, so they are only
-// frozen to the threshold bound plus an order-of-magnitude band.
-constexpr double kResidualRelTol = 0.05;
-constexpr double kConvergedResidualFactor = 100.0;
-
-// --- golden table (regenerate with TEA_GOLDEN_REGEN=1; see header) ---------
-const GoldenCase kGolden[] = {
-    {"tea_bm_1", "jacobi", 2, 1e-08, 10000, 40, 0, 1, 2.1970051763123695, 8.052395531229528e-11, 50.799836060755332},
-    {"tea_bm_1", "cg", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
-    {"tea_bm_1", "chebyshev", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
-    {"tea_bm_1", "ppcg", 2, 1e-15, 10000, 18, 0, 1, 2.1970038792284452, 7.0678060743501188e-39, 50.800000000000033},
-    {"tea_bm_2", "jacobi", 2, 1e-08, 3000, 4960, 0, 0, 1428.5531288027255, 0.0013578804916679144, 50.656260034885662},
-    {"tea_bm_2", "cg", 2, 1e-15, 10000, 403, 0, 1, 1420.8754789213099, 5.3323236446699087e-14, 50.799999999993958},
-    {"tea_bm_2", "chebyshev", 2, 1e-15, 10000, 1040, 0, 1, 1420.8756528365275, 1.1094112256508305e-12, 50.799999999996629},
-    {"tea_bm_2", "ppcg", 2, 1e-15, 10000, 108, 480, 1, 1420.876166499173, 1.0532763366711251e-12, 50.799999999999287},
-    {"tea_ppcg_precon", "jacobi", 2, 1e-08, 1500, 2660, 0, 0, 2691.7432889310262, 0.00057268383531003755, 50.631534082387446},
-    {"tea_ppcg_precon", "cg", 2, 1e-15, 10000, 216, 0, 1, 2684.9160564920371, 2.2956632549088913e-13, 50.605468848988686},
-    {"tea_ppcg_precon", "chebyshev", 2, 1e-15, 10000, 530, 0, 1, 2684.9214647319477, 2.0593590748564124e-12, 50.605468749996923},
-    {"tea_ppcg_precon", "ppcg", 2, 1e-15, 10000, 85, 300, 1, 2684.9214189447671, 5.807431139679888e-13, 50.605468749989079},
-    {"tea_circle", "jacobi", 2, 1e-08, 5000, 720, 0, 1, 367.22860065030875, 2.4610657544086058e-06, 50.343732314606399},
-    {"tea_circle", "cg", 2, 1e-15, 10000, 181, 0, 1, 367.16140375728367, 2.8128974615539236e-13, 50.362304687500206},
-    {"tea_circle", "chebyshev", 2, 1e-15, 10000, 250, 0, 1, 367.16140423771196, 6.3770200504114725e-14, 50.362304687500128},
-    {"tea_circle", "ppcg", 2, 1e-15, 10000, 75, 150, 1, 367.16140931503429, 4.4635083342082244e-14, 50.362304687499901},
-    {"tea_point", "jacobi", 2, 1e-08, 5000, 760, 0, 1, 147552.80825374014, 0.0013870812292620198, 10.754613166112724},
-    {"tea_point", "cg", 2, 1e-15, 10000, 157, 0, 1, 147529.49137058519, 1.3665519599067753e-10, 10.765380859375083},
-    {"tea_point", "chebyshev", 2, 1e-15, 10000, 210, 0, 1, 147529.49163809954, 6.5643832969024181e-11, 10.765380859375146},
-    {"tea_point", "ppcg", 2, 1e-15, 10000, 72, 120, 1, 147529.51544457252, 6.1273370210655517e-12, 10.765380859375096},
-    {"tea_bm_16", "jacobi", 2, 1e-08, 2500, 3200, 0, 1, 839.14690849678493, 8.3858320217280649e-06, 50.722851222260488},
-    {"tea_bm_16", "cg", 2, 1e-15, 10000, 258, 0, 1, 837.05066270059547, 4.9558774574495861e-14, 50.799999999997866},
-    {"tea_bm_16", "chebyshev", 2, 1e-15, 10000, 530, 0, 1, 837.05068129327435, 4.1250666551601559e-13, 50.800000000000111},
-    {"tea_bm_16", "ppcg", 2, 1e-15, 10000, 89, 290, 1, 837.05048595589858, 5.4605763613168802e-13, 50.80000000000382},
-    {"tea_aniso", "jacobi", 2, 1e-08, 2500, 1040, 0, 1, 588.74461594459137, 4.2588144198220316e-06, 202.99936808947947},
-    {"tea_aniso", "cg", 2, 1e-15, 10000, 194, 0, 1, 588.03727305152609, 2.1417698897505651e-15, 203.20000000000491},
-    {"tea_aniso", "chebyshev", 2, 1e-15, 10000, 350, 0, 1, 588.03727772083573, 1.2704834796071399e-13, 203.19999999999916},
-    {"tea_aniso", "ppcg", 2, 1e-15, 10000, 80, 200, 1, 588.0371949489703, 4.0998982689510916e-13, 203.19999999999297},
-};
-// --- end golden table -------------------------------------------------------
-
-tl::SolverKind solver_kind(const std::string& name) {
-  if (name == "jacobi") return tl::SolverKind::kJacobi;
-  if (name == "cg") return tl::SolverKind::kCg;
-  if (name == "chebyshev") return tl::SolverKind::kCheby;
-  return tl::SolverKind::kPpcg;
-}
-
-/// The frozen run configuration of one case: deck settings with the solver
-/// overridden and budgets clamped so the slow cross-solver combinations stay
-/// inside the ctest timeout.  This function IS the golden contract — any
-/// change to it requires regenerating the table.
-tl::ProblemConfig golden_config(const GoldenCase& c) {
-  const fs::path deck = decks_dir() / (std::string(c.deck) + ".in");
-  tl::ProblemConfig p = tl::Config::load(deck.string()).problem();
-  p.solver = solver_kind(c.solver);
-  p.end_step = c.steps;
-  p.eps = c.eps;
-  p.max_iters = c.max_iters;
-  return p;
-}
-
-/// Budgets used both by the checks and by regeneration.  Jacobi converges
-/// linearly, so it gets a relaxed tolerance and a mesh-dependent sweep cap
-/// (the 250^2/512^2 caps deliberately freeze a non-converged state: the gate
-/// then also pins the exact residual a fixed sweep budget reaches).
-void clamp_budgets(const std::string& deck, const std::string& solver,
-                   int deck_steps, double deck_eps, int* steps, double* eps,
-                   int* max_iters) {
-  *steps = std::min(deck_steps, 2);
-  *eps = deck_eps;
-  *max_iters = 10000;
-  if (solver == "jacobi") {
-    *eps = std::max(deck_eps, 1e-8);
-    if (deck == "tea_bm_2") *max_iters = 3000;
-    else if (deck == "tea_ppcg_precon") *max_iters = 1500;
-    else if (deck == "tea_bm_16" || deck == "tea_aniso") *max_iters = 2500;
-    else if (deck != "tea_bm_1") *max_iters = 5000;
-  }
-}
 
 struct GoldenResult {
   long outer = 0;

@@ -118,6 +118,70 @@ TEST(P2P, IsendIrecvWaitall) {
   });
 }
 
+TEST(P2P, RecvTruncationIsAHardError) {
+  // MPI semantics: a message longer than the posted receive buffer is an
+  // error (MPI_ERR_TRUNCATE), never a silent partial copy.  Pinned so the
+  // mailbox can never regress to truncating payloads.
+  EXPECT_THROW(minimpi::run_world(2,
+                                  [](Comm& comm) {
+                                    std::vector<double> big(16, 1.0);
+                                    std::vector<double> small(4, 0.0);
+                                    if (comm.rank() == 0) {
+                                      comm.send(tl::span<const double>(big), 1,
+                                                0);
+                                    } else {
+                                      comm.recv(tl::span<double>(small), 0, 0);
+                                    }
+                                  }),
+               tl::Error);
+}
+
+TEST(P2P, TestCompletesArrivedRequest) {
+  minimpi::run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(11, 1, 4);
+      comm.barrier();
+    } else {
+      int v = 0;
+      minimpi::Request req = comm.irecv(tl::span<int>(&v, 1), 0, 4);
+      comm.barrier();  // after this the message must have been enqueued
+      EXPECT_TRUE(comm.test(req));
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(req.status().source, 0);
+      EXPECT_EQ(req.status().bytes, sizeof(int));
+      EXPECT_EQ(v, 11);
+      EXPECT_TRUE(comm.test(req));  // idempotent once complete
+    }
+  });
+}
+
+TEST(P2P, TestReturnsFalseBeforeArrival) {
+  minimpi::run_world(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      int v = 0;
+      minimpi::Request req = comm.irecv(tl::span<int>(&v, 1), 0, 4);
+      EXPECT_FALSE(comm.test(req));  // nothing sent yet
+      comm.barrier();
+      comm.wait(req);
+      EXPECT_EQ(v, 21);
+    } else {
+      comm.barrier();
+      comm.send_value(21, 1, 4);
+    }
+  });
+}
+
+TEST(P2P, TestOnProcNullRecvCompletesEmpty) {
+  minimpi::run_world(1, [](Comm& comm) {
+    double v = 3.0;
+    minimpi::Request req =
+        comm.irecv(tl::span<double>(&v, 1), minimpi::kProcNull, 9);
+    EXPECT_TRUE(comm.test(req));
+    EXPECT_EQ(req.status().bytes, 0u);
+    EXPECT_DOUBLE_EQ(v, 3.0);  // untouched
+  });
+}
+
 TEST(P2P, IprobeSeesPendingMessage) {
   minimpi::run_world(2, [](Comm& comm) {
     if (comm.rank() == 0) {

@@ -1,0 +1,206 @@
+// Multi-rank determinism suite: the distributed manual variants must walk
+// the exact iteration trajectory of the serial golden table at every rank
+// count.  This is the acceptance gate for the overlapped split-phase halo
+// exchange — 1x1, 2x1 and 2x2 decompositions (ranks 1, 2, 4 through
+// minimpi::dims_create) run every solver on the small decks and are checked
+// against the same frozen numbers as the serial suite: iteration counts and
+// convergence flags exactly, conserved temperature and the last pre-solve
+// residual to the golden tolerances.
+//
+// Runs under TSan in CI (the threads-as-ranks world plus the overlapped
+// exchange is precisely the code a race would hide in), so the deck set is
+// the small meshes: tea_bm_1 (10^2), tea_circle (64^2), tea_aniso (120^2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/config.hpp"
+#include "core/backends/field_store.hpp"
+#include "core/halo.hpp"
+#include "core/registry.hpp"
+#include "golden_cases.hpp"
+#include "machine/instrumentation.hpp"
+#include "minimpi/cart.hpp"
+
+namespace {
+
+using golden::GoldenCase;
+using golden::decks_dir;
+using golden::golden_config;
+using golden::kGolden;
+using golden::kInitialRrRelTol;
+using golden::kTempRelTol;
+
+/// The golden cases on `decks` (the meshes small enough to sweep across rank
+/// counts under TSan).
+std::vector<GoldenCase> cases_on(std::initializer_list<const char*> decks) {
+  std::vector<GoldenCase> out;
+  for (const GoldenCase& c : kGolden) {
+    for (const char* deck : decks) {
+      if (std::string(c.deck) == deck) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<GoldenCase> small_cases() {
+  return cases_on({"tea_bm_1", "tea_circle", "tea_aniso"});
+}
+
+void expect_matches_golden(const tea::RunResult& run, const GoldenCase& c,
+                           const std::string& label) {
+  long inner = 0;
+  for (const tea::StepResult& s : run.steps) inner += s.solve.inner_iterations;
+  EXPECT_EQ(run.total_iterations, c.outer) << label;
+  EXPECT_EQ(inner, c.inner) << label;
+  EXPECT_EQ(run.all_converged(), c.converged != 0) << label;
+  EXPECT_NEAR(run.final_summary.temp, c.temp, kTempRelTol * std::fabs(c.temp))
+      << label;
+  EXPECT_NEAR(run.steps.back().solve.initial_rr, c.initial_rr,
+              kInitialRrRelTol * std::fabs(c.initial_rr))
+      << label;
+}
+
+class MultiRankGoldenCaseTest
+    : public ::testing::TestWithParam<std::tuple<GoldenCase, int>> {};
+
+TEST_P(MultiRankGoldenCaseTest, MatchesSerialGoldenTable) {
+  const GoldenCase c = std::get<0>(GetParam());
+  const int ranks = std::get<1>(GetParam());
+  ASSERT_FALSE(decks_dir().empty());
+
+  tea::RunOptions options;
+  options.ranks = ranks;
+  const tea::RunResult run =
+      tea::run_simulation("manual-mpi", golden_config(c), options);
+  const auto dims = minimpi::dims_create(ranks);
+  expect_matches_golden(run, c,
+                        std::string(c.deck) + "/" + c.solver + " @" +
+                            std::to_string(dims[0]) + "x" +
+                            std::to_string(dims[1]));
+}
+
+std::string multirank_case_name(
+    const ::testing::TestParamInfo<std::tuple<GoldenCase, int>>& info) {
+  const GoldenCase& c = std::get<0>(info.param);
+  return std::string(c.deck) + "_" + c.solver + "_r" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenRanks, MultiRankGoldenCaseTest,
+                         ::testing::Combine(::testing::ValuesIn(small_cases()),
+                                            ::testing::Values(1, 2, 4)),
+                         multirank_case_name);
+
+// Pinned accounting for the halo traffic fix: a 2x1 world has one x
+// neighbour per rank and no y neighbours, so the exchange may only charge
+// the two column strips actually moved — the old unconditional
+// 2*(x_msg + y_msg) formula overcounted every domain-edge rank.
+TEST(MultiRank, HaloTrafficCountsOnlyExchangedStrips) {
+  constexpr int kGnx = 8, kGny = 6, kDepth = 2;
+  const machine::CounterScope scope;
+  minimpi::run_world(2, [](minimpi::Comm& comm) {
+    minimpi::Cart2D cart(comm);
+    tea::PartitionGeom geom;
+    geom.gnx = kGnx;
+    geom.gny = kGny;
+    geom.halo = kDepth;
+    const auto [cx, cy] = cart.coords();
+    const auto [x0, x1] = minimpi::block_range(kGnx, cart.px(), cx);
+    const auto [y0, y1] = minimpi::block_range(kGny, cart.py(), cy);
+    geom.x0 = x0;
+    geom.y0 = y0;
+    geom.nx = x1 - x0;
+    geom.ny = y1 - y0;
+    tea::FieldStore store(geom, nullptr);
+    tea::CellView f = store.view(tea::FieldId::kU);
+    for (int j = 0; j < geom.ny; ++j) {
+      for (int i = 0; i < geom.nx; ++i) {
+        f(i, j) = (geom.x0 + i) * 100.0 + (geom.y0 + j);
+      }
+    }
+    tea::exchange_and_reflect(f, geom, &comm, &cart, kDepth);
+    // The x halo now holds the neighbour's owned columns...
+    if (cx == 0) {
+      EXPECT_DOUBLE_EQ(f(geom.nx, 2), (geom.x0 + geom.nx) * 100.0 + 2);
+    } else {
+      EXPECT_DOUBLE_EQ(f(-1, 2), (geom.x0 - 1) * 100.0 + 2);
+    }
+    // ...and the physical y edges are mirror fills.
+    EXPECT_DOUBLE_EQ(f(0, -1), f(0, 0));
+    EXPECT_DOUBLE_EQ(f(0, geom.ny), f(0, geom.ny - 1));
+  });
+  const machine::Counters d = scope.delta();
+  // Per rank: one strip sent and one received, depth x ny doubles each;
+  // pack + unpack touch the moved cells once (read and write).
+  const std::int64_t moved_bytes = 2 * 2 * kDepth * kGny * 8;
+  EXPECT_EQ(d.bytes_read, moved_bytes);
+  EXPECT_EQ(d.bytes_written, moved_bytes);
+  // One message per rank over the wire.
+  EXPECT_EQ(d.messages, 2);
+  EXPECT_EQ(d.message_bytes, 2 * kDepth * kGny * 8);
+  EXPECT_EQ(d.halo_exchanges, 1);
+}
+
+// Distributed runs charge the process-global instrumentation from every rank
+// thread, so the stored counters must be the whole world's delta — a
+// rank-windowed snapshot would race with sibling ranks still in setup (or
+// still forwarding the final broadcast) and drift run to run.  Two identical
+// runs pin the contract.
+TEST(MultiRank, RunCountersAreDeterministic) {
+  ASSERT_FALSE(decks_dir().empty());
+  GoldenCase c = cases_on({"tea_circle"}).front();
+  for (const GoldenCase& g : cases_on({"tea_circle"})) {
+    if (std::string(g.solver) == "cg") c = g;
+  }
+  tea::RunOptions options;
+  options.ranks = 4;
+  const tea::RunResult a =
+      tea::run_simulation("manual-mpi", golden_config(c), options);
+  const tea::RunResult b =
+      tea::run_simulation("manual-mpi", golden_config(c), options);
+  EXPECT_EQ(a.counters.messages, b.counters.messages);
+  EXPECT_EQ(a.counters.message_bytes, b.counters.message_bytes);
+  EXPECT_EQ(a.counters.bytes_read, b.counters.bytes_read);
+  EXPECT_EQ(a.counters.bytes_written, b.counters.bytes_written);
+  EXPECT_EQ(a.counters.halo_exchanges, b.counters.halo_exchanges);
+  EXPECT_EQ(a.counters.kernel_launches, b.counters.kernel_launches);
+}
+
+// The decompositions the rank ladder exercises must be exactly the ones the
+// issue freezes: 1 -> 1x1, 2 -> 2x1, 4 -> 2x2.
+TEST(MultiRank, RankLadderCoversTheFrozenDecompositions) {
+  EXPECT_EQ(minimpi::dims_create(1), (std::array<int, 2>{1, 1}));
+  EXPECT_EQ(minimpi::dims_create(2), (std::array<int, 2>{2, 1}));
+  EXPECT_EQ(minimpi::dims_create(4), (std::array<int, 2>{2, 2}));
+}
+
+// manual-hybrid adds a per-rank thread pool on top of the decomposition;
+// spot-check it on one deck across all four solvers (2 ranks x 2 threads).
+class HybridGoldenCaseTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(HybridGoldenCaseTest, MatchesSerialGoldenTable) {
+  const GoldenCase c = GetParam();
+  ASSERT_FALSE(decks_dir().empty());
+
+  tea::RunOptions options;
+  options.ranks = 2;
+  options.hybrid_threads = 2;
+  const tea::RunResult run =
+      tea::run_simulation("manual-hybrid", golden_config(c), options);
+  expect_matches_golden(
+      run, c, std::string(c.deck) + "/" + c.solver + " hybrid 2x2t");
+}
+
+std::string hybrid_case_name(
+    const ::testing::TestParamInfo<GoldenCase>& info) {
+  return std::string(info.param.deck) + "_" + info.param.solver;
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenHybrid, HybridGoldenCaseTest,
+                         ::testing::ValuesIn(cases_on({"tea_circle"})),
+                         hybrid_case_name);
+
+}  // namespace
