@@ -77,9 +77,23 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
-      backend = tuning::apply_plan(plan, &config.problem(), &options);
+      backend =
+          tuning::apply_plan_for_mesh(plan, &config.problem(), &options);
       std::printf("tuned plan %s: %s\n", plan_path->c_str(),
-                  plan.winner.id().c_str());
+                  backend.c_str());
+      if (plan.has_device_choice) {
+        const tl::ProblemConfig& prob = config.problem();
+        const int mesh = prob.x_cells > prob.y_cells ? prob.x_cells
+                                                     : prob.y_cells;
+        const bool device_side = tea::backend_is_gpu(backend);
+        std::printf(
+            "device-choice table: mesh %d runs the %s side (%s); "
+            "crossover at %d cells\n",
+            mesh, device_side ? "device" : "host",
+            device_side ? plan.device_choice.id().c_str()
+                        : plan.host_choice.id().c_str(),
+            plan.crossover_mesh);
+      }
     } catch (const tl::Error& e) {
       std::fprintf(stderr, "error: cannot use plan %s: %s\n",
                    plan_path->c_str(), e.what());

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/error.hpp"
 #include "core/backends/kokkos_backend.hpp"
@@ -10,6 +11,7 @@
 #include "core/backends/manual_host.hpp"
 #include "core/backends/ops_backend.hpp"
 #include "core/backends/raja_backend.hpp"
+#include "machine/machine_model.hpp"
 #include "minimpi/comm.hpp"
 #include "simgpu/device.hpp"
 #include "threading/thread_pool.hpp"
@@ -45,13 +47,13 @@ bool backend_has_fused_operator_dot(const std::string& id) {
   return id == "serial" || id == "manual-omp";
 }
 
-namespace {
-
-/// Build a non-distributed backend.  `pool` is the caller-owned host pool for
-/// threaded variants.
-std::unique_ptr<Backend> make_shared_memory_backend(const std::string& id,
-                                                    tlp::ThreadPool* pool,
-                                                    const RunOptions& opts) {
+std::unique_ptr<Backend> make_backend(const std::string& id,
+                                      tlp::ThreadPool* pool,
+                                      const RunOptions& opts) {
+  if (backend_is_distributed(id)) {
+    throw tl::Error("backend '" + id +
+                    "' is distributed; use run_simulation for SPMD variants");
+  }
   if (id == "serial") {
     return std::make_unique<ManualHostBackend>("serial", nullptr, nullptr);
   }
@@ -100,6 +102,16 @@ std::unique_ptr<Backend> make_shared_memory_backend(const std::string& id,
     return std::make_unique<RajaBackend<raja::simgpu_exec>>("raja-cuda");
   }
   throw tl::Error("unknown backend id '" + id + "'");
+}
+
+namespace {
+
+/// Capacity of a run-local simulated device, from the machine model (GiB
+/// semantics, matching simgpu::Device's default).
+std::size_t device_capacity_bytes() {
+  const double gb = machine::device_machine().mem_capacity_gb;
+  if (!(gb > 0.0)) return std::size_t(16) << 30;
+  return static_cast<std::size_t>(gb) << 30;
 }
 
 /// Build a rank-local backend for the distributed variants.
@@ -155,7 +167,18 @@ RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
         pool = &tlp::global_pool();
       }
     }
-    const auto backend = make_shared_memory_backend(id, pool, options);
+    // GPU variants get a run-local device: concurrent run_simulation calls
+    // (service shards, parallel tests) must not interleave allocations or
+    // serialize on the process-global device's mutex.  The scope is declared
+    // before the backend so the backend's destructor — view deallocations go
+    // through default_device() — still sees the run's device.
+    std::unique_ptr<simgpu::Device> own_device;
+    std::optional<simgpu::DeviceScope> device_scope;
+    if (backend_is_gpu(id)) {
+      own_device = std::make_unique<simgpu::Device>(device_capacity_bytes());
+      device_scope.emplace(own_device.get());
+    }
+    const auto backend = make_backend(id, pool, options);
     backend->set_fused_operator_dot(options.fuse_operator_dot);
     return driver.run(*backend);
   }

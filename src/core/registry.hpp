@@ -5,11 +5,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/driver.hpp"
 #include "miniops/context.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace tea {
 
@@ -45,9 +47,22 @@ bool backend_is_gpu(const std::string& id);
 /// pair, so "unfused" is not a distinct configuration.
 bool backend_has_fused_operator_dot(const std::string& id);
 
+/// Build a shared-memory backend for `id` on a caller-owned pool (threaded
+/// variants; nullptr = tlp global pool).  GPU ids reach the simulated device
+/// through simgpu::default_device(), so callers owning a private Device (the
+/// solve service's worker shards) install a simgpu::DeviceScope around both
+/// this call and every use of the returned backend, including its
+/// destruction.  Throws tl::Error for distributed ids — those need the SPMD
+/// world run_simulation owns.
+std::unique_ptr<Backend> make_backend(const std::string& id,
+                                      tlp::ThreadPool* pool,
+                                      const RunOptions& options);
+
 /// Run the full TeaLeaf time-marching simulation for `id` on `cfg`.
 /// Handles SPMD world creation for distributed variants; returns rank 0's
-/// result (identical on all ranks up to reduction determinism).
+/// result (identical on all ranks up to reduction determinism).  GPU ids run
+/// against a run-local simgpu::Device sized from the machine model, so
+/// concurrent callers never share device state.
 RunResult run_simulation(const std::string& id, const tl::ProblemConfig& cfg,
                          const RunOptions& options = {});
 

@@ -158,6 +158,22 @@ MachineModel& composed_host() {
   return m;
 }
 
+MachineModel compose_device(const MachineOverrides& o) {
+  MachineModel device = tesla_p100();  // id stays "p100": residuals resolve
+  if (o.device_bw_gbs) device.peak_bw_gbs = *o.device_bw_gbs;
+  if (o.device_launch_us) device.launch_overhead_us = *o.device_launch_us;
+  if (o.device_pcie_gbs) device.pcie_bw_gbs = *o.device_pcie_gbs;
+  if (o.any_device()) {
+    device.description = "node accelerator (P100 spec, calibrated)";
+  }
+  return device;
+}
+
+MachineModel& composed_device() {
+  static MachineModel m = compose_device(active_overrides());
+  return m;
+}
+
 std::optional<double> env_positive(const char* name) {
   const char* text = std::getenv(name);
   if (text == nullptr || *text == '\0') return std::nullopt;
@@ -173,17 +189,23 @@ MachineOverrides MachineOverrides::from_env() {
   MachineOverrides o;
   o.peak_bw_gbs = env_positive("TEA_HOST_BW_GBS");
   o.launch_overhead_us = env_positive("TEA_HOST_LAUNCH_US");
+  o.device_bw_gbs = env_positive("TEA_DEVICE_BW_GBS");
+  o.device_launch_us = env_positive("TEA_DEVICE_LAUNCH_US");
+  o.device_pcie_gbs = env_positive("TEA_PCIE_BW_GBS");
   return o;
 }
 
 void set_host_overrides(const MachineOverrides& overrides) {
   active_overrides() = overrides;
   composed_host() = compose_host(overrides);
+  composed_device() = compose_device(overrides);
 }
 
 const MachineOverrides& host_overrides() { return active_overrides(); }
 
 const MachineModel& host_machine() { return composed_host(); }
+
+const MachineModel& device_machine() { return composed_device(); }
 
 const MachineModel& machine_by_id(const std::string& id) {
   if (id == "xeon") return xeon_e5_2660v4();

@@ -67,11 +67,24 @@ struct MachineOverrides {
   std::optional<double> peak_bw_gbs;        // fitted attainable bandwidth
   std::optional<double> launch_overhead_us; // fitted per-launch cost
 
+  // Device-side constants for the node's modeled accelerator (see
+  // device_machine()): the validation::fit_device_model least squares feeds
+  // these back the same way the host fit feeds the two fields above.
+  std::optional<double> device_bw_gbs;      // attainable device bandwidth
+  std::optional<double> device_launch_us;   // per-kernel-launch cost
+  std::optional<double> device_pcie_gbs;    // host<->device link bandwidth
+
   bool any() const {
-    return peak_bw_gbs.has_value() || launch_overhead_us.has_value();
+    return peak_bw_gbs.has_value() || launch_overhead_us.has_value() ||
+           any_device();
+  }
+  bool any_device() const {
+    return device_bw_gbs.has_value() || device_launch_us.has_value() ||
+           device_pcie_gbs.has_value();
   }
 
-  /// TEA_HOST_BW_GBS / TEA_HOST_LAUNCH_US (non-positive values ignored).
+  /// TEA_HOST_BW_GBS / TEA_HOST_LAUNCH_US plus TEA_DEVICE_BW_GBS /
+  /// TEA_DEVICE_LAUNCH_US / TEA_PCIE_BW_GBS (non-positive values ignored).
   static MachineOverrides from_env();
 };
 
@@ -81,6 +94,15 @@ struct MachineOverrides {
 /// before projecting, as the CLI entry points do.
 void set_host_overrides(const MachineOverrides& overrides);
 const MachineOverrides& host_overrides();
+
+/// The node's modeled accelerator: the P100 spec composed with the active
+/// overrides' device fields.  The id stays "p100" so the per-variant
+/// efficiency residual table keeps resolving; only the absolute constants
+/// (bandwidth, launch overhead, PCIe) move with calibration.  This is the
+/// machine the tuner scores simgpu-backed candidates against — device wall
+/// times are emulated on the host, so projections on this model are the only
+/// device-side currency.
+const MachineModel& device_machine();
 
 /// Lookup by id; throws tl::Error for unknown ids.
 const MachineModel& machine_by_id(const std::string& id);

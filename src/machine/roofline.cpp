@@ -22,20 +22,21 @@ double capacity_adjusted_bw(const MachineModel& m,
                 (1.0 - fast_fraction) / ddr_bw);
 }
 
-/// GPU occupancy: small working sets cannot saturate a large device's memory
-/// system (§IV-C: "smaller problem sizes benefit less from the increased
-/// parallelism").  Calibrated so a 1000^2 TeaLeaf working set (~105 MB)
-/// reaches ~62% of streaming peak while 4000^2 (~1.7 GB) reaches ~96%, which
-/// reproduces the paper's 3% -> 50% CPU/GPU gap growth between the two
-/// meshes.  Applied to GPUs only.
-double occupancy_factor(const MachineModel& m, std::int64_t working_set_bytes) {
+}  // namespace
+
+// GPU occupancy: small working sets cannot saturate a large device's memory
+// system (§IV-C: "smaller problem sizes benefit less from the increased
+// parallelism").  Calibrated so a 1000^2 TeaLeaf working set (~105 MB)
+// reaches ~62% of streaming peak while 4000^2 (~1.7 GB) reaches ~96%, which
+// reproduces the paper's 3% -> 50% CPU/GPU gap growth between the two
+// meshes.  Applied to GPUs only.
+double gpu_occupancy_factor(const MachineModel& m,
+                            std::int64_t working_set_bytes) {
   if (!m.is_gpu() || working_set_bytes <= 0) return 1.0;
   constexpr double half_saturation_bytes = 64.0 * 1024 * 1024;
   const double ws = static_cast<double>(working_set_bytes);
   return ws / (ws + half_saturation_bytes);
 }
-
-}  // namespace
 
 TimeBreakdown project_time(const Counters& c, const MachineModel& m,
                            const EfficiencyProfile& profile,
@@ -44,7 +45,7 @@ TimeBreakdown project_time(const Counters& c, const MachineModel& m,
 
   const double bw = capacity_adjusted_bw(m, working_set_bytes) *
                     profile.bw_fraction *
-                    occupancy_factor(m, working_set_bytes);
+                    gpu_occupancy_factor(m, working_set_bytes);
   if (bw > 0.0) {
     t.memory_s = static_cast<double>(c.total_bytes()) / (bw * 1e9);
   }

@@ -39,6 +39,13 @@ struct TimeBreakdown {
   }
 };
 
+/// GPU occupancy: the streaming-bandwidth derating project_time applies to
+/// GPU machines for small working sets (ws / (ws + 64 MiB); §IV-C).  Returns
+/// 1.0 for CPUs.  Exposed so the device calibration can normalize its
+/// observations by exactly the factor the projection applies.
+double gpu_occupancy_factor(const MachineModel& m,
+                            std::int64_t working_set_bytes);
+
 /// Project the time the counted work would take on machine `m` when executed
 /// through `profile`'s programming model.  `working_set_bytes` triggers the
 /// KNL MCDRAM-spill rule (bandwidth degrades towards DDR beyond capacity).

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/backends/manual_host.hpp"
 #include "core/driver.hpp"
+#include "machine/machine_model.hpp"
 #include "tuning/plan.hpp"
 
 namespace service {
@@ -17,6 +19,14 @@ namespace {
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// Shard-device capacity from the machine model (GiB semantics, matching
+/// simgpu::Device's default).
+std::size_t shard_device_capacity() {
+  const double gb = machine::device_machine().mem_capacity_gb;
+  if (!(gb > 0.0)) return std::size_t(16) << 30;
+  return static_cast<std::size_t>(gb) << 30;
 }
 
 }  // namespace
@@ -66,6 +76,8 @@ void SolveService::start() {
     auto worker = std::make_unique<Worker>();
     worker->pool =
         std::make_unique<tlp::ThreadPool>(std::max(1, options_.threads_per_worker));
+    worker->device = std::make_unique<simgpu::Device>(shard_device_capacity(),
+                                                      worker->pool.get());
     Worker* raw = worker.get();
     worker->thread = std::thread([this, raw] { worker_loop(*raw); });
     workers_.push_back(std::move(worker));
@@ -115,17 +127,17 @@ SolveService::ResolvedPlan SolveService::resolve(
   tune_options.deck_label = "svc-" + key.substr(0, 12);
   const tuning::TunedPlan plan =
       plan_cache_.fetch_or_tune(*store_, problem, tune_options);
+  // Mesh-aware application: a plan carrying a device-choice table runs the
+  // request on whichever side of the crossover its mesh falls.
   resolved.variant =
-      tuning::apply_plan(plan, &resolved.problem, &resolved.run);
+      tuning::apply_plan_for_mesh(plan, &resolved.problem, &resolved.run);
   return resolved;
 }
 
 tea::RunResult SolveService::execute(const ResolvedPlan& plan,
                                      Worker& worker) {
   // Host-family variants run through the worker's own shard: its pool for
-  // threading, its arena for the field slab.  Everything else (distributed
-  // and accelerator variants manage their own contexts) goes through the
-  // ordinary one-shot entry point.
+  // threading, its arena for the field slab.
   if (plan.variant == "serial" || plan.variant == "manual-omp") {
     const tea::TeaDriver driver(plan.problem);
     tea::ManualHostBackend backend(
@@ -134,6 +146,25 @@ tea::RunResult SolveService::execute(const ResolvedPlan& plan,
     backend.set_fused_operator_dot(plan.run.fuse_operator_dot);
     return driver.run(backend);
   }
+  // Every other shared-memory variant — device-variant plans included —
+  // also executes on the shard: its pool runs the kernels, and a
+  // DeviceScope binds this worker thread to the shard's own Device for the
+  // whole backend lifetime (construction, kernels, destruction), so
+  // concurrent shards never share device state.
+  if (!tea::backend_is_distributed(plan.variant)) {
+    const tea::TeaDriver driver(plan.problem);
+    std::optional<simgpu::DeviceScope> device_scope;
+    if (tea::backend_is_gpu(plan.variant)) {
+      device_scope.emplace(worker.device.get());
+    }
+    const auto backend =
+        tea::make_backend(plan.variant, worker.pool.get(), plan.run);
+    backend->set_fused_operator_dot(plan.run.fuse_operator_dot);
+    return driver.run(*backend);
+  }
+  // Distributed winners need run_simulation's SPMD world; counted so
+  // deployments can see plans escaping the shard path.
+  fallback_solves_.fetch_add(1, std::memory_order_relaxed);
   return tea::run_simulation(plan.variant, plan.problem, plan.run);
 }
 
@@ -209,6 +240,7 @@ ServiceStats SolveService::stats() const {
   out.completed = completed_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.batched_solves = batched_solves_.load(std::memory_order_relaxed);
+  out.fallback_solves = fallback_solves_.load(std::memory_order_relaxed);
   out.plan = plan_cache_.stats();
   for (const auto& worker : workers_) {
     const tea::FieldArena::Stats arena = worker->arena.stats();

@@ -11,16 +11,20 @@
 // FieldStore arena so the field slab (and its NUMA first-touch placement)
 // is allocated once and reused.
 //
-// Sharding: each worker owns its own tlp::ThreadPool and tea::FieldArena.
-// A solve never crosses workers, so slabs are always re-touched by the pool
-// that first touched them and there is no allocator contention between
-// workers.  One consequence, documented here deliberately: the service runs
-// a tuned plan's *variant/solver/preconditioner/fusion* choice but executes
-// host-family variants on the worker's fixed-size pool rather than the
+// Sharding: each worker owns its own tlp::ThreadPool, tea::FieldArena and
+// simgpu::Device.  A solve never crosses workers, so slabs are always
+// re-touched by the pool that first touched them and there is no allocator
+// contention between workers; device-variant plans run against the shard's
+// own Device (bound via simgpu::DeviceScope), so concurrent shards never
+// interleave device allocations or serialize on one device mutex.  One
+// consequence, documented here deliberately: the service runs a tuned
+// plan's *variant/solver/preconditioner/fusion* choice but executes
+// shared-memory variants on the worker's fixed-size pool rather than the
 // plan's measured thread count — worker shard sizes are a deployment
 // decision, and the 4-lane reduction contract (row_reduce4) makes results
 // bit-identical across thread counts, so only throughput, not numerics,
-// depends on the shard size.
+// depends on the shard size.  Only distributed winners still fall back to
+// run_simulation's own SPMD world (counted in ServiceStats.fallback_solves).
 //
 // Determinism contract (asserted by tests/test_service.cpp): a batched
 // solve is bit-identical to the same problem solved sequentially — batching
@@ -44,6 +48,7 @@
 #include "core/registry.hpp"
 #include "results/result_store.hpp"
 #include "service/plan_cache.hpp"
+#include "simgpu/device.hpp"
 #include "threading/task_queue.hpp"
 #include "threading/thread_pool.hpp"
 #include "tuning/search.hpp"
@@ -111,6 +116,8 @@ struct ServiceStats {
   long completed = 0;       // responses delivered
   long batches = 0;         // queue groups executed
   long batched_solves = 0;  // solves that shared a group of size > 1
+  long fallback_solves = 0; // solves not executed on the shard (distributed
+                            // winners go through run_simulation's SPMD world)
   PlanCacheStats plan;      // hits/misses/tunes/evictions
   tea::FieldArena::Stats arena;  // slab allocations vs reuses, all workers
 };
@@ -161,6 +168,9 @@ private:
   struct Worker {
     std::unique_ptr<tlp::ThreadPool> pool;
     tea::FieldArena arena;
+    // Shard-local simulated device for device-variant plans, sized from the
+    // machine model and running kernels on this shard's pool.
+    std::unique_ptr<simgpu::Device> device;
     std::thread thread;
   };
 
@@ -191,6 +201,7 @@ private:
   std::atomic<long> completed_{0};
   std::atomic<long> batches_{0};
   std::atomic<long> batched_solves_{0};
+  std::atomic<long> fallback_solves_{0};
 };
 
 }  // namespace service

@@ -29,7 +29,9 @@ tlp::ThreadPool& Device::pool() {
 
 void* Device::allocate(std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (allocated_ + bytes > capacity_) {
+  // Overflow-safe capacity check: `allocated_ + bytes` wraps for huge
+  // requests (e.g. SIZE_MAX), which would make them look like they fit.
+  if (bytes > capacity_ - allocated_) {
     throw tl::DeviceError("device out of memory: requested " +
                           std::to_string(bytes) + " bytes with " +
                           std::to_string(capacity_ - allocated_) +
@@ -185,9 +187,20 @@ double Device::reduce_sum(const std::string& name, long n,
   return total;
 }
 
+namespace {
+thread_local Device* scoped_device = nullptr;
+}  // namespace
+
 Device& default_device() {
+  if (scoped_device != nullptr) return *scoped_device;
   static Device device;
   return device;
 }
+
+DeviceScope::DeviceScope(Device* device) : previous_(scoped_device) {
+  scoped_device = device;
+}
+
+DeviceScope::~DeviceScope() { scoped_device = previous_; }
 
 }  // namespace simgpu

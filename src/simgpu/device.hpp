@@ -102,7 +102,29 @@ private:
   Dim3 block_{64, 8, 1};
 };
 
-/// Process-global default device (the "GPU in this node").
+/// The calling thread's current device: the innermost live DeviceScope's
+/// device, or the process-global default (the "GPU in this node") when no
+/// scope is active.  Backend and substrate code reaches the device through
+/// this one function, so owners of a private Device — service worker shards,
+/// per-run devices in tea::run_simulation — route every allocation, copy and
+/// launch to their own instance by installing a scope.
 Device& default_device();
+
+/// RAII thread-local device binding.  While alive, default_device() on this
+/// thread returns `device`; destruction restores the previous binding
+/// (scopes nest).  Thread-local on purpose: all device API calls happen on
+/// the thread driving the solve (pool workers only execute loop bodies), so
+/// concurrent shards each see their own device with no shared mutable state.
+class DeviceScope {
+public:
+  explicit DeviceScope(Device* device);
+  ~DeviceScope();
+
+  DeviceScope(const DeviceScope&) = delete;
+  DeviceScope& operator=(const DeviceScope&) = delete;
+
+private:
+  Device* previous_;
+};
 
 }  // namespace simgpu

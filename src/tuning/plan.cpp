@@ -1,5 +1,6 @@
 #include "tuning/plan.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -65,6 +66,27 @@ results::Json plan_to_json(const TunedPlan& plan) {
         results::Json(plan.scored_launch_overhead_us));
   j.set("bw_source", results::Json(plan.bw_source));
   j.set("launch_source", results::Json(plan.launch_source));
+  j.set("device_calibrated", results::Json(plan.device_calibrated));
+  j.set("scored_device_bw_gbs", results::Json(plan.scored_device_bw_gbs));
+  j.set("scored_device_launch_us", results::Json(plan.scored_device_launch_us));
+  j.set("scored_pcie_gbs", results::Json(plan.scored_pcie_gbs));
+  j.set("device_bw_source", results::Json(plan.device_bw_source));
+  j.set("device_launch_source", results::Json(plan.device_launch_source));
+  j.set("pcie_source", results::Json(plan.pcie_source));
+  j.set("has_device_choice", results::Json(plan.has_device_choice));
+  j.set("host_choice", point_to_json(plan.host_choice));
+  j.set("device_choice", point_to_json(plan.device_choice));
+  j.set("crossover_mesh", results::Json(plan.crossover_mesh));
+  results::Json table = results::Json::array();
+  for (const DeviceChoice& d : plan.device_table) {
+    results::Json dj = results::Json::object();
+    dj.set("mesh", results::Json(d.mesh));
+    dj.set("host_s", results::Json(d.host_s));
+    dj.set("device_s", results::Json(d.device_s));
+    dj.set("use_device", results::Json(d.use_device));
+    table.push_back(std::move(dj));
+  }
+  j.set("device_table", std::move(table));
   results::Json frontier = results::Json::array();
   for (const FrontierEntry& e : plan.frontier) {
     results::Json fj = results::Json::object();
@@ -73,6 +95,8 @@ results::Json plan_to_json(const TunedPlan& plan) {
     fj.set("converged", results::Json(e.converged));
     fj.set("median_s", results::Json(e.median_s));
     fj.set("min_s", results::Json(e.min_s));
+    fj.set("projected_device_s", results::Json(e.projected_device_s));
+    fj.set("effective_s", results::Json(e.effective_s));
     fj.set("store_key", results::Json(e.store_key));
     frontier.push_back(std::move(fj));
   }
@@ -111,6 +135,41 @@ TunedPlan plan_from_json(const results::Json& doc) {
       doc.get_double("scored_launch_overhead_us", 0.0);
   plan.bw_source = doc.get_string("bw_source", plan.bw_source);
   plan.launch_source = doc.get_string("launch_source", plan.launch_source);
+  if (const results::Json* c = doc.get("device_calibrated")) {
+    plan.device_calibrated = c->as_bool();
+  }
+  plan.scored_device_bw_gbs = doc.get_double("scored_device_bw_gbs", 0.0);
+  plan.scored_device_launch_us = doc.get_double("scored_device_launch_us", 0.0);
+  plan.scored_pcie_gbs = doc.get_double("scored_pcie_gbs", 0.0);
+  plan.device_bw_source =
+      doc.get_string("device_bw_source", plan.device_bw_source);
+  plan.device_launch_source =
+      doc.get_string("device_launch_source", plan.device_launch_source);
+  plan.pcie_source = doc.get_string("pcie_source", plan.pcie_source);
+  if (const results::Json* c = doc.get("has_device_choice")) {
+    plan.has_device_choice = c->as_bool();
+  }
+  if (const results::Json* p = doc.get("host_choice")) {
+    plan.host_choice = point_from_json(*p);
+  }
+  if (const results::Json* p = doc.get("device_choice")) {
+    plan.device_choice = point_from_json(*p);
+  }
+  plan.crossover_mesh = static_cast<int>(doc.get_int("crossover_mesh", 0));
+  if (const results::Json* table = doc.get("device_table")) {
+    if (table->is_array()) {
+      for (const results::Json& dj : table->items()) {
+        DeviceChoice d;
+        d.mesh = static_cast<int>(dj.get_int("mesh", 0));
+        d.host_s = dj.get_double("host_s", 0.0);
+        d.device_s = dj.get_double("device_s", 0.0);
+        if (const results::Json* u = dj.get("use_device")) {
+          d.use_device = u->as_bool();
+        }
+        plan.device_table.push_back(d);
+      }
+    }
+  }
   if (const results::Json* frontier = doc.get("frontier")) {
     if (frontier->is_array()) {
       for (const results::Json& fj : frontier->items()) {
@@ -124,6 +183,8 @@ TunedPlan plan_from_json(const results::Json& doc) {
         }
         e.median_s = fj.get_double("median_s", 0.0);
         e.min_s = fj.get_double("min_s", 0.0);
+        e.projected_device_s = fj.get_double("projected_device_s", 0.0);
+        e.effective_s = fj.get_double("effective_s", 0.0);
         e.store_key = fj.get_string("store_key", "");
         plan.frontier.push_back(std::move(e));
       }
@@ -147,9 +208,10 @@ void save_plan(const TunedPlan& plan, const std::string& path) {
   TL_REQUIRE(out.good(), "short write to tuned plan '" + path + "'");
 }
 
-std::string apply_plan(const TunedPlan& plan, tl::ProblemConfig* problem,
-                       tea::RunOptions* options) {
-  const ExecutionPoint& w = plan.winner;
+namespace {
+
+std::string apply_point(const ExecutionPoint& w, tl::ProblemConfig* problem,
+                        tea::RunOptions* options) {
   if (problem != nullptr) {
     problem->solver = tl::solver_from_string(w.solver);
     problem->preconditioner = tl::precon_from_string(w.precon);
@@ -162,6 +224,32 @@ std::string apply_plan(const TunedPlan& plan, tl::ProblemConfig* problem,
     options->fuse_operator_dot = w.fused;
   }
   return w.variant;
+}
+
+}  // namespace
+
+std::string apply_plan(const TunedPlan& plan, tl::ProblemConfig* problem,
+                       tea::RunOptions* options) {
+  return apply_point(plan.winner, problem, options);
+}
+
+std::string apply_plan_for_mesh(const TunedPlan& plan,
+                                tl::ProblemConfig* problem,
+                                tea::RunOptions* options) {
+  if (!plan.has_device_choice || plan.device_table.empty() ||
+      problem == nullptr) {
+    return apply_plan(plan, problem, options);
+  }
+  const int mesh = std::max(problem->x_cells, problem->y_cells);
+  // Largest rung not above the request mesh; below the smallest rung the
+  // smallest applies (the table is sorted ascending).
+  const DeviceChoice* chosen = &plan.device_table.front();
+  for (const DeviceChoice& d : plan.device_table) {
+    if (d.mesh <= mesh) chosen = &d;
+  }
+  const ExecutionPoint& point =
+      chosen->use_device ? plan.device_choice : plan.host_choice;
+  return apply_point(point, problem, options);
 }
 
 }  // namespace tuning

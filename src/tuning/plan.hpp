@@ -20,7 +20,10 @@
 namespace tuning {
 
 /// Bump on incompatible plan-layout changes; loaders reject mismatches.
-inline constexpr int kPlanSchemaVersion = 1;
+/// v2: cross-device tuning — frontier entries carry device projections and
+/// the effective ranking currency, plans carry the device-constant
+/// provenance and the per-mesh device-choice table.
+inline constexpr int kPlanSchemaVersion = 2;
 
 /// One point of the execution-plan space: everything the driver needs to run
 /// a problem one particular way.  Solver and preconditioner are stored by
@@ -49,11 +52,31 @@ struct ExecutionPoint {
 /// One measured survivor of the model prune.
 struct FrontierEntry {
   ExecutionPoint point;
-  double model_seconds = 0.0;  // calibrated-host projection that ranked it
+  double model_seconds = 0.0;  // calibrated projection that ranked it
   bool converged = false;
   double median_s = 0.0;       // store-measured wall statistics
   double min_s = 0.0;
+  // Cross-device currency: what phase 2 ranks this entry by.  Host entries
+  // use the measured median wall time; device entries use the calibrated
+  // device-roofline projection of their measured counters (the emulated
+  // device wall time carries no meaning), recorded in projected_device_s.
+  double projected_device_s = 0.0;  // 0 for host entries
+  double effective_s = 0.0;
   std::string store_key;       // content-addressed row behind the numbers
+};
+
+/// One rung of the per-mesh device-choice table: at mesh edge `mesh`, the
+/// model-scaled host and device costs and which side wins.
+struct DeviceChoice {
+  int mesh = 0;
+  double host_s = 0.0;
+  double device_s = 0.0;
+  bool use_device = false;
+
+  bool operator==(const DeviceChoice& o) const {
+    return mesh == o.mesh && host_s == o.host_s && device_s == o.device_s &&
+           use_device == o.use_device;
+  }
 };
 
 struct TunedPlan {
@@ -79,7 +102,29 @@ struct TunedPlan {
   std::string bw_source = "fallback";
   std::string launch_source = "fallback";
 
-  std::vector<FrontierEntry> frontier;  // sorted by measured median
+  // Device constants the device-roofline scoring used, same provenance
+  // convention (env TEA_DEVICE_* / fit via validation::fit_device_model /
+  // fallback spec constants).
+  bool device_calibrated = false;
+  double scored_device_bw_gbs = 0.0;
+  double scored_device_launch_us = 0.0;
+  double scored_pcie_gbs = 0.0;
+  std::string device_bw_source = "fallback";
+  std::string device_launch_source = "fallback";
+  std::string pcie_source = "fallback";
+
+  // Cross-device choice: the best measured host point and the best measured
+  // device point, plus the model-scaled table saying which to run at each
+  // mesh rung.  `crossover_mesh` is the smallest table mesh where the device
+  // wins (0 = never within the table).  has_device_choice is false when the
+  // tune measured no device candidate (e.g. a host-only candidate space).
+  bool has_device_choice = false;
+  ExecutionPoint host_choice;
+  ExecutionPoint device_choice;
+  int crossover_mesh = 0;
+  std::vector<DeviceChoice> device_table;  // sorted by mesh ascending
+
+  std::vector<FrontierEntry> frontier;  // sorted by effective seconds
 };
 
 /// Serialise (stable key order, no timestamps).
@@ -97,5 +142,15 @@ void save_plan(const TunedPlan& plan, const std::string& path);
 /// the RunOptions) and return the backend variant id to run.
 std::string apply_plan(const TunedPlan& plan, tl::ProblemConfig* problem,
                        tea::RunOptions* options);
+
+/// Mesh-aware application: consult the device-choice table at the problem's
+/// own mesh edge (largest table rung <= max(x_cells, y_cells); the smallest
+/// rung below all of them) and apply host_choice or device_choice
+/// accordingly.  Plans without a device table fall back to apply_plan's
+/// winner.  This is what lets one plan say "host below the crossover mesh,
+/// GPU above" (§IV-C).
+std::string apply_plan_for_mesh(const TunedPlan& plan,
+                                tl::ProblemConfig* problem,
+                                tea::RunOptions* options);
 
 }  // namespace tuning

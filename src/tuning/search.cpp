@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "core/backends/ref_kernels.hpp"
+#include "core/field.hpp"
 #include "machine/efficiency.hpp"
 #include "machine/roofline.hpp"
 #include "results/sweep.hpp"
@@ -64,6 +66,25 @@ double outer_iterations_per_step(const tl::ProblemConfig& p,
 
 double elems(const tea::ref::KernelCost& c) {
   return static_cast<double>(c.reads + c.writes);
+}
+
+/// simgpu variants the search explores (every GPU backend the registry
+/// builds).  Order is the paper's Table I order; enumeration order is part
+/// of the deterministic-candidate-space contract.
+const std::vector<std::string>& device_variants() {
+  static const std::vector<std::string> v = {
+      "manual-cuda", "kokkos-cuda", "raja-cuda",
+      "ops-cuda",    "ops-acc",     "manual-acc-gpu",
+  };
+  return v;
+}
+
+/// Analytic device-resident working set: every field array at problem size.
+/// Matches the backends' own working_set_bytes() up to halo padding, which
+/// the occupancy factor cannot distinguish anyway.
+std::int64_t analytic_working_set_bytes(const tl::ProblemConfig& p) {
+  return static_cast<std::int64_t>(tea::kNumFields) *
+         static_cast<std::int64_t>(p.x_cells) * p.y_cells * 8;
 }
 
 }  // namespace
@@ -173,6 +194,14 @@ machine::Counters estimate_counters(const tl::ProblemConfig& problem,
     c.messages = to_i64(total_halos * 2.0 * ranks);
     c.message_bytes = to_i64(total_halos * perimeter_bytes * 2.0);
   }
+  if (machine::is_gpu_variant(point.variant)) {
+    // Device-resident execution: the field set crosses PCIe once on upload
+    // and the per-step results come back; each global reduction reads one
+    // scalar back.  Coarse, like everything else here — phase 2's measured
+    // counters carry the real numbers.
+    c.h2d_bytes = to_i64(static_cast<double>(tea::kNumFields) * cells * 8.0);
+    c.d2h_bytes = to_i64(steps * 2.0 * cells * 8.0 + total_reductions * 8.0);
+  }
   return c;
 }
 
@@ -231,6 +260,17 @@ double model_seconds(const tl::ProblemConfig& problem,
                      const ExecutionPoint& point,
                      const machine::MachineModel& host) {
   const machine::Counters c = estimate_counters(problem, point);
+  if (machine::is_gpu_variant(point.variant)) {
+    // Device candidates score on the calibrated device model in the same
+    // "effective seconds" currency: the per-variant P100 residuals apply
+    // (device_machine() keeps the id "p100"), and the occupancy derating at
+    // the analytic working set is what makes small meshes favour the host.
+    const machine::MachineModel& device = machine::device_machine();
+    return machine::project_time(c, device,
+                                 machine::efficiency_for(point.variant, device),
+                                 analytic_working_set_bytes(problem))
+        .total();
+  }
   const machine::EfficiencyProfile prof =
       host_profile(point, std::max(1, host.cores));
   return machine::project_time(c, host, prof).total();
@@ -312,6 +352,11 @@ std::vector<ExecutionPoint> enumerate_candidates(
       p.variant = v;
       push(p);
     }
+    for (const std::string& v : device_variants()) {  // simgpu family
+      ExecutionPoint p = base;
+      p.variant = v;
+      push(p);
+    }
   }
   return out;
 }
@@ -374,6 +419,8 @@ TuneOutcome tune_population(
   if (options.use_calibration) {
     outcome.fit = validation::fit_host_model(
         validation::calibration_rows(store, {"serial", "manual-omp"}));
+    outcome.device_fit =
+        validation::fit_device_model(validation::device_calibration_rows(store));
   }
 
   const machine::MachineOverrides saved = machine::host_overrides();
@@ -395,6 +442,36 @@ TuneOutcome tune_population(
     launch_source = fit_ok ? "fit" : "fallback";
   }
   const bool fit_used = bw_source == "fit" || launch_source == "fit";
+
+  // Device constants, same precedence: TEA_DEVICE_* / TEA_PCIE_* env > the
+  // device fit (a dropped fit term keeps the spec constant) > the P100 spec.
+  // The spec fallback is already deterministic, so unlike the host side
+  // there is no separate fixed-fallback table.
+  const bool device_fit_ok = options.use_calibration && outcome.device_fit.ok;
+  const machine::MachineModel& p100 = machine::tesla_p100();
+  std::string device_bw_source = "env", device_launch_source = "env",
+              pcie_source = "env";
+  if (!overrides.device_bw_gbs) {
+    const bool use = device_fit_ok && outcome.device_fit.device_bw_gbs > 0.0;
+    overrides.device_bw_gbs =
+        use ? outcome.device_fit.device_bw_gbs : p100.peak_bw_gbs;
+    device_bw_source = use ? "fit" : "fallback";
+  }
+  if (!overrides.device_launch_us) {
+    const bool use = device_fit_ok && outcome.device_fit.device_launch_us > 0.0;
+    overrides.device_launch_us =
+        use ? outcome.device_fit.device_launch_us : p100.launch_overhead_us;
+    device_launch_source = use ? "fit" : "fallback";
+  }
+  if (!overrides.device_pcie_gbs) {
+    const bool use = device_fit_ok && outcome.device_fit.pcie_bw_gbs > 0.0;
+    overrides.device_pcie_gbs =
+        use ? outcome.device_fit.pcie_bw_gbs : p100.pcie_bw_gbs;
+    pcie_source = use ? "fit" : "fallback";
+  }
+  const bool device_fit_used = device_bw_source == "fit" ||
+                               device_launch_source == "fit" ||
+                               pcie_source == "fit";
   machine::set_host_overrides(overrides);
   const machine::MachineModel host = machine::host_machine();
 
@@ -423,14 +500,28 @@ TuneOutcome tune_population(
       static_cast<std::size_t>(std::max(1, options.budget));
   std::vector<ScoredCandidate> survivors;
   bool incumbent_survived = false;
+  bool device_survived = false;
   for (const ScoredCandidate& c : outcome.considered) {
     if (survivors.size() >= budget) break;
     survivors.push_back(c);
     if (c.point == incumbent) incumbent_survived = true;
+    if (machine::is_gpu_variant(c.point.variant)) device_survived = true;
   }
   if (!incumbent_survived) {
     for (const ScoredCandidate& c : outcome.considered) {
       if (c.point == incumbent) {
+        survivors.push_back(c);
+        break;
+      }
+    }
+  }
+  // The best device candidate always gets measured, mirroring the incumbent
+  // rule: the device-choice table needs a measured device anchor even when
+  // the model ranks every device point below the cut (small meshes, where
+  // occupancy and launch overhead bury the device).
+  if (!device_survived) {
+    for (const ScoredCandidate& c : outcome.considered) {
+      if (machine::is_gpu_variant(c.point.variant)) {
         survivors.push_back(c);
         break;
       }
@@ -442,7 +533,18 @@ TuneOutcome tune_population(
   // "tune:<label>" row, so the calibration exclusion covers all of them; a
   // candidate's measured score is the total median across members, and it
   // must converge on *every* member to be eligible.
+  // Lead-member measured data per candidate, captured for the device-choice
+  // table (which model-scales the lead member's evidence along the ladder).
+  struct LeadRow {
+    double median_s = 0.0;
+    machine::Counters counters;
+    std::int64_t working_set_bytes = 0;
+  };
+  std::map<std::string, LeadRow> lead_rows;
+
+  const machine::MachineModel& device = machine::device_machine();
   for (const ScoredCandidate& c : survivors) {
+    const bool gpu = machine::is_gpu_variant(c.point.variant);
     FrontierEntry e;
     e.point = c.point;
     e.model_seconds = c.model_seconds;
@@ -469,16 +571,35 @@ TuneOutcome tune_population(
       e.converged = e.converged && row.converged;
       e.median_s += row.timing.median_s;
       e.min_s += row.timing.min_s;
+      if (gpu) {
+        // The device-roofline projection of the *measured* counters is the
+        // device entry's effective time — the emulated wall time only says
+        // how fast the host ran the simulation of the device.
+        e.projected_device_s +=
+            machine::project_time(row.counters, device,
+                                  machine::efficiency_for(c.point.variant,
+                                                          device),
+                                  row.working_set_bytes)
+                .total();
+      }
       if (e.store_key.empty()) e.store_key = row.key;
+      if (&member == &population.front()) {
+        LeadRow& lead = lead_rows[c.point.id()];
+        lead.median_s = row.timing.median_s;
+        lead.counters = row.counters;
+        lead.working_set_bytes = row.working_set_bytes;
+      }
     }
+    e.effective_s = gpu ? e.projected_device_s : e.median_s;
     outcome.plan.frontier.push_back(std::move(e));
   }
 
-  // Deterministic frontier order: measured median, then candidate id.
+  // Deterministic frontier order: effective seconds (the cross-device
+  // currency), then candidate id.
   std::stable_sort(outcome.plan.frontier.begin(), outcome.plan.frontier.end(),
                    [](const FrontierEntry& a, const FrontierEntry& b) {
-                     if (a.median_s != b.median_s) {
-                       return a.median_s < b.median_s;
+                     if (a.effective_s != b.effective_s) {
+                       return a.effective_s < b.effective_s;
                      }
                      return a.point.id() < b.point.id();
                    });
@@ -498,12 +619,19 @@ TuneOutcome tune_population(
   plan.scored_launch_overhead_us = *overrides.launch_overhead_us;
   plan.bw_source = bw_source;
   plan.launch_source = launch_source;
+  plan.device_calibrated = device_fit_used;
+  plan.scored_device_bw_gbs = *overrides.device_bw_gbs;
+  plan.scored_device_launch_us = *overrides.device_launch_us;
+  plan.scored_pcie_gbs = *overrides.device_pcie_gbs;
+  plan.device_bw_source = device_bw_source;
+  plan.device_launch_source = device_launch_source;
+  plan.pcie_source = pcie_source;
   for (const FrontierEntry& e : plan.frontier) {
-    if (e.point == incumbent) plan.incumbent_median_s = e.median_s;
+    if (e.point == incumbent) plan.incumbent_median_s = e.effective_s;
     if (!e.converged) continue;
     if (plan.winner_key.empty()) {
       plan.winner = e.point;
-      plan.winner_median_s = e.median_s;
+      plan.winner_median_s = e.effective_s;
       plan.winner_key = e.store_key;
     }
   }
@@ -513,10 +641,82 @@ TuneOutcome tune_population(
     plan.winner = incumbent;
   }
 
+  // --- device-choice table: the best measured host point and the best
+  // measured device point, model-scaled along a mesh ladder so one plan can
+  // answer "host or device?" for any request mesh (§IV-C).  Host side: the
+  // lead member's measured median scaled by the ratio of host-model
+  // projections at the ladder mesh vs the native mesh.  Device side: the
+  // lead member's measured counters scaled with machine::scale_counters and
+  // re-projected on the device model (re-deriving the occupancy factor at
+  // the scaled working set — the term the crossover hinges on).
+  const FrontierEntry* host_best = nullptr;
+  const FrontierEntry* device_best = nullptr;
+  for (const FrontierEntry& e : plan.frontier) {
+    if (!e.converged) continue;
+    if (machine::is_gpu_variant(e.point.variant)) {
+      if (device_best == nullptr) device_best = &e;
+    } else if (host_best == nullptr) {
+      host_best = &e;
+    }
+  }
+  if (host_best != nullptr && device_best != nullptr) {
+    plan.has_device_choice = true;
+    plan.host_choice = host_best->point;
+    plan.device_choice = device_best->point;
+
+    std::vector<int> ladder = {250, 500, 1000, 2000, 4000};
+    ladder.push_back(std::max(problem.x_cells, problem.y_cells));
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+
+    const LeadRow& host_lead = lead_rows[host_best->point.id()];
+    const LeadRow& device_lead = lead_rows[device_best->point.id()];
+    const tl::ProblemConfig host_native =
+        point_problem(problem, host_best->point);
+    const double host_native_model =
+        model_seconds(host_native, host_best->point, host);
+    const double native_cells =
+        static_cast<double>(problem.x_cells) * problem.y_cells;
+    const double native_width =
+        static_cast<double>(std::max(problem.x_cells, problem.y_cells));
+    const machine::EfficiencyProfile device_prof =
+        machine::efficiency_for(device_best->point.variant, device);
+    for (const int mesh : ladder) {
+      DeviceChoice d;
+      d.mesh = mesh;
+      const double cells_ratio =
+          static_cast<double>(mesh) * mesh / native_cells;
+      const double iter_ratio = static_cast<double>(mesh) / native_width;
+
+      tl::ProblemConfig scaled = host_native;
+      scaled.x_cells = mesh;
+      scaled.y_cells = mesh;
+      const double scaled_model =
+          model_seconds(scaled, host_best->point, host);
+      const double ratio = (host_native_model > 0.0 && scaled_model > 0.0)
+                               ? scaled_model / host_native_model
+                               : cells_ratio * iter_ratio;
+      d.host_s = host_lead.median_s * ratio;
+
+      const machine::Counters scaled_counters = machine::scale_counters(
+          device_lead.counters, cells_ratio, iter_ratio, iter_ratio);
+      const auto scaled_ws = static_cast<std::int64_t>(std::llround(
+          static_cast<double>(device_lead.working_set_bytes) * cells_ratio));
+      d.device_s =
+          machine::project_time(scaled_counters, device, device_prof,
+                                scaled_ws)
+              .total();
+      d.use_device = d.device_s < d.host_s;
+      if (d.use_device && plan.crossover_mesh == 0) plan.crossover_mesh = mesh;
+      plan.device_table.push_back(d);
+    }
+  }
+
   // The calibration feedback loop leaves *fitted* constants installed in
-  // host_machine(); scoring fallbacks are scoped to this tune, so restore
-  // whatever was active when nothing was actually learned from the store.
-  if (!fit_used) machine::set_host_overrides(saved);
+  // host_machine()/device_machine(); scoring fallbacks are scoped to this
+  // tune, so restore whatever was active when nothing was actually learned
+  // from the store.
+  if (!fit_used && !device_fit_used) machine::set_host_overrides(saved);
   return outcome;
 }
 
@@ -535,13 +735,28 @@ std::string frontier_markdown(const TuneOutcome& outcome) {
   if (plan.calibrated) {
     os << "; fit over " << outcome.fit.rows_used << " store rows";
   }
+  os << ".\n";
+  os << "Device model: " << plan.scored_device_bw_gbs << " GB/s ("
+     << plan.device_bw_source << "), " << plan.scored_device_launch_us
+     << " us/launch (" << plan.device_launch_source << "), PCIe "
+     << plan.scored_pcie_gbs << " GB/s (" << plan.pcie_source << ")";
+  if (plan.device_calibrated) {
+    os << "; fit over " << outcome.device_fit.rows_used << " device rows";
+  }
   os << ".\n\n";
-  os << "| candidate | model s | measured median s | converged |\n";
-  os << "|---|---|---|---|\n";
+  os << "| candidate | model s | measured median s | device proj s | "
+        "effective s | converged |\n";
+  os << "|---|---|---|---|---|---|\n";
   for (const FrontierEntry& e : plan.frontier) {
     os << "| " << e.point.id() << (e.point == plan.winner ? " **(winner)**" : "")
-       << " | " << e.model_seconds << " | " << e.median_s << " | "
-       << (e.converged ? "yes" : "no") << " |\n";
+       << " | " << e.model_seconds << " | " << e.median_s << " | ";
+    if (e.projected_device_s > 0.0) {
+      os << e.projected_device_s;
+    } else {
+      os << "-";
+    }
+    os << " | " << e.effective_s << " | " << (e.converged ? "yes" : "no")
+       << " |\n";
   }
   os << "\nWinner: `" << plan.winner.id() << "`";
   if (plan.incumbent_median_s > 0.0 && plan.winner_median_s > 0.0) {
@@ -549,6 +764,22 @@ std::string frontier_markdown(const TuneOutcome& outcome) {
        << "x vs the deck default";
   }
   os << "\n";
+  if (plan.has_device_choice) {
+    os << "\n## Device choice (host `" << plan.host_choice.id()
+       << "` vs device `" << plan.device_choice.id() << "`)\n\n";
+    os << "| mesh | host s | device s | choice |\n";
+    os << "|---|---|---|---|\n";
+    for (const DeviceChoice& d : plan.device_table) {
+      os << "| " << d.mesh << "^2 | " << d.host_s << " | " << d.device_s
+         << " | " << (d.use_device ? "device" : "host") << " |\n";
+    }
+    if (plan.crossover_mesh > 0) {
+      os << "\nCrossover at " << plan.crossover_mesh
+         << "^2: host below, device above.\n";
+    } else {
+      os << "\nNo crossover within the table: host everywhere.\n";
+    }
+  }
   return os.str();
 }
 

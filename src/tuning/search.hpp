@@ -3,15 +3,24 @@
 // Phase 1, model-first prune: every candidate in the execution-plan space
 // (backend variant x thread/rank count x miniops tile height x fused-vs-
 // unfused apply_operator_dot x solver x preconditioner) is scored with a
-// tl_machine roofline projection of analytically estimated counters on the
-// *calibrated* host model — the PR 4 least-squares constants fed through
-// machine::MachineOverrides into host_machine().  Only the top `budget`
-// candidates survive (the incumbent deck configuration always does).
+// tl_machine roofline projection of analytically estimated counters — host
+// candidates on the *calibrated* host model (the PR 4 least-squares
+// constants fed through machine::MachineOverrides into host_machine()),
+// simgpu candidates on the calibrated device model (device_machine(), with
+// the GPU occupancy derating and PCIe traffic).  Only the top `budget`
+// candidates survive; the incumbent deck configuration always does, and so
+// does the best device candidate (the device-choice table needs a measured
+// device anchor even when the model ranks every device point below the cut,
+// as it does at smoke-test meshes).
 //
 // Phase 2, measured refinement: the survivors run through the result
 // store's content-addressed fetch-or-measure session, so a re-tune against
-// an already-populated store performs zero new measurements and the winner
-// is decided by real medians with a deterministic id tie-break.
+// an already-populated store performs zero new measurements.  Ranking uses
+// *effective seconds*: host entries rank by their measured median; device
+// entries rank by the device-roofline projection of their measured counters
+// (the emulated device wall time means nothing), with a deterministic id
+// tie-break.  The winner feeds the plan's per-mesh device-choice table
+// (plan.hpp) by model-scaling both sides along a mesh ladder.
 //
 // Everything here is a pure function of (store contents, problem, options,
 // host core count): identical stores yield bit-identical TunedPlan JSON.
@@ -59,6 +68,7 @@ struct TuneOutcome {
   int measured = 0;  // cells executed by the refinement
   int cached = 0;    // cells served from the store
   validation::CalibrationFit fit;
+  validation::DeviceCalibrationFit device_fit;
 };
 
 /// The deterministic candidate space for `problem` on a host with
@@ -73,7 +83,10 @@ std::vector<ExecutionPoint> enumerate_candidates(
 machine::Counters estimate_counters(const tl::ProblemConfig& problem,
                                     const ExecutionPoint& point);
 
-/// Roofline projection of `point` on the (calibrated) host model.
+/// Roofline projection of `point`: host candidates on the (calibrated) host
+/// model, simgpu candidates on machine::device_machine() with the occupancy
+/// derating at the problem's analytic working set.  Both sides share the
+/// "effective seconds" currency the search ranks by.
 double model_seconds(const tl::ProblemConfig& problem,
                      const ExecutionPoint& point,
                      const machine::MachineModel& host);

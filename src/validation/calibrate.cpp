@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "machine/efficiency.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/roofline.hpp"
+
 namespace validation {
 
 namespace {
@@ -120,6 +124,194 @@ CalibrationFit fit_host_model(const std::vector<CalibrationRow>& rows) {
   double sq = 0.0, worst = 0.0;
   for (const CalibrationRow& r : rows) {
     const double pred = a * r.gigabytes + b * r.launches;
+    const double rel = (pred - r.seconds) / r.seconds;
+    sq += rel * rel;
+    worst = std::max(worst, std::fabs(rel));
+  }
+  fit.rms_rel_error = std::sqrt(sq / static_cast<double>(rows.size()));
+  fit.max_rel_error = worst;
+  return fit;
+}
+
+std::vector<DeviceCalibrationRow> device_calibration_rows(
+    const results::ResultStore& store) {
+  const machine::MachineModel& p100 = machine::tesla_p100();
+  std::vector<DeviceCalibrationRow> out;
+  for (const results::ResultRow& r : store.rows()) {
+    if (r.platform != "host") continue;
+    if (r.deck.rfind(kTuneDeckPrefix, 0) == 0) continue;
+    if (!machine::is_gpu_variant(r.variant)) continue;
+    const results::Projection* proj = nullptr;
+    for (const results::Projection& p : r.projections) {
+      if (p.machine == "p100") proj = &p;
+    }
+    if (proj == nullptr || !(proj->seconds > 0.0)) continue;
+    const double bytes = static_cast<double>(r.counters.total_bytes());
+    if (bytes <= 0.0) continue;
+
+    const machine::EfficiencyProfile profile =
+        machine::efficiency_for(r.variant, p100);
+    const double derate =
+        profile.bw_fraction *
+        machine::gpu_occupancy_factor(p100, r.working_set_bytes);
+    if (!(derate > 0.0)) continue;
+
+    DeviceCalibrationRow row;
+    row.label = r.deck + "/" + r.variant;
+    row.eff_gigabytes = bytes / 1e9 / derate;
+    row.scaled_launches = static_cast<double>(r.counters.kernel_launches) *
+                          profile.launch_multiplier;
+    row.pcie_gigabytes =
+        static_cast<double>(r.counters.h2d_bytes + r.counters.d2h_bytes) / 1e9;
+    row.offset_s = static_cast<double>(r.counters.reductions) *
+                   profile.reduction_sync_us * 1e-6;
+    row.seconds = proj->seconds;
+    if (!(row.seconds - row.offset_s > 0.0)) continue;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Solve the (possibly reduced) normal equations S x = v over the active
+/// columns {bandwidth, launches?, pcie?}.  Returns false when the active
+/// system is degenerate (determinant vanishes relative to the Gram
+/// diagonal), leaving the outputs untouched.
+bool solve_device_normal(const double S[3][3], const double v[3], bool use_y,
+                         bool use_z, double* a, double* b, double* c) {
+  constexpr double kRelDet = 1e-12;
+  if (use_y && use_z) {
+    const double det = S[0][0] * (S[1][1] * S[2][2] - S[1][2] * S[1][2]) -
+                       S[0][1] * (S[0][1] * S[2][2] - S[1][2] * S[0][2]) +
+                       S[0][2] * (S[0][1] * S[1][2] - S[1][1] * S[0][2]);
+    const double scale = S[0][0] * S[1][1] * S[2][2];
+    if (!(S[1][1] > 0.0) || !(S[2][2] > 0.0) || det <= kRelDet * scale) {
+      return false;
+    }
+    *a = (v[0] * (S[1][1] * S[2][2] - S[1][2] * S[1][2]) -
+          S[0][1] * (v[1] * S[2][2] - S[1][2] * v[2]) +
+          S[0][2] * (v[1] * S[1][2] - S[1][1] * v[2])) /
+         det;
+    *b = (S[0][0] * (v[1] * S[2][2] - v[2] * S[1][2]) -
+          v[0] * (S[0][1] * S[2][2] - S[1][2] * S[0][2]) +
+          S[0][2] * (S[0][1] * v[2] - v[1] * S[0][2])) /
+         det;
+    *c = (S[0][0] * (S[1][1] * v[2] - S[1][2] * v[1]) -
+          S[0][1] * (S[0][1] * v[2] - v[1] * S[0][2]) +
+          v[0] * (S[0][1] * S[1][2] - S[1][1] * S[0][2])) /
+         det;
+    return true;
+  }
+  if (use_y || use_z) {
+    const int k = use_y ? 1 : 2;
+    const double skk = S[k][k];
+    const double s0k = S[0][k];
+    const double det = S[0][0] * skk - s0k * s0k;
+    if (!(skk > 0.0) || det <= kRelDet * S[0][0] * skk) return false;
+    *a = (v[0] * skk - v[k] * s0k) / det;
+    const double other = (v[k] * S[0][0] - v[0] * s0k) / det;
+    *b = use_y ? other : 0.0;
+    *c = use_z ? other : 0.0;
+    return true;
+  }
+  *a = v[0] / S[0][0];
+  *b = 0.0;
+  *c = 0.0;
+  return true;
+}
+
+void append_note(std::string* note, const std::string& text) {
+  if (!note->empty()) *note += "; ";
+  *note += text;
+}
+
+}  // namespace
+
+DeviceCalibrationFit fit_device_model(
+    const std::vector<DeviceCalibrationRow>& rows) {
+  DeviceCalibrationFit fit;
+  fit.rows_used = static_cast<int>(rows.size());
+  if (rows.size() < 3) {
+    fit.note = "need at least three observations";
+    return fit;
+  }
+  for (const DeviceCalibrationRow& r : rows) {
+    const double t = r.seconds - r.offset_s;
+    if (!(t > 0.0) || !std::isfinite(t) || !std::isfinite(r.eff_gigabytes) ||
+        !std::isfinite(r.scaled_launches) || !std::isfinite(r.pcie_gigabytes)) {
+      fit.note = "unusable observation '" + r.label + "'";
+      return fit;
+    }
+  }
+
+  // Normal equations for t' ≈ a*effGB + b*launches + c*pcieGB (t' is the
+  // projection minus the fixed reduction-sync offset) with the same relative
+  // weighting and fixed accumulation order as the host fit.
+  double S[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double v[3] = {0, 0, 0};
+  for (const DeviceCalibrationRow& r : rows) {
+    const double t = r.seconds - r.offset_s;
+    const double u[3] = {r.eff_gigabytes / t, r.scaled_launches / t,
+                         r.pcie_gigabytes / t};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i; j < 3; ++j) S[i][j] += u[i] * u[j];
+      v[i] += u[i];
+    }
+  }
+  S[1][0] = S[0][1];
+  S[2][0] = S[0][2];
+  S[2][1] = S[1][2];
+  if (!(S[0][0] > 0.0)) {
+    fit.note = "no device traffic in any observation";
+    return fit;
+  }
+
+  // Deterministic fallback ladder: drop the PCIe term first (it is the
+  // smallest and most often collinear with traffic), then the launch term.
+  bool use_y = true, use_z = true;
+  double a = 0.0, b = 0.0, c = 0.0;
+  for (;;) {
+    if (!solve_device_normal(S, v, use_y, use_z, &a, &b, &c)) {
+      if (use_z) {
+        use_z = false;
+        append_note(&fit.note, "degenerate system: pcie term dropped");
+      } else if (use_y) {
+        use_y = false;
+        append_note(&fit.note, "degenerate system: launch term dropped");
+      }
+      continue;
+    }
+    if (use_z && c < 0.0) {
+      use_z = false;
+      append_note(&fit.note, "negative pcie cost: pcie term dropped");
+      continue;
+    }
+    if (use_y && b < 0.0) {
+      use_y = false;
+      append_note(&fit.note, "negative launch overhead: launch term dropped");
+      continue;
+    }
+    break;
+  }
+  if (a <= 0.0) {
+    fit.note = "non-positive streaming cost: store rows are not device rows?";
+    fit.ok = false;
+    return fit;
+  }
+
+  fit.ok = true;
+  fit.seconds_per_gb = a;
+  fit.launch_overhead_s = b;
+  fit.seconds_per_pcie_gb = c;
+  fit.device_bw_gbs = 1.0 / a;
+  fit.device_launch_us = b * 1e6;
+  fit.pcie_bw_gbs = c > 0.0 ? 1.0 / c : 0.0;
+
+  double sq = 0.0, worst = 0.0;
+  for (const DeviceCalibrationRow& r : rows) {
+    const double pred = a * r.eff_gigabytes + b * r.scaled_launches +
+                        c * r.pcie_gigabytes + r.offset_s;
     const double rel = (pred - r.seconds) / r.seconds;
     sq += rel * rel;
     worst = std::max(worst, std::fabs(rel));

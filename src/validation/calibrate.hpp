@@ -78,4 +78,54 @@ struct CalibrationFit {
 /// fewer than two observations or a non-positive streaming cost.
 CalibrationFit fit_host_model(const std::vector<CalibrationRow>& rows);
 
+/// One device-model observation, extracted from a stored simgpu-variant row.
+/// Device wall times are emulated on the host, so the fit target is the row's
+/// *stored* P100 projection — computed at measurement time from the fixed
+/// spec model (machine::tesla_p100), never from device_machine(), so feeding
+/// the fitted constants back through MachineOverrides cannot poison later
+/// fits.  The per-variant efficiency residuals and the occupancy derating
+/// are folded into the regressors so the three fitted constants are the
+/// *absolute* machine numbers (device bandwidth, launch cost, PCIe
+/// bandwidth), exactly the fields device_machine() composes.
+struct DeviceCalibrationRow {
+  std::string label;             // "<deck>/<variant>" provenance
+  double eff_gigabytes = 0.0;    // device traffic / (bw_fraction * occupancy)
+  double scaled_launches = 0.0;  // kernel launches * launch_multiplier
+  double pcie_gigabytes = 0.0;   // h2d + d2h traffic, GB
+  double offset_s = 0.0;         // reduction-sync cost (fixed, not fitted)
+  double seconds = 0.0;          // stored P100 projection, total
+};
+
+/// Extract device-model observations from `store`: every host-platform row
+/// whose variant is a simgpu (GPU) variant and that carries a "p100"
+/// projection; rows under kTuneDeckPrefix are excluded for the same
+/// store-order-determinism reason as the host fit.
+std::vector<DeviceCalibrationRow> device_calibration_rows(
+    const results::ResultStore& store);
+
+struct DeviceCalibrationFit {
+  bool ok = false;
+  std::string note;  // empty, or why the fit degraded/failed
+  int rows_used = 0;
+  double seconds_per_gb = 0.0;       // per effective (derated) device GB
+  double launch_overhead_s = 0.0;    // per residual-scaled launch
+  double seconds_per_pcie_gb = 0.0;  // per GB crossing the host<->device link
+  // Derived machine-model constants (MachineOverrides device fields).
+  double device_bw_gbs = 0.0;
+  double device_launch_us = 0.0;
+  double pcie_bw_gbs = 0.0;  // 0 when the PCIe term was dropped (keep spec)
+  // Fit quality over the observations.
+  double rms_rel_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Least-squares fit of the three device constants over `rows` via the 3x3
+/// normal equations with relative weighting, in row order (bit-identical for
+/// identical stores).  Degenerate or unphysical (negative-coefficient)
+/// systems deterministically drop terms — PCIe first, then launches — down
+/// to a bandwidth-only fit; `note` records each drop.  Fails with fewer
+/// than three observations or a non-positive streaming cost.
+DeviceCalibrationFit fit_device_model(
+    const std::vector<DeviceCalibrationRow>& rows);
+
 }  // namespace validation

@@ -275,6 +275,7 @@ ValidationReport validate(const results::ResultStore& store,
   const std::vector<CalibrationRow> cal_rows =
       calibration_rows(store, options.calibration_variants);
   report.calibration = fit_host_model(cal_rows);
+  report.device_calibration = fit_device_model(device_calibration_rows(store));
   const std::vector<std::string>& decks = results::sweep_deck_names();
   for (const CalibrationRow& r : cal_rows) {
     const auto slash = r.label.find('/');
@@ -429,6 +430,21 @@ results::Json report_json(const ValidationReport& report) {
   cal.set("max_rel_error", results::Json(report.calibration.max_rel_error));
   j.set("calibration", std::move(cal));
 
+  results::Json dcal = results::Json::object();
+  dcal.set("ok", results::Json(report.device_calibration.ok));
+  dcal.set("note", results::Json(report.device_calibration.note));
+  dcal.set("rows_used", results::Json(report.device_calibration.rows_used));
+  dcal.set("device_bw_gbs",
+           results::Json(report.device_calibration.device_bw_gbs));
+  dcal.set("device_launch_us",
+           results::Json(report.device_calibration.device_launch_us));
+  dcal.set("pcie_bw_gbs", results::Json(report.device_calibration.pcie_bw_gbs));
+  dcal.set("rms_rel_error",
+           results::Json(report.device_calibration.rms_rel_error));
+  dcal.set("max_rel_error",
+           results::Json(report.device_calibration.max_rel_error));
+  j.set("device_calibration", std::move(dcal));
+
   results::Json summary = results::Json::object();
   summary.set("checked", results::Json(report.checked()));
   summary.set("failed", results::Json(report.failed()));
@@ -504,6 +520,26 @@ std::string report_markdown(const ValidationReport& report) {
     os << "\nDeck rows consumed by the fit:";
     for (const std::string& d : report.deck_rows) os << " " << d;
     os << "\n";
+  }
+
+  os << "\n## Device calibration\n\n";
+  const DeviceCalibrationFit& dcal = report.device_calibration;
+  if (dcal.ok) {
+    os << "Fitted from " << dcal.rows_used
+       << " device rows: device bandwidth " << dcal.device_bw_gbs
+       << " GB/s, launch overhead " << dcal.device_launch_us << " us, PCIe ";
+    if (dcal.pcie_bw_gbs > 0.0) {
+      os << dcal.pcie_bw_gbs << " GB/s";
+    } else {
+      os << "(spec)";
+    }
+    os << " (rms rel error " << 100.0 * dcal.rms_rel_error << "%, max "
+       << 100.0 * dcal.max_rel_error << "%)";
+    if (!dcal.note.empty()) os << " [" << dcal.note << "]";
+    os << "\n";
+  } else {
+    os << "Device calibration unavailable: " << dcal.note << " ("
+       << dcal.rows_used << " rows)\n";
   }
 
   os << "\n## Summary\n\n";

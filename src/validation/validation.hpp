@@ -107,6 +107,10 @@ struct ValidationReport {
   std::vector<ShapeCheck> model_checks;  // mesh monotonicity, gap growth
   std::vector<ErrorBand> bands;
   CalibrationFit calibration;
+  // Device-constant fit over stored simgpu-variant rows (calibrate.hpp);
+  // report-only here (non-gating) — the tuner is what feeds it back through
+  // MachineOverrides.
+  DeviceCalibrationFit device_calibration;
 
   /// All checks (figure claims, Table III, model) in report order.
   std::vector<const ShapeCheck*> all_checks() const;

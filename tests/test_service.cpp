@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/config.hpp"
 #include "core/backends/field_arena.hpp"
 #include "core/registry.hpp"
 #include "results/result_store.hpp"
@@ -339,6 +340,127 @@ TEST(Replay, PercentilesAreNearestRank) {
   EXPECT_DOUBLE_EQ(service::latency_percentile(samples, 0.99), 0.099);
   EXPECT_DOUBLE_EQ(service::latency_percentile(samples, 1.0), 0.100);
   EXPECT_DOUBLE_EQ(service::latency_percentile({}, 0.5), 0.0);
+}
+
+// A TunedPlan whose winner is a device variant, shaped like the tuner
+// would emit for `problem` (solver/precon lifted from the deck, no
+// device-choice table so the winner applies at every mesh).
+tuning::TunedPlan device_plan_for(const tl::ProblemConfig& problem,
+                                  const std::string& variant) {
+  tuning::TunedPlan plan;
+  plan.deck = "injected";
+  plan.deck_hash = results::problem_key(problem);
+  plan.mesh_x = problem.x_cells;
+  plan.mesh_y = problem.y_cells;
+  plan.steps = problem.end_step;
+  plan.winner.variant = variant;
+  plan.winner.solver = tl::to_string(problem.solver);
+  plan.winner.precon = tl::to_string(problem.preconditioner);
+  return plan;
+}
+
+TEST(SolveService, DeviceVariantBatchesMatchSequentialBitwise) {
+  // Satellite contract: a device-variant plan executes on the worker's own
+  // shard (pool + DeviceScope-bound Device), never through a silent
+  // run_simulation fallback — and batching still never changes numerics.
+  const tl::ProblemConfig problem = tiny_problem(32, 2);
+  const tea::RunResult reference =
+      tea::run_simulation("manual-cuda", problem, {});
+  ASSERT_TRUE(reference.all_converged());
+
+  results::ResultStore store;
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.threads_per_worker = 2;
+  options.enable_tuning = true;
+  options.max_batch = 3;
+  service::SolveService daemon(options, &store);
+  daemon.plan_cache().insert(service::PlanCache::key_for(problem),
+                             device_plan_for(problem, "manual-cuda"));
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    service::SolveRequest request;
+    request.label = "gpu-" + std::to_string(i);
+    request.problem = problem;
+    tickets.push_back(daemon.submit(request));
+    ASSERT_NE(tickets.back(), nullptr);
+  }
+  daemon.start();
+  for (const service::Ticket& ticket : tickets) {
+    const service::SolveResponse response = daemon.wait(ticket);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.variant, "manual-cuda");
+    EXPECT_EQ(response.batch_size, 3);
+    EXPECT_TRUE(response.converged);
+    EXPECT_EQ(response.iterations, reference.total_iterations);
+    EXPECT_EQ(response.initial_rr, reference.steps.front().solve.initial_rr);
+    EXPECT_EQ(response.final_rr, reference.steps.back().solve.final_rr);
+    EXPECT_EQ(response.final_temperature, reference.final_summary.temp);
+  }
+  daemon.shutdown();
+  const service::ServiceStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.fallback_solves, 0);  // the shard served every solve
+}
+
+TEST(SolveService, ConcurrentShardsSolveOnPrivateDevices) {
+  // Two shards, two distinct device-variant problems queued before start:
+  // the workers race through construction, kernels and teardown on their
+  // own Devices.  This runs under TSan in CI — a shared device would trip
+  // it (and the allocator bookkeeping would cross-talk).
+  results::ResultStore store;
+  service::ServiceOptions options;
+  options.workers = 2;
+  options.threads_per_worker = 2;
+  options.enable_tuning = true;
+  service::SolveService daemon(options, &store);
+  const tl::ProblemConfig small = tiny_problem(24, 1);
+  const tl::ProblemConfig large = tiny_problem(32, 1);
+  daemon.plan_cache().insert(service::PlanCache::key_for(small),
+                             device_plan_for(small, "manual-cuda"));
+  daemon.plan_cache().insert(service::PlanCache::key_for(large),
+                             device_plan_for(large, "kokkos-cuda"));
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    service::SolveRequest request;
+    request.label = "shard-" + std::to_string(i);
+    request.problem = (i % 2 == 0) ? small : large;
+    tickets.push_back(daemon.submit(request));
+    ASSERT_NE(tickets.back(), nullptr);
+  }
+  daemon.start();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const service::SolveResponse response = daemon.wait(tickets[i]);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.variant, i % 2 == 0 ? "manual-cuda" : "kokkos-cuda");
+    EXPECT_TRUE(response.converged);
+  }
+  daemon.shutdown();
+  EXPECT_EQ(daemon.stats().fallback_solves, 0);
+}
+
+TEST(SolveService, DistributedWinnersFallBackAndAreCounted) {
+  results::ResultStore store;
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.threads_per_worker = 2;
+  options.enable_tuning = true;
+  service::SolveService daemon(options, &store);
+  const tl::ProblemConfig problem = tiny_problem(24, 1);
+  tuning::TunedPlan plan = device_plan_for(problem, "manual-mpi");
+  plan.winner.ranks = 2;
+  daemon.plan_cache().insert(service::PlanCache::key_for(problem), plan);
+  daemon.start();
+  service::SolveRequest request;
+  request.problem = problem;
+  const service::Ticket ticket = daemon.submit(request);
+  ASSERT_NE(ticket, nullptr);
+  const service::SolveResponse response = daemon.wait(ticket);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.variant, "manual-mpi");
+  EXPECT_TRUE(response.converged);
+  daemon.shutdown();
+  EXPECT_EQ(daemon.stats().fallback_solves, 1);
 }
 
 TEST(SolveService, TunedModeCachesPlansPerProblem) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,6 +33,44 @@ TEST(DeviceMemory, OutOfMemoryThrows) {
   EXPECT_THROW(dev.allocate(100), tl::DeviceError);
   dev.deallocate(a);
   EXPECT_NO_THROW(dev.deallocate(nullptr));
+}
+
+TEST(DeviceMemory, HugeRequestCannotWrapTheCapacityCheck) {
+  // `allocated + bytes > capacity` wraps for bytes near SIZE_MAX and would
+  // admit the allocation; the check must be phrased subtraction-side.
+  simgpu::Device dev(1024);
+  EXPECT_THROW(dev.allocate(SIZE_MAX), tl::DeviceError);
+  void* a = dev.allocate(16);
+  EXPECT_THROW(dev.allocate(SIZE_MAX - 8), tl::DeviceError);
+  EXPECT_EQ(dev.bytes_allocated(), 16u);
+  dev.deallocate(a);
+}
+
+TEST(DeviceScope, BindsAndRestoresThreadLocally) {
+  simgpu::Device& global = simgpu::default_device();
+  simgpu::Device mine(1 << 20);
+  {
+    const simgpu::DeviceScope scope(&mine);
+    EXPECT_EQ(&simgpu::default_device(), &mine);
+    // Nested scopes shadow and restore in LIFO order.
+    simgpu::Device inner(1 << 20);
+    {
+      const simgpu::DeviceScope nested(&inner);
+      EXPECT_EQ(&simgpu::default_device(), &inner);
+    }
+    EXPECT_EQ(&simgpu::default_device(), &mine);
+  }
+  EXPECT_EQ(&simgpu::default_device(), &global);
+}
+
+TEST(DeviceScope, DoesNotLeakAcrossThreads) {
+  simgpu::Device mine(1 << 20);
+  const simgpu::DeviceScope scope(&mine);
+  simgpu::Device* seen = nullptr;
+  std::thread other([&] { seen = &simgpu::default_device(); });
+  other.join();
+  EXPECT_NE(seen, &mine);  // the binding is thread-local
+  EXPECT_EQ(&simgpu::default_device(), &mine);
 }
 
 TEST(DeviceMemory, CopyValidatesDevicePointers) {

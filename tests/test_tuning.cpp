@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/config.hpp"
+#include "core/registry.hpp"
 #include "machine/machine_model.hpp"
 #include "results/result_store.hpp"
 #include "results/sweep.hpp"
@@ -42,6 +43,22 @@ tuning::TunedPlan sample_plan() {
   plan.scored_launch_overhead_us = 3.25;
   plan.bw_source = "fit";
   plan.launch_source = "env";
+  plan.device_calibrated = true;
+  plan.scored_device_bw_gbs = 640.0;
+  plan.scored_device_launch_us = 9.5;
+  plan.scored_pcie_gbs = 11.0;
+  plan.device_bw_source = "fit";
+  plan.device_launch_source = "env";
+  plan.pcie_source = "fallback";
+  plan.has_device_choice = true;
+  plan.host_choice = plan.winner;
+  plan.device_choice.variant = "manual-cuda";
+  plan.device_choice.solver = "ppcg";
+  plan.device_choice.precon = "jac_diag";
+  plan.device_choice.fused = false;
+  plan.crossover_mesh = 1000;
+  plan.device_table.push_back({250, 0.05, 0.2, false});
+  plan.device_table.push_back({1000, 1.1, 0.9, true});
   tuning::FrontierEntry e;
   e.point = plan.winner;
   e.model_seconds = 0.1;
@@ -49,7 +66,18 @@ tuning::TunedPlan sample_plan() {
   e.median_s = 0.125;
   e.min_s = 0.12;
   e.store_key = plan.winner_key;
+  e.effective_s = 0.125;
   plan.frontier.push_back(e);
+  tuning::FrontierEntry d;
+  d.point = plan.device_choice;
+  d.model_seconds = 0.2;
+  d.converged = true;
+  d.median_s = 3.0;  // emulated wall — never ranked on
+  d.min_s = 2.9;
+  d.store_key = "feedface00000000";
+  d.projected_device_s = 0.2;
+  d.effective_s = 0.2;
+  plan.frontier.push_back(d);
   return plan;
 }
 
@@ -74,10 +102,26 @@ TEST(TunedPlan, JsonRoundTripPreservesEveryField) {
                    plan.scored_launch_overhead_us);
   EXPECT_EQ(back.bw_source, "fit");
   EXPECT_EQ(back.launch_source, "env");
-  ASSERT_EQ(back.frontier.size(), 1u);
+  EXPECT_TRUE(back.device_calibrated);
+  EXPECT_DOUBLE_EQ(back.scored_device_bw_gbs, 640.0);
+  EXPECT_DOUBLE_EQ(back.scored_device_launch_us, 9.5);
+  EXPECT_DOUBLE_EQ(back.scored_pcie_gbs, 11.0);
+  EXPECT_EQ(back.device_bw_source, "fit");
+  EXPECT_EQ(back.device_launch_source, "env");
+  EXPECT_EQ(back.pcie_source, "fallback");
+  EXPECT_TRUE(back.has_device_choice);
+  EXPECT_TRUE(back.host_choice == plan.host_choice);
+  EXPECT_TRUE(back.device_choice == plan.device_choice);
+  EXPECT_EQ(back.crossover_mesh, 1000);
+  ASSERT_EQ(back.device_table.size(), 2u);
+  EXPECT_TRUE(back.device_table[0] == plan.device_table[0]);
+  EXPECT_TRUE(back.device_table[1] == plan.device_table[1]);
+  ASSERT_EQ(back.frontier.size(), 2u);
   EXPECT_TRUE(back.frontier[0].point == plan.frontier[0].point);
   EXPECT_DOUBLE_EQ(back.frontier[0].model_seconds, 0.1);
   EXPECT_EQ(back.frontier[0].store_key, plan.winner_key);
+  EXPECT_DOUBLE_EQ(back.frontier[1].projected_device_s, 0.2);
+  EXPECT_DOUBLE_EQ(back.frontier[1].effective_s, 0.2);
 
   // Serialisation is a fixed point (the bit-determinism contract rests on
   // this): one more lap changes nothing.
@@ -118,6 +162,40 @@ TEST(TunedPlan, ApplyPlanDrivesProblemAndOptions) {
   EXPECT_FALSE(options.fuse_operator_dot);
 }
 
+TEST(TunedPlan, ApplyPlanForMeshPicksTheTableSide) {
+  const tuning::TunedPlan plan = sample_plan();
+  // Below every rung: the smallest rung's side applies (host at 250).
+  {
+    tl::ProblemConfig problem = tiny_problem(24, 2);
+    tea::RunOptions options;
+    EXPECT_EQ(tuning::apply_plan_for_mesh(plan, &problem, &options),
+              "manual-omp");
+  }
+  // On or past the device rung: the device side applies, with the device
+  // choice's solver configuration driven onto the problem.
+  {
+    tl::ProblemConfig problem = tiny_problem(24, 2);
+    problem.x_cells = 2000;
+    problem.y_cells = 2000;
+    tea::RunOptions options;
+    EXPECT_EQ(tuning::apply_plan_for_mesh(plan, &problem, &options),
+              "manual-cuda");
+    EXPECT_EQ(problem.solver, tl::SolverKind::kPpcg);
+    EXPECT_FALSE(options.fuse_operator_dot);
+  }
+  // No table: identical to the legacy apply_plan (the winner runs).
+  {
+    tuning::TunedPlan legacy = plan;
+    legacy.has_device_choice = false;
+    legacy.device_table.clear();
+    tl::ProblemConfig problem = tiny_problem(24, 2);
+    problem.x_cells = 4000;
+    tea::RunOptions options;
+    EXPECT_EQ(tuning::apply_plan_for_mesh(legacy, &problem, &options),
+              legacy.winner.variant);
+  }
+}
+
 TEST(Search, CandidateSpaceStartsWithTheIncumbent) {
   tl::ProblemConfig problem = tiny_problem(24, 2);
   problem.solver = tl::SolverKind::kPpcg;
@@ -132,6 +210,8 @@ TEST(Search, CandidateSpaceStartsWithTheIncumbent) {
   // The space covers every execution dimension the issue names.
   bool has_unfused = false, has_tiled = false, has_mpi = false,
        has_kokkos = false, has_raja = false, has_acc = false;
+  bool has_cuda = false, has_kokkos_cuda = false, has_raja_cuda = false,
+       has_ops_cuda = false, has_ops_acc = false, has_acc_gpu = false;
   for (const tuning::ExecutionPoint& p : space) {
     has_unfused |= !p.fused;
     has_tiled |= p.variant == "ops-tiled" && p.tile_rows > 0;
@@ -139,6 +219,12 @@ TEST(Search, CandidateSpaceStartsWithTheIncumbent) {
     has_kokkos |= p.variant == "kokkos-omp";
     has_raja |= p.variant == "raja-omp";
     has_acc |= p.variant == "manual-acc-cpu";
+    has_cuda |= p.variant == "manual-cuda";
+    has_kokkos_cuda |= p.variant == "kokkos-cuda";
+    has_raja_cuda |= p.variant == "raja-cuda";
+    has_ops_cuda |= p.variant == "ops-cuda";
+    has_ops_acc |= p.variant == "ops-acc";
+    has_acc_gpu |= p.variant == "manual-acc-gpu";
   }
   EXPECT_TRUE(has_unfused);
   EXPECT_TRUE(has_tiled);
@@ -146,6 +232,12 @@ TEST(Search, CandidateSpaceStartsWithTheIncumbent) {
   EXPECT_TRUE(has_kokkos);
   EXPECT_TRUE(has_raja);
   EXPECT_TRUE(has_acc);
+  EXPECT_TRUE(has_cuda);
+  EXPECT_TRUE(has_kokkos_cuda);
+  EXPECT_TRUE(has_raja_cuda);
+  EXPECT_TRUE(has_ops_cuda);
+  EXPECT_TRUE(has_ops_acc);
+  EXPECT_TRUE(has_acc_gpu);
   // No duplicates (ids are the identity).
   for (std::size_t i = 0; i < space.size(); ++i) {
     for (std::size_t j = i + 1; j < space.size(); ++j) {
@@ -190,10 +282,13 @@ TEST(Search, ModelPruneIsMonotone) {
       EXPECT_LT(prev.point.id(), cur.point.id());
     }
   }
-  // Everything measured was either in the top-budget prefix or is the
-  // incumbent (which is never pruned).
+  // Everything measured was either in the top-budget prefix, the incumbent
+  // (never pruned), or the device anchor — the best-modeled simgpu
+  // candidate, force-added so the device-choice table always has a
+  // measured device lead to scale from.
   ASSERT_GE(outcome.plan.frontier.size(), 2u);
   const tuning::ExecutionPoint incumbent;  // manual-omp/t0/fused/cg+none
+  int gpu_entries = 0;
   for (const tuning::FrontierEntry& e : outcome.plan.frontier) {
     bool in_prefix = false;
     for (int i = 0; i < options.budget; ++i) {
@@ -201,8 +296,13 @@ TEST(Search, ModelPruneIsMonotone) {
         in_prefix = true;
       }
     }
-    EXPECT_TRUE(in_prefix || e.point == incumbent) << e.point.id();
+    const bool gpu = tea::backend_is_gpu(e.point.variant);
+    if (gpu) ++gpu_entries;
+    EXPECT_TRUE(in_prefix || e.point == incumbent || gpu) << e.point.id();
   }
+  // Exactly one device anchor rides along when no device candidate makes
+  // the model cut naturally (at mesh 16 none does).
+  EXPECT_EQ(gpu_entries, 1);
 }
 
 TEST(Search, TuneIsBitDeterministicAndCachesPerfectly) {
@@ -226,9 +326,26 @@ TEST(Search, TuneIsBitDeterministicAndCachesPerfectly) {
             tuning::plan_to_json(second.plan).dump(2));
 
   // The winner can never lose to the incumbent: the incumbent is always in
-  // the measured frontier and the winner is the fastest converged entry.
+  // the measured frontier and the winner is the fastest converged entry
+  // (both in effective seconds — measured wall for host entries, device
+  // projection for simgpu entries).
   EXPECT_GT(second.plan.incumbent_median_s, 0.0);
   EXPECT_LE(second.plan.winner_median_s, second.plan.incumbent_median_s);
+
+  // The device anchor measured, so the plan carries a device-choice table:
+  // one converged host lead, one converged device lead, and a rung ladder
+  // whose crossover field matches its first device-side rung.
+  EXPECT_TRUE(second.plan.has_device_choice);
+  ASSERT_FALSE(second.plan.device_table.empty());
+  EXPECT_FALSE(tea::backend_is_gpu(second.plan.host_choice.variant));
+  EXPECT_TRUE(tea::backend_is_gpu(second.plan.device_choice.variant));
+  int first_device_rung = 0;
+  for (const tuning::DeviceChoice& d : second.plan.device_table) {
+    EXPECT_GT(d.host_s, 0.0);
+    EXPECT_GT(d.device_s, 0.0);
+    if (d.use_device && first_device_rung == 0) first_device_rung = d.mesh;
+  }
+  EXPECT_EQ(second.plan.crossover_mesh, first_device_rung);
 
   // Reset the override the tune left installed (the feedback loop is
   // process-global by design).

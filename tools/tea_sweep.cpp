@@ -579,6 +579,27 @@ int cmd_tune(const tl::Cli& cli) {
               plan.scored_launch_overhead_us, plan.launch_source.c_str(),
               plan.calibrated ? " — calibration fed back into host_machine()"
                               : "");
+  std::printf(
+      "device constants: %.2f GB/s (%s), %.2f us/launch (%s), "
+      "PCIe %.2f GB/s (%s)%s\n",
+      plan.scored_device_bw_gbs, plan.device_bw_source.c_str(),
+      plan.scored_device_launch_us, plan.device_launch_source.c_str(),
+      plan.scored_pcie_gbs, plan.pcie_source.c_str(),
+      plan.device_calibrated ? " — fitted from stored device rows" : "");
+  if (plan.has_device_choice) {
+    std::printf("device choice: host %s vs device %s\n",
+                plan.host_choice.id().c_str(), plan.device_choice.id().c_str());
+    for (const tuning::DeviceChoice& d : plan.device_table) {
+      std::printf("  mesh %5d: host %.4fs, device %.4fs -> %s\n", d.mesh,
+                  d.host_s, d.device_s, d.use_device ? "device" : "host");
+    }
+    if (plan.crossover_mesh > 0) {
+      std::printf("crossover: device wins from %d cells per side\n",
+                  plan.crossover_mesh);
+    } else {
+      std::printf("crossover: host wins at every table mesh\n");
+    }
+  }
 
   const std::string out_path = cli.get_or("out", "BENCH_tuned_plan.json");
   tuning::save_plan(plan, out_path);
