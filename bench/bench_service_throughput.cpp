@@ -16,16 +16,31 @@
 // process-global, so per-request deltas under concurrent workers would
 // interleave, but the replay-wide total is independent of scheduling.
 //
+// `--net` switches the replay onto the wire: the same service runs behind a
+// poll-based net::Server on a Unix socket in-process, and N concurrent
+// client connections (TEA_SERVICE_CONNS, default 2) replay the population
+// through the framed protocol.  Counters stay process-global, so the
+// whole-replay delta still captures every solve — and since the solve set
+// is the same deterministic population per connection, the counter totals
+// gate exactly in CI (bench/baselines/net_smoke.json) just like the
+// in-process rows do.
+//
 // Env knobs: TEA_SERVICE_SEED (default 3), TEA_SERVICE_COUNT (3),
-// TEA_SERVICE_REPEAT (4), TEA_SERVICE_WORKERS (2), TEA_SERVICE_THREADS (2).
+// TEA_SERVICE_REPEAT (4), TEA_SERVICE_WORKERS (2), TEA_SERVICE_THREADS (2),
+// TEA_SERVICE_CONNS (2, --net only).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "machine/instrumentation.hpp"
+#include "net/replay.hpp"
+#include "net/server.hpp"
 #include "results/result_store.hpp"
 #include "service/replay.hpp"
 #include "service/service.hpp"
@@ -43,6 +58,34 @@ struct CaseResult {
   results::ResultRow row;
 };
 
+/// One store row per case.  The key hashes the full replay identity —
+/// population problems, repeat count, service shape and (for --net) the
+/// connection fan-in — so changing the workload changes the key instead of
+/// silently overwriting the old row.
+results::ResultRow case_row(const std::string& mode, const std::string& name,
+                            const std::vector<service::SolveRequest>& requests,
+                            int repeats,
+                            const service::ServiceOptions& svc_options,
+                            int connections) {
+  results::ResultRow row;
+  std::string identity = mode + "/" + name;
+  for (const service::SolveRequest& request : requests)
+    identity += "/" + results::problem_key(request.problem);
+  identity += "/r" + std::to_string(repeats) +
+              "/w" + std::to_string(svc_options.workers) +
+              "/t" + std::to_string(svc_options.threads_per_worker) +
+              "/b" + std::to_string(svc_options.max_batch);
+  if (connections > 0) identity += "/c" + std::to_string(connections);
+  row.key = mode + "/" + results::fnv1a_key(identity);
+  row.variant = mode + "-" + name;
+  row.deck = "service-" + name;
+  row.deck_hash = results::fnv1a_key(identity);
+  row.solver = "service";
+  row.threads = svc_options.threads_per_worker;
+  row.ranks = svc_options.workers;  // worker shards, reusing the rank slot
+  return row;
+}
+
 CaseResult run_case(const std::string& name, const gen::GenOptions& gen_options,
                     int repeats, const service::ServiceOptions& svc_options) {
   CaseResult out;
@@ -55,25 +98,66 @@ CaseResult run_case(const std::string& name, const gen::GenOptions& gen_options,
   out.report = service::run_replay(daemon, requests, repeats);
   daemon.shutdown();
 
-  // One store row per case.  The key hashes the full replay identity —
-  // population problems, repeat count and service shape — so changing the
-  // workload changes the key instead of silently overwriting the old row.
-  results::ResultRow row;
-  std::string identity = "service-replay/" + name;
-  for (const service::SolveRequest& request : requests)
-    identity += "/" + results::problem_key(request.problem);
-  identity += "/r" + std::to_string(repeats) +
-              "/w" + std::to_string(svc_options.workers) +
-              "/t" + std::to_string(svc_options.threads_per_worker) +
-              "/b" + std::to_string(svc_options.max_batch);
-  row.key = "service-replay/" + results::fnv1a_key(identity);
-  row.variant = "service-replay-" + name;
-  row.deck = "service-" + name;
-  row.deck_hash = results::fnv1a_key(identity);
-  row.solver = "service";
-  row.threads = svc_options.threads_per_worker;
-  row.ranks = svc_options.workers;  // worker shards, reusing the rank slot
+  results::ResultRow row =
+      case_row("service-replay", name, requests, repeats, svc_options, 0);
 
+  std::vector<double> latencies;
+  bool all_converged = !out.report.responses.empty();
+  for (const service::SolveResponse& response : out.report.responses) {
+    latencies.push_back(response.latency_seconds);
+    row.iterations += response.iterations;
+    row.inner_iterations += response.inner_iterations;
+    all_converged = all_converged && response.ok() && response.converged;
+  }
+  row.converged = all_converged;
+  row.timing = results::TimingStats::from_samples(latencies);
+  row.p99_s = out.report.p99_s;
+  row.throughput_sps = out.report.throughput_sps;
+  row.counters = scope.delta();
+  out.row = row;
+  return out;
+}
+
+/// The --net variant of run_case: same service, same population, but the
+/// traffic crosses a Unix socket through `connections` concurrent clients.
+CaseResult run_net_case(const std::string& name,
+                        const gen::GenOptions& gen_options, int repeats,
+                        const service::ServiceOptions& svc_options,
+                        int connections) {
+  CaseResult out;
+  out.name = name;
+  const std::vector<service::SolveRequest> requests =
+      service::requests_from_gen(gen_options);
+
+  service::SolveService daemon(svc_options, nullptr);
+  net::ServerOptions server_options;
+  server_options.address = "unix:/tmp/tead_bench_" +
+                           std::to_string(::getpid()) + "_" + name + ".sock";
+  net::Server server(daemon, server_options);
+  server.open();
+  std::thread io_thread([&server] { server.run(); });
+
+  const machine::CounterScope scope;  // whole-replay delta (see header note)
+  net::NetReplayOptions replay_options;
+  replay_options.connections = connections;
+  replay_options.repeats = repeats;
+  const net::NetReplayReport net_report = net::run_net_replay(
+      server.address().to_string(), requests, replay_options);
+  server.request_stop();
+  io_thread.join();
+
+  // Reuse the in-process report shape so one table renders both modes.
+  out.report.responses = net_report.responses;
+  out.report.wall_seconds = net_report.wall_seconds;
+  out.report.throughput_sps = net_report.throughput_sps;
+  out.report.p50_s = net_report.p50_s;
+  out.report.p99_s = net_report.p99_s;
+  out.report.backpressure_rejects = net_report.busy_retries;
+  out.report.stats = daemon.stats();
+  daemon.shutdown();
+
+  results::ResultRow row = case_row("service-net", name, requests, repeats,
+                                    svc_options, connections);
   std::vector<double> latencies;
   bool all_converged = !out.report.responses.empty();
   for (const service::SolveResponse& response : out.report.responses) {
@@ -93,7 +177,9 @@ CaseResult run_case(const std::string& name, const gen::GenOptions& gen_options,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const tl::Cli cli(argc, argv);
+  const bool net_mode = cli.has("net");
   gen::GenOptions gen_options;
   gen_options.seed = static_cast<std::uint64_t>(env_long("TEA_SERVICE_SEED", 3));
   gen_options.count = static_cast<int>(env_long("TEA_SERVICE_COUNT", 3));
@@ -106,18 +192,31 @@ int main() {
   svc_options.queue_capacity = 8;  // small bound: exercises backpressure
   svc_options.max_batch = 4;
   svc_options.enable_tuning = false;  // portable mode — see header comment
+  const int connections =
+      static_cast<int>(env_long("TEA_SERVICE_CONNS", 2));
 
-  std::printf("== Service throughput: seeded replay (seed %llu, %d decks x "
-              "%d repeats, %d workers x %d threads) ==\n",
+  std::printf("== Service throughput: seeded %s replay (seed %llu, %d decks x "
+              "%d repeats, %d workers x %d threads%s) ==\n",
+              net_mode ? "network" : "in-process",
               static_cast<unsigned long long>(gen_options.seed),
               gen_options.count, repeats, svc_options.workers,
-              svc_options.threads_per_worker);
+              svc_options.threads_per_worker,
+              net_mode
+                  ? (", " + std::to_string(connections) + " connections").c_str()
+                  : "");
 
   std::vector<CaseResult> cases;
-  cases.push_back(run_case("gen", gen_options, repeats, svc_options));
   gen::GenOptions stress_options = gen_options;
   stress_options.stress = true;  // the tail-latency case
-  cases.push_back(run_case("stress", stress_options, repeats, svc_options));
+  if (net_mode) {
+    cases.push_back(
+        run_net_case("gen", gen_options, repeats, svc_options, connections));
+    cases.push_back(run_net_case("stress", stress_options, repeats,
+                                 svc_options, connections));
+  } else {
+    cases.push_back(run_case("gen", gen_options, repeats, svc_options));
+    cases.push_back(run_case("stress", stress_options, repeats, svc_options));
+  }
 
   tl::Table table({"case", "solves", "solves/s", "p50 ms", "p99 ms",
                    "iters", "conv", "batches", "arena reuse", "rejects"});

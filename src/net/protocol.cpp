@@ -1,0 +1,275 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "results/json.hpp"
+
+namespace net {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+std::uint16_t get_u16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+bool known_type(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(FrameType::kRequest) &&
+         type <= static_cast<std::uint16_t>(FrameType::kStats);
+}
+
+const results::Json& require(const results::Json& json, const char* key) {
+  const results::Json* value = json.get(key);
+  if (value == nullptr)
+    throw tl::ConfigError(std::string("net: payload missing \"") + key + "\"");
+  return *value;
+}
+
+}  // namespace
+
+const char* to_string(WireFault fault) {
+  switch (fault) {
+    case WireFault::kBadMagic: return "bad-magic";
+    case WireFault::kBadVersion: return "bad-version";
+    case WireFault::kBadType: return "bad-type";
+    case WireFault::kOversized: return "oversized-payload";
+    case WireFault::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+std::uint32_t payload_checksum(const std::string& payload) {
+  std::uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (const char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  TL_REQUIRE(payload.size() <= kMaxPayloadBytes,
+             "net: payload exceeds kMaxPayloadBytes");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, payload_checksum(payload));
+  out += payload;
+  return out;
+}
+
+bool FrameReader::next(Frame& frame) {
+  TL_REQUIRE(!poisoned_, "net: FrameReader reused after a protocol error");
+  if (buffer_.size() < kHeaderBytes) return false;
+  const char* header = buffer_.data();
+  // Validate eagerly, before waiting for the payload: a hostile or corrupt
+  // header must never make the reader buffer (or wait for) garbage.
+  if (get_u32(header) != kMagic) {
+    poisoned_ = true;
+    throw ProtocolError(WireFault::kBadMagic,
+                        "net: frame does not start with the TEAL magic");
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kVersion) {
+    poisoned_ = true;
+    throw ProtocolError(WireFault::kBadVersion,
+                        "net: unsupported protocol version " +
+                            std::to_string(version) + " (want " +
+                            std::to_string(kVersion) + ")");
+  }
+  const std::uint16_t type = get_u16(header + 6);
+  if (!known_type(type)) {
+    poisoned_ = true;
+    throw ProtocolError(WireFault::kBadType,
+                        "net: unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t payload_len = get_u32(header + 8);
+  if (payload_len > kMaxPayloadBytes) {
+    poisoned_ = true;
+    throw ProtocolError(WireFault::kOversized,
+                        "net: declared payload of " +
+                            std::to_string(payload_len) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxPayloadBytes) + "-byte limit");
+  }
+  if (buffer_.size() < kHeaderBytes + payload_len) return false;
+  const std::uint32_t declared_checksum = get_u32(header + 12);
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buffer_, kHeaderBytes, payload_len);
+  if (payload_checksum(frame.payload) != declared_checksum) {
+    poisoned_ = true;
+    throw ProtocolError(WireFault::kBadChecksum,
+                        "net: payload checksum mismatch");
+  }
+  buffer_.erase(0, kHeaderBytes + payload_len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+WireRequest make_request(std::uint64_t id, const std::string& label,
+                         const tl::ProblemConfig& problem) {
+  WireRequest request;
+  request.id = id;
+  request.label = label;
+  request.deck = tl::to_deck(problem);
+  return request;
+}
+
+tl::ProblemConfig request_problem(const WireRequest& request) {
+  return tl::Config::parse(request.deck).problem();
+}
+
+std::string encode_request(const WireRequest& request) {
+  results::Json json = results::Json::object();
+  json.set("id", static_cast<std::int64_t>(request.id));
+  json.set("label", request.label);
+  json.set("deck", request.deck);
+  return json.dump(0);
+}
+
+WireRequest decode_request(const std::string& payload) {
+  const results::Json json = results::Json::parse(payload);
+  WireRequest request;
+  request.id = static_cast<std::uint64_t>(require(json, "id").as_int());
+  request.label = require(json, "label").as_string();
+  request.deck = require(json, "deck").as_string();
+  return request;
+}
+
+std::string encode_response(std::uint64_t id,
+                            const service::SolveResponse& response) {
+  results::Json json = results::Json::object();
+  json.set("id", static_cast<std::int64_t>(id));
+  json.set("label", response.label);
+  json.set("key", response.key);
+  json.set("variant", response.variant);
+  json.set("converged", response.converged);
+  json.set("iterations", static_cast<std::int64_t>(response.iterations));
+  json.set("inner_iterations",
+           static_cast<std::int64_t>(response.inner_iterations));
+  json.set("initial_rr", response.initial_rr);
+  json.set("final_rr", response.final_rr);
+  json.set("final_temperature", response.final_temperature);
+  json.set("solve_seconds", response.solve_seconds);
+  json.set("queue_seconds", response.queue_seconds);
+  json.set("latency_seconds", response.latency_seconds);
+  json.set("batch_size", response.batch_size);
+  if (!response.error.empty()) json.set("error", response.error);
+  return json.dump(0);
+}
+
+std::string encode_busy(std::uint64_t id, const std::string& reason) {
+  results::Json json = results::Json::object();
+  json.set("id", static_cast<std::int64_t>(id));
+  json.set("reason", reason);
+  return json.dump(0);
+}
+
+std::string encode_error(std::uint64_t id, const std::string& code,
+                         const std::string& message) {
+  results::Json json = results::Json::object();
+  json.set("id", static_cast<std::int64_t>(id));
+  json.set("code", code);
+  json.set("message", message);
+  return json.dump(0);
+}
+
+WireReply decode_reply(const Frame& frame) {
+  const results::Json json = results::Json::parse(frame.payload);
+  WireReply reply;
+  reply.id = static_cast<std::uint64_t>(require(json, "id").as_int());
+  switch (frame.type) {
+    case FrameType::kResponse:
+      reply.response.label = json.get_string("label", "");
+      reply.response.key = json.get_string("key", "");
+      reply.response.variant = json.get_string("variant", "");
+      reply.response.converged = json.get("converged") != nullptr &&
+                                 json.get("converged")->as_bool();
+      reply.response.iterations = json.get_int("iterations", 0);
+      reply.response.inner_iterations = json.get_int("inner_iterations", 0);
+      reply.response.initial_rr = json.get_double("initial_rr", 0.0);
+      reply.response.final_rr = json.get_double("final_rr", 0.0);
+      reply.response.final_temperature =
+          json.get_double("final_temperature", 0.0);
+      reply.response.solve_seconds = json.get_double("solve_seconds", 0.0);
+      reply.response.queue_seconds = json.get_double("queue_seconds", 0.0);
+      reply.response.latency_seconds = json.get_double("latency_seconds", 0.0);
+      reply.response.batch_size =
+          static_cast<int>(json.get_int("batch_size", 1));
+      reply.response.error = json.get_string("error", "");
+      return reply;
+    case FrameType::kBusy:
+      reply.busy = true;
+      reply.response.error = "busy: " + json.get_string("reason", "queue full");
+      return reply;
+    case FrameType::kError:
+      reply.response.error = json.get_string("code", "error") + ": " +
+                             json.get_string("message", "");
+      return reply;
+    default:
+      throw tl::ConfigError("net: frame type is not a reply");
+  }
+}
+
+std::string encode_stats(const service::ServiceStats& stats) {
+  results::Json json = results::Json::object();
+  json.set("submitted", static_cast<std::int64_t>(stats.submitted));
+  json.set("rejected", static_cast<std::int64_t>(stats.rejected));
+  json.set("completed", static_cast<std::int64_t>(stats.completed));
+  json.set("batches", static_cast<std::int64_t>(stats.batches));
+  json.set("batched_solves", static_cast<std::int64_t>(stats.batched_solves));
+  json.set("fallback_solves",
+           static_cast<std::int64_t>(stats.fallback_solves));
+  json.set("plan_hits", static_cast<std::int64_t>(stats.plan.hits));
+  json.set("plan_misses", static_cast<std::int64_t>(stats.plan.misses));
+  json.set("plan_tunes", static_cast<std::int64_t>(stats.plan.tunes));
+  json.set("plan_evictions", static_cast<std::int64_t>(stats.plan.evictions));
+  json.set("arena_allocated",
+           static_cast<std::int64_t>(stats.arena.allocated));
+  json.set("arena_reused", static_cast<std::int64_t>(stats.arena.reused));
+  return json.dump(0);
+}
+
+service::ServiceStats decode_stats(const std::string& payload) {
+  const results::Json json = results::Json::parse(payload);
+  service::ServiceStats stats;
+  stats.submitted = json.get_int("submitted", 0);
+  stats.rejected = json.get_int("rejected", 0);
+  stats.completed = json.get_int("completed", 0);
+  stats.batches = json.get_int("batches", 0);
+  stats.batched_solves = json.get_int("batched_solves", 0);
+  stats.fallback_solves = json.get_int("fallback_solves", 0);
+  stats.plan.hits = json.get_int("plan_hits", 0);
+  stats.plan.misses = json.get_int("plan_misses", 0);
+  stats.plan.tunes = json.get_int("plan_tunes", 0);
+  stats.plan.evictions = json.get_int("plan_evictions", 0);
+  stats.arena.allocated = json.get_int("arena_allocated", 0);
+  stats.arena.reused = json.get_int("arena_reused", 0);
+  return stats;
+}
+
+}  // namespace net

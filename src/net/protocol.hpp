@@ -1,0 +1,150 @@
+// protocol.hpp — the tead wire protocol: versioned, length-prefixed,
+// checksummed frames carrying JSON payloads.
+//
+// Frame layout (all integers little-endian, 16-byte header):
+//
+//   offset  size  field
+//        0     4  magic       0x4C414554 ("TEAL")
+//        4     2  version     kVersion (1)
+//        6     2  type        FrameType
+//        8     4  payload_len bytes that follow the header (<= kMaxPayload)
+//       12     4  checksum    FNV-1a(32) over the payload bytes
+//
+// Payloads are compact JSON rendered by the repo's own results::Json layer,
+// whose %.17g doubles make parse→serialise→parse the identity on every
+// numeric field — the property the end-to-end bit-identity contract (a
+// networked solve equals the in-process solve exactly) rests on.  Requests
+// carry the full ProblemConfig as canonical deck text (tl::to_deck, the
+// same full-precision round-trip test_decks pins).
+//
+// Framing errors are *classified* (WireFault) so the server can answer a
+// malformed stream with a structured ERROR frame before closing, and tests
+// can pin each rejection path: bad magic, unsupported version, unknown
+// type, oversized payload declaration, checksum mismatch.  A truncated
+// frame is not an error — the reader just reports "need more bytes", which
+// is what makes arbitrarily-split reads (and slow clients) safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "service/service.hpp"
+
+namespace net {
+
+constexpr std::uint32_t kMagic = 0x4C414554u;  // "TEAL" when read as LE bytes
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+// Generous for deck text + response JSON, small enough that a hostile
+// declared length can never balloon a connection buffer.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : std::uint16_t {
+  kRequest = 1,       // client -> server: solve this deck
+  kResponse = 2,      // server -> client: full SolveResponse
+  kBusy = 3,          // server -> client: admission refused (backpressure)
+  kError = 4,         // either direction: structured failure
+  kStatsRequest = 5,  // client -> server: snapshot the service counters
+  kStats = 6,         // server -> client: ServiceStats snapshot
+};
+
+/// Why a byte stream was rejected by the framing layer.
+enum class WireFault {
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,
+  kBadChecksum,
+};
+
+const char* to_string(WireFault fault);
+
+/// Framing-layer rejection; carries the classified fault.
+class ProtocolError : public tl::Error {
+ public:
+  ProtocolError(WireFault fault, std::string what)
+      : tl::Error(std::move(what)), fault_(fault) {}
+  WireFault fault() const { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// FNV-1a (32-bit) over the payload bytes.
+std::uint32_t payload_checksum(const std::string& payload);
+
+/// Render one frame (header + payload) ready to write to a socket.
+/// Throws tl::Error when payload exceeds kMaxPayloadBytes.
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Incremental frame decoder for a byte stream.  feed() appends whatever
+/// arrived; next() yields complete frames in order.  Malformed input throws
+/// ProtocolError and poisons the reader (the connection is unrecoverable —
+/// framing has lost sync).
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  /// True and `frame` filled when a complete frame was decoded; false when
+  /// more bytes are needed.  Throws ProtocolError on malformed input.
+  bool next(Frame& frame);
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs.  Every decode throws tl::ConfigError on malformed JSON or
+// missing fields — payload errors, unlike framing errors, leave the stream
+// in sync, so the server answers them per-request and keeps the connection.
+// ---------------------------------------------------------------------------
+
+/// A solve request on the wire: client-chosen id (echoed by every reply so
+/// pipelined requests can be matched), display label, canonical deck text.
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::string label;
+  std::string deck;
+};
+
+WireRequest make_request(std::uint64_t id, const std::string& label,
+                         const tl::ProblemConfig& problem);
+/// Parse the request's deck text back into a ProblemConfig (bit-exact —
+/// to_deck writes full precision).
+tl::ProblemConfig request_problem(const WireRequest& request);
+
+std::string encode_request(const WireRequest& request);
+WireRequest decode_request(const std::string& payload);
+
+/// Any reply to a request: a full response, a BUSY backpressure signal, or
+/// a structured per-request error (carried in response.error).
+struct WireReply {
+  std::uint64_t id = 0;
+  bool busy = false;  // admission refused; resubmit later
+  service::SolveResponse response;
+};
+
+std::string encode_response(std::uint64_t id,
+                            const service::SolveResponse& response);
+std::string encode_busy(std::uint64_t id, const std::string& reason);
+/// id 0 = connection-level error (the server closes after sending).
+std::string encode_error(std::uint64_t id, const std::string& code,
+                         const std::string& message);
+/// Decode a kResponse / kBusy / kError frame into a WireReply.
+WireReply decode_reply(const Frame& frame);
+
+std::string encode_stats(const service::ServiceStats& stats);
+service::ServiceStats decode_stats(const std::string& payload);
+
+}  // namespace net

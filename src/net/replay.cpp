@@ -1,0 +1,122 @@
+#include "net/replay.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "net/client.hpp"
+
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ThreadOutcome {
+  std::vector<service::SolveResponse> responses;  // indexed by sequence
+  std::vector<double> latencies;
+  long busy_retries = 0;
+  std::string error;  // non-empty when the connection thread threw
+};
+
+void replay_connection(const std::string& address,
+                       const std::vector<service::SolveRequest>& requests,
+                       const NetReplayOptions& options,
+                       ThreadOutcome& out) {
+  try {
+    Client client(address);
+    const std::size_t total = requests.size() *
+                              static_cast<std::size_t>(options.repeats);
+    out.responses.resize(total);
+    out.latencies.resize(total, 0.0);
+    std::vector<Clock::time_point> started(total);
+
+    struct Pending {
+      std::uint64_t id;
+      std::size_t seq;
+    };
+    std::deque<Pending> pending;
+
+    const auto request_for = [&](std::size_t seq) -> const service::SolveRequest& {
+      return requests[seq % requests.size()];
+    };
+    const auto complete_oldest = [&] {
+      const Pending oldest = pending.front();
+      pending.pop_front();
+      const WireReply reply = client.wait(oldest.id);
+      if (reply.busy) {
+        // Backpressure: the queue refused this request.  Give the shards a
+        // beat when nothing else is in flight, then resubmit — the bound
+        // must show up as retries, never as lost work.
+        ++out.busy_retries;
+        if (pending.empty())
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        const service::SolveRequest& request = request_for(oldest.seq);
+        pending.push_back(
+            {client.submit(request.problem, request.label), oldest.seq});
+        return;
+      }
+      out.responses[oldest.seq] = reply.response;
+      out.latencies[oldest.seq] =
+          std::chrono::duration<double>(Clock::now() - started[oldest.seq])
+              .count();
+    };
+
+    for (std::size_t seq = 0; seq < total; ++seq) {
+      while (pending.size() >= static_cast<std::size_t>(options.window))
+        complete_oldest();
+      const service::SolveRequest& request = request_for(seq);
+      started[seq] = Clock::now();
+      pending.push_back({client.submit(request.problem, request.label), seq});
+    }
+    while (!pending.empty()) complete_oldest();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+}
+
+}  // namespace
+
+NetReplayReport run_net_replay(const std::string& address,
+                               const std::vector<service::SolveRequest>& requests,
+                               const NetReplayOptions& options) {
+  TL_REQUIRE(options.connections >= 1, "net replay: need >= 1 connection");
+  TL_REQUIRE(options.window >= 1, "net replay: need a window of >= 1");
+  NetReplayReport report;
+  if (requests.empty() || options.repeats < 1) return report;
+
+  std::vector<ThreadOutcome> outcomes(options.connections);
+  const tl::StopWatch watch;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(outcomes.size());
+    for (ThreadOutcome& outcome : outcomes)
+      threads.emplace_back(replay_connection, address, std::cref(requests),
+                           std::cref(options), std::ref(outcome));
+    for (std::thread& thread : threads) thread.join();
+  }
+  report.wall_seconds = watch.seconds();
+
+  std::vector<double> latencies;
+  for (ThreadOutcome& outcome : outcomes) {
+    if (!outcome.error.empty())
+      throw tl::Error("net replay connection failed: " + outcome.error);
+    report.busy_retries += outcome.busy_retries;
+    latencies.insert(latencies.end(), outcome.latencies.begin(),
+                     outcome.latencies.end());
+    for (service::SolveResponse& response : outcome.responses)
+      report.responses.push_back(std::move(response));
+  }
+  report.p50_s = service::latency_percentile(latencies, 0.50);
+  report.p99_s = service::latency_percentile(latencies, 0.99);
+  report.throughput_sps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.responses.size()) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace net

@@ -1,0 +1,53 @@
+// replay.hpp (net) — closed-loop traffic replay over the wire: the network
+// counterpart of service::run_replay.
+//
+// N connection threads each open their own Client and replay the request
+// list `repeats` times with a bounded pipeline window.  BUSY replies are
+// the backpressure path: the thread drains its oldest outstanding reply and
+// resubmits, so — exactly like the in-process replay — the queue bound
+// shows up as retries, never as lost work.  Latencies are measured
+// client-side (submit to reply), so they include framing and socket time;
+// the per-response server-side timings ride along in the responses.
+//
+// Used by `teactl solve` (connections=1 preserves submission order for the
+// bit-identity gate) and `bench_service_throughput --net`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/replay.hpp"
+#include "service/service.hpp"
+
+namespace net {
+
+struct NetReplayOptions {
+  int connections = 1;  // concurrent client connections (threads)
+  int repeats = 1;      // full passes over the request list per connection
+  int window = 8;       // max pipelined in-flight requests per connection
+};
+
+struct NetReplayReport {
+  // Responses in submission order per connection, connections concatenated
+  // in index order (deterministic for connections=1).
+  std::vector<service::SolveResponse> responses;
+  double wall_seconds = 0.0;
+  double throughput_sps = 0.0;
+  double p50_s = 0.0;  // client-side latency percentiles
+  double p99_s = 0.0;
+  long busy_retries = 0;  // BUSY replies absorbed as backpressure
+
+  bool all_ok() const {
+    for (const service::SolveResponse& r : responses)
+      if (!r.ok()) return false;
+    return !responses.empty();
+  }
+};
+
+/// Replay `requests` against the server at `address`.  Throws tl::Error
+/// when a connection cannot be established or dies mid-replay.
+NetReplayReport run_net_replay(const std::string& address,
+                               const std::vector<service::SolveRequest>& requests,
+                               const NetReplayOptions& options);
+
+}  // namespace net

@@ -1,0 +1,379 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace net {
+
+namespace {
+
+/// One self-pipe wakeup byte; called from worker threads and (via
+/// request_stop) from signal handlers, so write() only — no locks, no
+/// allocation.  A full pipe is fine: the loop is already awake.
+void write_wake_byte(int fd) {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+}  // namespace
+
+Server::Server(service::SolveService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() {
+  // run() must have returned (or never been entered) by now; the drain in
+  // run() is what guarantees no worker callback still targets this object.
+  if (address_.is_unix && listener_.valid()) ::unlink(address_.path.c_str());
+}
+
+void Server::open() {
+  TL_REQUIRE(!listener_.valid(), "net: Server::open() called twice");
+  const Address requested = parse_address(options_.address);
+  listener_ = listen_on(requested, options_.backlog);
+  set_nonblocking(listener_.get());
+  address_ = local_address(listener_.get(), requested);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0)
+    throw tl::Error(std::string("net: pipe: ") + std::strerror(errno));
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_.valid()) write_wake_byte(wake_write_.get());
+}
+
+ServerIoStats Server::io_stats() const {
+  std::lock_guard<std::mutex> lock(io_stats_mutex_);
+  return io_stats_;
+}
+
+void Server::wake() {
+  if (wake_write_.valid()) write_wake_byte(wake_write_.get());
+}
+
+void Server::run() {
+  TL_REQUIRE(listener_.valid(), "net: Server::run() before open()");
+  TL_REQUIRE(!running_, "net: Server::run() re-entered");
+  running_ = true;
+  if (options_.start_service) service_.start();
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_ids;  // 0 = wake pipe / listener
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      // Graceful drain: the listener closes FIRST so no new connection can
+      // arrive, reads stop so no new request can be admitted, and
+      // everything already in flight is answered and flushed below.
+      draining_ = true;
+      listener_.reset();
+      if (address_.is_unix) ::unlink(address_.path.c_str());
+      for (auto& entry : connections_) entry.second.readable = false;
+    }
+    if (draining_) {
+      bool flushed = pending_solves_ == 0;
+      for (const auto& entry : connections_)
+        if (entry.second.outbox.size() > entry.second.outbox_offset)
+          flushed = false;
+      if (flushed) break;
+    }
+
+    fds.clear();
+    fd_ids.clear();
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    fd_ids.push_back(0);
+    if (!draining_ &&
+        connections_.size() <
+            static_cast<std::size_t>(options_.max_connections)) {
+      fds.push_back({listener_.get(), POLLIN, 0});
+      fd_ids.push_back(0);
+    }
+    for (auto& entry : connections_) {
+      short events = 0;
+      if (entry.second.readable) events |= POLLIN;
+      if (entry.second.outbox.size() > entry.second.outbox_offset)
+        events |= POLLOUT;
+      if (events == 0) continue;  // completions arrive via the wake pipe
+      fds.push_back({entry.second.fd.get(), events, 0});
+      fd_ids.push_back(entry.first);
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw tl::Error(std::string("net: poll: ") + std::strerror(errno));
+    }
+
+    // Drain the wake pipe (level-triggered: leftover bytes just re-wake).
+    if (fds[0].revents & POLLIN) {
+      char sink[64];
+      while (::read(wake_read_.get(), sink, sizeof sink) > 0) {
+      }
+    }
+    drain_completions();
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fd_ids[i] == 0) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(fd_ids[i]);
+      if (it == connections_.end()) continue;  // closed earlier this pass
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        read_ready(it->first, it->second);
+      const auto again = connections_.find(fd_ids[i]);
+      if (again != connections_.end() && (fds[i].revents & POLLOUT))
+        write_ready(again->first, again->second);
+    }
+  }
+
+  connections_.clear();
+  draining_ = false;
+  running_ = false;
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    Fd fd(::accept(listener_.get(), nullptr, nullptr));
+    if (!fd.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure: keep serving
+    }
+    if (connections_.size() >=
+        static_cast<std::size_t>(options_.max_connections)) {
+      continue;  // over the cap: fd closes, peer sees EOF
+    }
+    set_nonblocking(fd.get());
+    Connection connection;
+    connection.fd = std::move(fd);
+    connections_.emplace(next_connection_id_++, std::move(connection));
+    {
+      std::lock_guard<std::mutex> lock(io_stats_mutex_);
+      ++io_stats_.accepted;
+    }
+  }
+}
+
+void Server::read_ready(std::uint64_t id, Connection& connection) {
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd.get(), buffer, sizeof buffer, 0);
+    if (n > 0) {
+      connection.reader.feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      close_connection(id, /*peer_gone=*/true);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(id, /*peer_gone=*/true);
+    return;
+  }
+
+  Frame frame;
+  for (;;) {
+    try {
+      if (!connection.reader.next(frame)) break;
+    } catch (const ProtocolError& e) {
+      // Framing is out of sync: answer with a structured, connection-level
+      // ERROR frame, stop reading, close once it flushed.
+      {
+        std::lock_guard<std::mutex> lock(io_stats_mutex_);
+        ++io_stats_.protocol_errors;
+      }
+      enqueue_frame(connection, FrameType::kError,
+                    encode_error(0, to_string(e.fault()), e.what()));
+      connection.readable = false;
+      connection.close_after_flush = true;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(io_stats_mutex_);
+      ++io_stats_.frames_in;
+    }
+    dispatch_frame(id, connection, frame);
+    if (!connection.readable) return;  // dispatch decided to close
+  }
+}
+
+void Server::dispatch_frame(std::uint64_t id, Connection& connection,
+                            const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kRequest: {
+      WireRequest request;
+      try {
+        request = decode_request(frame.payload);
+      } catch (const tl::Error& e) {
+        // No id to route the failure to: connection-level error.
+        enqueue_frame(connection, FrameType::kError,
+                      encode_error(0, "bad-request", e.what()));
+        connection.readable = false;
+        connection.close_after_flush = true;
+        return;
+      }
+      service::SolveRequest solve;
+      solve.label = request.label;
+      try {
+        solve.problem = request_problem(request);
+      } catch (const tl::Error& e) {
+        // The deck text failed validation: a per-request error — the
+        // stream is still in sync, the connection stays up.
+        {
+          std::lock_guard<std::mutex> lock(io_stats_mutex_);
+          ++io_stats_.request_errors;
+        }
+        enqueue_frame(connection, FrameType::kError,
+                      encode_error(request.id, "bad-deck", e.what()));
+        return;
+      }
+      const std::uint64_t request_id = request.id;
+      const service::Ticket ticket = service_.submit(
+          std::move(solve),
+          [this, id, request_id](const service::SolveResponse& response) {
+            {
+              std::lock_guard<std::mutex> lock(completions_mutex_);
+              completions_.push_back({id, request_id, response});
+            }
+            wake();
+          });
+      if (ticket == nullptr) {
+        // Queue-full admission maps to BUSY backpressure — never a dropped
+        // connection, never a hang.
+        {
+          std::lock_guard<std::mutex> lock(io_stats_mutex_);
+          ++io_stats_.busy_replies;
+        }
+        enqueue_frame(connection, FrameType::kBusy,
+                      encode_busy(request_id, "queue full"));
+        return;
+      }
+      ++connection.in_flight;
+      ++pending_solves_;
+      {
+        std::lock_guard<std::mutex> lock(io_stats_mutex_);
+        ++io_stats_.requests;
+      }
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      {
+        std::lock_guard<std::mutex> lock(io_stats_mutex_);
+        ++io_stats_.stats_queries;
+      }
+      enqueue_frame(connection, FrameType::kStats,
+                    encode_stats(service_.stats()));
+      return;
+    }
+    default:
+      // Server-bound streams carry requests and stats queries only.
+      enqueue_frame(connection, FrameType::kError,
+                    encode_error(0, "unexpected-frame",
+                                 "frame type is not valid client->server"));
+      connection.readable = false;
+      connection.close_after_flush = true;
+      return;
+  }
+}
+
+void Server::enqueue_frame(Connection& connection, FrameType type,
+                           const std::string& payload) {
+  connection.outbox += encode_frame(type, payload);
+  {
+    std::lock_guard<std::mutex> lock(io_stats_mutex_);
+    ++io_stats_.frames_out;
+  }
+}
+
+void Server::write_ready(std::uint64_t id, Connection& connection) {
+  while (connection.outbox_offset < connection.outbox.size()) {
+    const ssize_t n = ::send(
+        connection.fd.get(), connection.outbox.data() + connection.outbox_offset,
+        connection.outbox.size() - connection.outbox_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_connection(id, /*peer_gone=*/true);
+      return;
+    }
+    connection.outbox_offset += static_cast<std::size_t>(n);
+  }
+  connection.outbox.clear();
+  connection.outbox_offset = 0;
+  if (connection.close_after_flush) close_connection(id, /*peer_gone=*/false);
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    --pending_solves_;
+    const auto it = connections_.find(completion.connection_id);
+    if (it == connections_.end()) continue;  // peer vanished mid-solve
+    --it->second.in_flight;
+    enqueue_frame(it->second, FrameType::kResponse,
+                  encode_response(completion.request_id, completion.response));
+  }
+}
+
+void Server::close_connection(std::uint64_t id, bool peer_gone) {
+  if (peer_gone) {
+    std::lock_guard<std::mutex> lock(io_stats_mutex_);
+    ++io_stats_.disconnects;
+  }
+  // In-flight solves keep running; their completions are dropped when they
+  // find no connection, and pending_solves_ still reaches zero for drain.
+  connections_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// Signal wiring (tead --listen): SIGINT/SIGTERM -> request_stop()
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+struct sigaction g_previous_sigint;
+struct sigaction g_previous_sigterm;
+
+void forward_signal_to_server(int) {
+  // request_stop() is one lock-free atomic store plus one write(): the
+  // whole point of the self-pipe is being legal right here.
+  Server* server = g_signal_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+void install_signal_handlers(Server* server) {
+  if (server != nullptr) {
+    g_signal_server.store(server, std::memory_order_release);
+    struct sigaction action {};
+    action.sa_handler = forward_signal_to_server;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &g_previous_sigint);
+    ::sigaction(SIGTERM, &action, &g_previous_sigterm);
+    return;
+  }
+  ::sigaction(SIGINT, &g_previous_sigint, nullptr);
+  ::sigaction(SIGTERM, &g_previous_sigterm, nullptr);
+  g_signal_server.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace net

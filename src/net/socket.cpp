@@ -1,0 +1,172 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw tl::Error(what + ": " + std::strerror(errno));
+}
+
+/// Numeric IPv4 (or "localhost") to in_addr.  The deliberately small
+/// grammar keeps resolution deterministic — no resolver, no /etc/hosts
+/// surprises in CI.
+in_addr parse_ipv4(const std::string& host) {
+  in_addr addr{};
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr) != 1)
+    throw tl::ConfigError("net: tcp host must be numeric IPv4 or localhost, "
+                          "got \"" + host + "\"");
+  return addr;
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  // parse_address already bounds the length; re-check for direct callers.
+  TL_REQUIRE(path.size() < sizeof(addr.sun_path),
+             "net: unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string Address::to_string() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address parse_address(const std::string& spec) {
+  Address address;
+  if (spec.rfind("unix:", 0) == 0) {
+    address.is_unix = true;
+    address.path = spec.substr(5);
+    if (address.path.empty())
+      throw tl::ConfigError("net: empty unix socket path in \"" + spec + "\"");
+    if (address.path.size() >= sizeof(sockaddr_un{}.sun_path))
+      throw tl::ConfigError("net: unix socket path too long in \"" + spec +
+                            "\"");
+    return address;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+      throw tl::ConfigError("net: tcp address must be tcp:<host>:<port>, "
+                            "got \"" + spec + "\"");
+    address.host = rest.substr(0, colon);
+    char* end = nullptr;
+    const long port = std::strtol(rest.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535)
+      throw tl::ConfigError("net: bad tcp port in \"" + spec + "\"");
+    address.port = static_cast<int>(port);
+    parse_ipv4(address.host);  // validate eagerly
+    return address;
+  }
+  throw tl::ConfigError(
+      "net: address must start with unix: or tcp:, got \"" + spec + "\"");
+}
+
+Fd listen_on(const Address& address, int backlog) {
+  if (address.is_unix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) fail_errno("net: socket(AF_UNIX)");
+    ::unlink(address.path.c_str());  // stale path from a dead daemon
+    const sockaddr_un addr = unix_sockaddr(address.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      fail_errno("net: bind(" + address.to_string() + ")");
+    if (::listen(fd.get(), backlog) != 0)
+      fail_errno("net: listen(" + address.to_string() + ")");
+    return fd;
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail_errno("net: socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_ipv4(address.host);
+  addr.sin_port = htons(static_cast<std::uint16_t>(address.port));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail_errno("net: bind(" + address.to_string() + ")");
+  if (::listen(fd.get(), backlog) != 0)
+    fail_errno("net: listen(" + address.to_string() + ")");
+  return fd;
+}
+
+Address local_address(int listen_fd, const Address& requested) {
+  Address resolved = requested;
+  if (requested.is_unix || requested.port != 0) return resolved;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail_errno("net: getsockname");
+  resolved.port = static_cast<int>(ntohs(addr.sin_port));
+  return resolved;
+}
+
+Fd connect_to(const Address& address) {
+  if (address.is_unix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) fail_errno("net: socket(AF_UNIX)");
+    const sockaddr_un addr = unix_sockaddr(address.path);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0)
+      fail_errno("net: connect(" + address.to_string() + ")");
+    return fd;
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail_errno("net: socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_ipv4(address.host);
+  addr.sin_port = htons(static_cast<std::uint16_t>(address.port));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    fail_errno("net: connect(" + address.to_string() + ")");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    fail_errno("net: fcntl(O_NONBLOCK)");
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("net: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace net

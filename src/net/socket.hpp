@@ -1,0 +1,81 @@
+// socket.hpp — thin POSIX socket layer for the net frontend: RAII file
+// descriptors, the `unix:<path>` / `tcp:<host>:<port>` address grammar
+// shared by `tead --listen` and `teactl --connect`, and the handful of
+// listen/connect/accept helpers the server and client build on.
+//
+// Unix-domain sockets are the deterministic-CI transport (no ports to
+// collide on, kernel-local, removable files); TCP is the deployment
+// transport.  Both speak the identical framed protocol (protocol.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace net {
+
+/// RAII file descriptor.  Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();  // close if open
+
+ private:
+  int fd_ = -1;
+};
+
+/// A parsed listen/connect address.
+struct Address {
+  bool is_unix = false;
+  std::string path;       // unix-domain socket path
+  std::string host;       // tcp host (numeric IPv4 or "localhost")
+  int port = 0;           // tcp port; 0 asks the kernel for an ephemeral one
+
+  /// Canonical spec string ("unix:/run/tead.sock", "tcp:127.0.0.1:4501").
+  std::string to_string() const;
+};
+
+/// Parse "unix:<path>" or "tcp:<host>:<port>".  Throws tl::ConfigError on
+/// anything else (including unix paths too long for sockaddr_un).
+Address parse_address(const std::string& spec);
+
+/// Bind + listen on `address`.  Unix sockets unlink a stale path first.
+/// Throws tl::Error on failure.
+Fd listen_on(const Address& address, int backlog);
+
+/// The address `listen_fd` actually bound — resolves tcp port 0 to the
+/// kernel-assigned ephemeral port so clients and logs can use it.
+Address local_address(int listen_fd, const Address& requested);
+
+/// Blocking connect.  Throws tl::Error on failure.
+Fd connect_to(const Address& address);
+
+/// Put `fd` into non-blocking mode.  Throws tl::Error on failure.
+void set_nonblocking(int fd);
+
+/// send() the whole buffer on a blocking socket (MSG_NOSIGNAL, EINTR
+/// retried).  Throws tl::Error when the peer is gone.
+void send_all(int fd, const char* data, std::size_t size);
+
+}  // namespace net

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "results/json.hpp"
 
 namespace service {
 
@@ -90,6 +91,26 @@ ReplayReport run_replay(SolveService& service,
           : 0.0;
   report.stats = service.stats();
   return report;
+}
+
+std::string golden_responses_json(const std::vector<SolveResponse>& responses) {
+  results::Json array = results::Json::array();
+  for (const SolveResponse& response : responses) {
+    results::Json entry = results::Json::object();
+    entry.set("label", response.label);
+    entry.set("key", response.key);
+    entry.set("variant", response.variant);
+    entry.set("converged", response.converged);
+    entry.set("iterations", static_cast<std::int64_t>(response.iterations));
+    entry.set("inner_iterations",
+              static_cast<std::int64_t>(response.inner_iterations));
+    entry.set("initial_rr", response.initial_rr);
+    entry.set("final_rr", response.final_rr);
+    entry.set("final_temperature", response.final_temperature);
+    if (!response.error.empty()) entry.set("error", response.error);
+    array.push_back(std::move(entry));
+  }
+  return array.dump(2) + "\n";
 }
 
 }  // namespace service

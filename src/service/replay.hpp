@@ -55,4 +55,12 @@ std::vector<SolveRequest> requests_from_population(
 /// Nearest-rank percentile of `samples` (q in [0,1]); 0 when empty.
 double latency_percentile(std::vector<double> samples, double q);
 
+/// The golden quantities of a response list as deterministic JSON: label,
+/// key, variant, convergence, iteration counts, residuals and the conserved
+/// temperature — no timings, no batch sizes, nothing scheduling-dependent.
+/// `tead --out` and `teactl solve --out` both write this, so the net-smoke
+/// CI gate can `cmp` a networked replay against the in-process replay of
+/// the same population byte for byte.
+std::string golden_responses_json(const std::vector<SolveResponse>& responses);
+
 }  // namespace service

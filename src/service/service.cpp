@@ -46,11 +46,12 @@ SolveService::SolveService(ServiceOptions options, results::ResultStore* store)
 
 SolveService::~SolveService() { shutdown(); }
 
-Ticket SolveService::submit(SolveRequest request) {
+Ticket SolveService::submit(SolveRequest request, CompletionFn on_complete) {
   QueuedRequest queued;
   queued.key = PlanCache::key_for(request.problem);
   queued.submitted = Clock::now();
   queued.ticket = std::make_shared<TicketState>();
+  queued.on_complete = std::move(on_complete);
   queued.request = std::move(request);
   Ticket ticket = queued.ticket;
   if (!queue_.try_push(std::move(queued))) {
@@ -99,14 +100,21 @@ void SolveService::shutdown() {
     response.label = dropped.request.label;
     response.key = dropped.key;
     response.error = "service shut down before the request was served";
-    {
-      std::lock_guard<std::mutex> ticket_lock(dropped.ticket->mutex);
-      dropped.ticket->response = std::move(response);
-      dropped.ticket->done = true;
-    }
-    dropped.ticket->done_cv.notify_all();
+    deliver(dropped, std::move(response));
   }
   plan_cache_.save();
+}
+
+void SolveService::deliver(QueuedRequest& queued, SolveResponse response) {
+  // The completion hook gets its own copy before the ticket takes
+  // ownership: once done flips, a wait()er may be reading the response.
+  if (queued.on_complete) queued.on_complete(response);
+  {
+    std::lock_guard<std::mutex> ticket_lock(queued.ticket->mutex);
+    queued.ticket->response = std::move(response);
+    queued.ticket->done = true;
+  }
+  queued.ticket->done_cv.notify_all();
 }
 
 SolveService::ResolvedPlan SolveService::resolve(
@@ -222,12 +230,7 @@ void SolveService::worker_loop(Worker& worker) {
       }
       response.latency_seconds =
           seconds_between(queued.submitted, Clock::now());
-      {
-        std::lock_guard<std::mutex> ticket_lock(queued.ticket->mutex);
-        queued.ticket->response = std::move(response);
-        queued.ticket->done = true;
-      }
-      queued.ticket->done_cv.notify_all();
+      deliver(queued, std::move(response));
       completed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -242,6 +245,9 @@ ServiceStats SolveService::stats() const {
   out.batched_solves = batched_solves_.load(std::memory_order_relaxed);
   out.fallback_solves = fallback_solves_.load(std::memory_order_relaxed);
   out.plan = plan_cache_.stats();
+  // workers_ grows under lifecycle_mutex_ in start(); hold it so a stats
+  // snapshot taken from the net event loop never races the spawn.
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   for (const auto& worker : workers_) {
     const tea::FieldArena::Stats arena = worker->arena.stats();
     out.arena.allocated += arena.allocated;

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -110,6 +111,14 @@ struct TicketState {
 };
 using Ticket = std::shared_ptr<TicketState>;
 
+/// Optional push-style completion hook: invoked exactly once per admitted
+/// request, after its ticket is fulfilled (including the shutdown-drain
+/// error path), from whichever thread completed it.  The non-blocking net
+/// frontend (src/net) uses this to wake its event loop instead of parking a
+/// thread per request in wait().  The callback must not re-enter the
+/// service.
+using CompletionFn = std::function<void(const SolveResponse&)>;
+
 struct ServiceStats {
   long submitted = 0;       // requests admitted
   long rejected = 0;        // requests refused at the queue bound
@@ -137,8 +146,10 @@ public:
   SolveService& operator=(const SolveService&) = delete;
 
   /// Admission control: returns a null Ticket when the queue is at
-  /// capacity or the service is shut down.  Never blocks.
-  Ticket submit(SolveRequest request);
+  /// capacity or the service is shut down.  Never blocks.  A non-null
+  /// `on_complete` is invoked once when the request finishes (rejected
+  /// submissions never fire it — the null return IS the rejection signal).
+  Ticket submit(SolveRequest request, CompletionFn on_complete = nullptr);
 
   /// Block until `ticket`'s solve completes and return its response.
   SolveResponse wait(const Ticket& ticket) const;
@@ -151,6 +162,9 @@ public:
   /// persisted plan cache (if configured) has been saved.
   void shutdown();
 
+  /// Thread-safe snapshot: callable from any thread (the net frontend's
+  /// event loop serves it as the STATS frame) concurrently with start(),
+  /// submit() and the worker shards.
   ServiceStats stats() const;
   PlanCache& plan_cache() { return plan_cache_; }
   const ServiceOptions& options() const { return options_; }
@@ -163,7 +177,11 @@ private:
     std::string key;
     Clock::time_point submitted;
     Ticket ticket;
+    CompletionFn on_complete;
   };
+
+  /// Fulfil `queued`'s ticket with `response` and fire its completion hook.
+  static void deliver(QueuedRequest& queued, SolveResponse response);
 
   struct Worker {
     std::unique_ptr<tlp::ThreadPool> pool;
@@ -192,7 +210,9 @@ private:
   PlanCache plan_cache_;
   tlp::BoundedTaskQueue<QueuedRequest> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::mutex lifecycle_mutex_;  // guards start/shutdown transitions
+  // Guards start/shutdown transitions and the workers_ vector (stats()
+  // walks it concurrently with start()).
+  mutable std::mutex lifecycle_mutex_;
   bool started_ = false;
   bool shut_down_ = false;
 

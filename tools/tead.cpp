@@ -1,14 +1,18 @@
-// tead — thin CLI frontend over the in-process solve service (src/service).
+// tead — CLI frontend over the solve service (src/service).
 //
-// Builds a request list (deck files and/or a seeded generated population),
-// replays it through a SolveService, and prints the per-request outcomes
-// plus the service counters: throughput, latency percentiles, plan-cache
-// hits/misses/tunes and field-arena reuse.  Everything the daemon does —
-// admission control, per-deck TunedPlan caching, batching over the
-// FieldStore arena — is library code exercised identically by the tests and
-// bench_service_throughput; this binary only parses flags and renders
-// tables (see docs/SERVICE.md).
+// Two modes.  The replay mode builds a request list (deck files and/or a
+// seeded generated population), replays it through an in-process
+// SolveService, and prints the per-request outcomes plus the service
+// counters: throughput, latency percentiles, plan-cache hits/misses/tunes
+// and field-arena reuse.  The daemon mode (`--listen unix:<path>` /
+// `tcp:<host>:<port>`) serves the same SolveService to remote clients over
+// the framed wire protocol (src/net) until SIGINT/SIGTERM, which triggers a
+// clean drain: listener closed first, in-flight requests answered, then
+// shutdown — never process teardown mid-solve.  Everything the daemon does
+// is library code exercised identically by the tests and benches; this
+// binary only parses flags and renders tables (see docs/SERVICE.md).
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "net/server.hpp"
 #include "results/result_store.hpp"
 #include "service/replay.hpp"
 #include "service/service.hpp"
@@ -29,15 +34,23 @@ int usage() {
   std::printf(
       "usage: tead (--decks a.in,b.in,.. | --gen-seed S [--gen-count N]\n"
       "            [--stress]) [options]\n"
+      "       tead --listen (unix:<path> | tcp:<host>:<port>) [options]\n"
       "\n"
-      "replay solve traffic through the in-process solve service\n"
+      "replay solve traffic through the in-process solve service, or serve\n"
+      "it to remote teactl clients over the wire (docs/SERVICE.md)\n"
       "\n"
-      "traffic:\n"
+      "traffic (replay mode):\n"
       "  --decks P1,P2,..   deck files, one request each\n"
       "  --gen-seed S       seeded generated population (tea_sweep gen)\n"
       "  --gen-count N      population size (default 4)\n"
       "  --stress           sample the generator's hostile corner\n"
       "  --repeat N         replay the request list N times (default 1)\n"
+      "  --out FILE         write golden response quantities as JSON\n"
+      "\n"
+      "daemon mode:\n"
+      "  --listen ADDR      serve the wire protocol on unix:<path> or\n"
+      "                     tcp:<host>:<port> until SIGINT/SIGTERM\n"
+      "  --connections N    accepted-connection cap (default 64)\n"
       "\n"
       "service:\n"
       "  --workers N        worker shards (default 2)\n"
@@ -58,6 +71,48 @@ int usage() {
 
 std::string fmt_ms(double seconds) {
   return tl::Table::num(seconds * 1e3, 2);
+}
+
+/// Serve the wire protocol until SIGINT/SIGTERM requests a clean drain.
+int run_daemon(const std::string& listen_address,
+               const tl::Cli& cli, service::ServiceOptions options,
+               results::ResultStore& store, const std::string& store_path) {
+  service::SolveService daemon(options, &store);
+  net::ServerOptions server_options;
+  server_options.address = listen_address;
+  server_options.max_connections =
+      static_cast<int>(cli.get_long("connections", 64));
+  net::Server server(daemon, server_options);
+  server.open();
+  std::printf("tead: serving on %s (%d workers x %d threads, queue %zu, %s)\n",
+              server.address().to_string().c_str(), options.workers,
+              options.threads_per_worker, options.queue_capacity,
+              options.enable_tuning ? "tuned" : "portable");
+  std::fflush(stdout);
+
+  net::install_signal_handlers(&server);
+  server.run();  // returns after the signal-triggered graceful drain
+  net::install_signal_handlers(nullptr);
+
+  daemon.shutdown();  // persists the plan cache
+  if (options.enable_tuning) store.save(store_path);
+
+  const net::ServerIoStats io = server.io_stats();
+  const service::ServiceStats stats = daemon.stats();
+  std::printf(
+      "tead: drained; %ld connections (%ld disconnects), %ld frames in / "
+      "%ld out, %ld requests (%ld busy, %ld bad, %ld protocol errors), "
+      "%ld stats queries\n",
+      io.accepted, io.disconnects, io.frames_in, io.frames_out, io.requests,
+      io.busy_replies, io.request_errors, io.protocol_errors,
+      io.stats_queries);
+  std::printf(
+      "service: %ld completed, %ld batches (%ld batched solves), plan cache "
+      "%ld hits / %ld misses / %ld tunes, arena %ld allocated / %ld reused\n",
+      stats.completed, stats.batches, stats.batched_solves, stats.plan.hits,
+      stats.plan.misses, stats.plan.tunes, stats.arena.allocated,
+      stats.arena.reused);
+  return 0;
 }
 
 }  // namespace
@@ -85,7 +140,8 @@ int main(int argc, char** argv) {
            service::requests_from_gen(gen_options))
         requests.push_back(std::move(request));
     }
-    if (requests.empty()) {
+    const bool listen = cli.has("listen");
+    if (requests.empty() && !listen) {
       std::fprintf(stderr, "tead: no traffic (need --decks or --gen-seed)\n");
       return usage();
     }
@@ -111,6 +167,10 @@ int main(int argc, char** argv) {
     options.plan_cache_path = cache_path;
 
     results::ResultStore store = results::ResultStore::load(store_path);
+    if (listen)
+      return run_daemon(cli.get_or("listen", ""), cli, options, store,
+                        store_path);
+
     service::ReplayReport report;
     {
       service::SolveService daemon(options, &store);
@@ -118,6 +178,11 @@ int main(int argc, char** argv) {
       daemon.shutdown();  // persists the plan cache
     }
     if (options.enable_tuning) store.save(store_path);
+    if (const auto out = cli.get("out")) {
+      std::ofstream file(*out, std::ios::binary);
+      if (!file) throw tl::Error("tead: cannot write " + *out);
+      file << service::golden_responses_json(report.responses);
+    }
 
     tl::Table table({"request", "variant", "conv", "iters", "batch",
                      "queue_ms", "solve_ms", "latency_ms"});
